@@ -1,0 +1,42 @@
+// Figure 12: test-suite compression for rule pairs (k = 10). Expected
+// shape: TOPK remains the best; SMC is erratic — sometimes good, sometimes
+// worse than BASELINE — because it ignores edge costs, and with pairs there
+// are many more opportunities to pick a query whose cost explodes when the
+// pair is disabled.
+
+#include "bench/compression_experiment.h"
+
+namespace qtf {
+namespace {
+
+int Run() {
+  auto fw = bench::MakeFramework();
+  bench::Banner("Figure 12: test-suite compression, rule pairs (k=10)",
+                "Total estimated cost over all nC2 pair targets.");
+
+  std::vector<int> sizes = bench::FullScale() ? std::vector<int>{5, 10, 15}
+                                              : std::vector<int>{4, 6, 8};
+  const int k = 10;
+
+  std::printf("%6s %7s %14s %14s %14s %10s\n", "n", "pairs", "BASELINE",
+              "SMC", "TOPK", "SMC/TOPK");
+  for (int n : sizes) {
+    auto suite = bench::MakeCompressionSuite(
+        fw.get(), fw->LogicalRulePairs(n), k,
+        17000 + static_cast<uint64_t>(n));
+    if (!suite) continue;
+    auto row = bench::RunCompression(fw.get(), *suite, k);
+    if (!row) continue;
+    std::printf("%6d %7d %14.0f %14.0f %14.0f %9.2fx\n", n,
+                n * (n - 1) / 2, row->baseline, row->smc, row->topk,
+                row->smc / row->topk);
+  }
+  std::printf("\npaper: TOPK lowest everywhere; SMC varies from good to "
+              "worse than BASELINE on pairs\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace qtf
+
+int main() { return qtf::Run(); }

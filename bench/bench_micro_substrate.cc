@@ -1,0 +1,164 @@
+// Micro-benchmarks of the substrate (google-benchmark): optimizer latency,
+// executor throughput, query generation rate, memo insertion, and the
+// min-cost-flow solver. Not a paper figure — these quantify the framework
+// itself.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/mcmf.h"
+#include "exec/executor.h"
+#include "optimizer/memo.h"
+#include "optimizer/optimizer.h"
+#include "qgen/generators.h"
+#include "qgen/sqlgen.h"
+#include "rules/default_rules.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+struct Env {
+  Env() {
+    db = MakeTpchDatabase(TpchConfig{}).value();
+    registry = MakeDefaultRuleRegistry();
+    optimizer = std::make_unique<Optimizer>(registry.get());
+  }
+  std::unique_ptr<Database> db;
+  std::unique_ptr<RuleRegistry> registry;
+  std::unique_ptr<Optimizer> optimizer;
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+Query MakeJoinQuery(Env& env) {
+  auto reg = std::make_shared<ColumnRegistry>();
+  auto lineitem = GetOp::Create(
+      env.db->catalog().GetTable("lineitem").value(), reg.get());
+  auto orders = GetOp::Create(env.db->catalog().GetTable("orders").value(),
+                              reg.get());
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, lineitem, orders,
+      Eq(Col(lineitem->columns()[0], ValueType::kInt64),
+         Col(orders->columns()[0], ValueType::kInt64)));
+  auto select = std::make_shared<SelectOp>(
+      join, Cmp(CompareOp::kGt, Col(orders->columns()[3], ValueType::kDouble),
+                LitDouble(250000.0)));
+  return Query{select, reg};
+}
+
+void BM_OptimizeJoinQuery(benchmark::State& state) {
+  Env& env = GetEnv();
+  Query query = MakeJoinQuery(env);
+  for (auto _ : state) {
+    auto result = env.optimizer->Optimize(query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimizeJoinQuery);
+
+void BM_OptimizeWithRuleDisabled(benchmark::State& state) {
+  Env& env = GetEnv();
+  Query query = MakeJoinQuery(env);
+  OptimizerOptions options;
+  options.disabled_rules.insert(0);  // JoinCommutativity
+  for (auto _ : state) {
+    auto result = env.optimizer->Optimize(query, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimizeWithRuleDisabled);
+
+void BM_ExecuteJoinQuery(benchmark::State& state) {
+  Env& env = GetEnv();
+  Query query = MakeJoinQuery(env);
+  auto plan = env.optimizer->Optimize(query).value().plan;
+  Executor executor(env.db.get(), query.registry.get());
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto result = executor.Execute(*plan);
+    rows += result.value().row_count();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows/iter"] =
+      static_cast<double>(rows) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ExecuteJoinQuery);
+
+void BM_RandomQueryGeneration(benchmark::State& state) {
+  Env& env = GetEnv();
+  RandomQueryGenerator generator(&env.db->catalog(), 11);
+  for (auto _ : state) {
+    Query query = generator.Generate();
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_RandomQueryGeneration);
+
+void BM_PatternInstantiation(benchmark::State& state) {
+  Env& env = GetEnv();
+  PatternInstantiator instantiator(&env.db->catalog(), 12);
+  const PatternNodePtr& pattern = env.registry->rule(12).pattern();
+  for (auto _ : state) {
+    Query query = instantiator.Instantiate(*pattern, 2);
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_PatternInstantiation);
+
+void BM_SqlGeneration(benchmark::State& state) {
+  Env& env = GetEnv();
+  RandomQueryGenerator generator(&env.db->catalog(), 13);
+  Query query = generator.Generate();
+  for (auto _ : state) {
+    std::string sql = GenerateSql(query);
+    benchmark::DoNotOptimize(sql);
+  }
+}
+BENCHMARK(BM_SqlGeneration);
+
+void BM_MemoInsertTree(benchmark::State& state) {
+  Env& env = GetEnv();
+  Query query = MakeJoinQuery(env);
+  for (auto _ : state) {
+    Memo memo(env.registry->size());
+    int root = memo.InsertTree(*query.root);
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_MemoInsertTree);
+
+void BM_MinCostMaxFlowAssignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // n workers, n jobs, dense cost matrix.
+    MinCostMaxFlow flow(2 * n + 2);
+    int source = 0, sink = 2 * n + 1;
+    for (int w = 0; w < n; ++w) flow.AddEdge(source, 1 + w, 1.0, 0.0);
+    for (int w = 0; w < n; ++w) {
+      for (int j = 0; j < n; ++j) {
+        flow.AddEdge(1 + w, 1 + n + j, 1.0,
+                     static_cast<double>((w * 31 + j * 17) % 100));
+      }
+    }
+    for (int j = 0; j < n; ++j) flow.AddEdge(1 + n + j, sink, 1.0, 0.0);
+    auto result = flow.Solve(source, sink);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MinCostMaxFlowAssignment)->Arg(8)->Arg(32);
+
+void BM_TpchGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto db = MakeTpchDatabase(TpchConfig{});
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_TpchGeneration);
+
+}  // namespace
+}  // namespace qtf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+#ifndef QTF_BENCH_BENCH_UTIL_H_
+#define QTF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "testing/framework.h"
+
+namespace qtf {
+namespace bench {
+
+/// Benchmarks honour QTF_BENCH_FULL=1 to run at paper scale (n=30 rules,
+/// all pairs); the default is a reduced configuration that keeps the whole
+/// bench suite in the minutes range on one core.
+inline bool FullScale() {
+  const char* env = std::getenv("QTF_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline std::unique_ptr<RuleTestFramework> MakeFramework() {
+  auto fw = RuleTestFramework::Create();
+  QTF_CHECK(fw.ok()) << fw.status().ToString();
+  return std::move(fw).value();
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* figure, const char* claim) {
+  std::printf("==== %s ====\n%s\n\n", figure, claim);
+}
+
+}  // namespace bench
+}  // namespace qtf
+
+#endif  // QTF_BENCH_BENCH_UTIL_H_

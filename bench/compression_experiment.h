@@ -1,0 +1,61 @@
+#ifndef QTF_BENCH_COMPRESSION_EXPERIMENT_H_
+#define QTF_BENCH_COMPRESSION_EXPERIMENT_H_
+
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "compress/compression.h"
+
+namespace qtf {
+namespace bench {
+
+/// Generates the test suite for a compression experiment: k queries per
+/// target via PATTERN generation with a few extra random operators (which
+/// is what gives queries the cost spread compression exploits).
+inline std::optional<TestSuite> MakeCompressionSuite(
+    RuleTestFramework* fw, const std::vector<RuleTarget>& targets, int k,
+    uint64_t seed) {
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 4;
+  config.max_trials = 600;
+  config.seed = seed;
+  auto suite = fw->suite_generator()->Generate(targets, k, config);
+  if (!suite.ok()) {
+    std::printf("suite generation failed: %s\n",
+                suite.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(suite).value();
+}
+
+struct CompressionRow {
+  double baseline = 0.0;
+  double smc = 0.0;
+  double topk = 0.0;
+};
+
+/// Runs BASELINE / SMC / TOPK over one suite. Costs are optimizer-estimated
+/// totals for executing the compressed suite (paper Section 6.2.2).
+inline std::optional<CompressionRow> RunCompression(RuleTestFramework* fw,
+                                                    const TestSuite& suite,
+                                                    int k) {
+  EdgeCostProvider provider(fw->optimizer(), &suite);
+  auto baseline = CompressBaseline(&provider);
+  auto smc = CompressSetMultiCover(&provider, k);
+  auto topk = CompressTopKIndependent(&provider, k, true);
+  if (!baseline.ok() || !smc.ok() || !topk.ok()) {
+    std::printf("compression failed: %s %s %s\n",
+                baseline.status().ToString().c_str(),
+                smc.status().ToString().c_str(),
+                topk.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return CompressionRow{baseline->total_cost, smc->total_cost,
+                        topk->total_cost};
+}
+
+}  // namespace bench
+}  // namespace qtf
+
+#endif  // QTF_BENCH_COMPRESSION_EXPERIMENT_H_

@@ -1,0 +1,63 @@
+#ifndef QTF_BENCH_PAIR_EXPERIMENT_H_
+#define QTF_BENCH_PAIR_EXPERIMENT_H_
+
+#include "bench/bench_util.h"
+#include "qgen/generation.h"
+
+namespace qtf {
+namespace bench {
+
+/// Shared driver for Figures 9 and 10: generate a query for every pair over
+/// the first n logical rules, by both methods.
+struct PairExperimentResult {
+  int n_rules = 0;
+  int n_pairs = 0;
+  int64_t random_trials = 0;
+  int64_t pattern_trials = 0;
+  double random_seconds = 0.0;
+  double pattern_seconds = 0.0;
+  int random_failures = 0;
+  int pattern_failures = 0;
+  int pattern_max_trials = 0;
+};
+
+inline PairExperimentResult RunPairExperiment(RuleTestFramework* fw,
+                                              int n_rules, int random_cap,
+                                              int pattern_cap) {
+  PairExperimentResult result;
+  result.n_rules = n_rules;
+  std::vector<RuleTarget> pairs = fw->LogicalRulePairs(n_rules);
+  result.n_pairs = static_cast<int>(pairs.size());
+  uint64_t seed = 0;
+  for (const RuleTarget& pair : pairs) {
+    GenerationConfig random_config;
+    random_config.method = GenerationMethod::kRandom;
+    random_config.max_trials = random_cap;
+    random_config.seed = 40000 + seed;
+    GenerationOutcome random =
+        fw->generator()->Generate(pair.rules, random_config);
+    result.random_trials += random.trials;
+    result.random_seconds += random.seconds;
+    if (!random.success) ++result.random_failures;
+
+    GenerationConfig pattern_config;
+    pattern_config.method = GenerationMethod::kPattern;
+    pattern_config.max_trials = pattern_cap;
+    pattern_config.seed = 80000 + seed;
+    GenerationOutcome pattern =
+        fw->generator()->Generate(pair.rules, pattern_config);
+    result.pattern_trials += pattern.trials;
+    result.pattern_seconds += pattern.seconds;
+    if (!pattern.success) ++result.pattern_failures;
+    if (pattern.success && pattern.trials > result.pattern_max_trials) {
+      result.pattern_max_trials = pattern.trials;
+    }
+    ++seed;
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace qtf
+
+#endif  // QTF_BENCH_PAIR_EXPERIMENT_H_

@@ -1,0 +1,66 @@
+// Bug hunt: inject three deliberately broken transformation rules into the
+// optimizer and let the framework find them — generate targeted test
+// suites, execute Plan(q) vs Plan(q, ¬rule), and report every result
+// mismatch with a SQL repro. This is the end-to-end correctness workflow of
+// the paper's Section 2.3.
+
+#include <cstdio>
+
+#include "rules/buggy_rules.h"
+#include "testing/framework.h"
+
+using namespace qtf;
+
+namespace {
+
+struct Injection {
+  const char* description;
+  std::unique_ptr<Rule> (*make)();
+  int extra_ops;
+};
+
+void Hunt(const Injection& injection) {
+  auto registry = MakeDefaultRuleRegistry();
+  RuleId bug_id = registry->Register(injection.make());
+  auto fw = RuleTestFramework::Create(TpchConfig{}, std::move(registry))
+                .value();
+  std::printf("--- injected: %s ---\n", injection.description);
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GenerationConfig config;
+    config.method = GenerationMethod::kPattern;
+    config.extra_ops = injection.extra_ops;
+    config.seed = seed * 131;
+    auto suite = fw->suite_generator()->Generate({RuleTarget{{bug_id}}},
+                                                 /*k=*/5, config);
+    if (!suite.ok()) continue;
+    auto report = fw->runner()->Run(*suite, suite->per_target).value();
+    if (report.violations.empty()) continue;
+
+    const CorrectnessViolation& v = report.violations[0];
+    std::printf("CAUGHT after %d plan executions (%d skipped as identical)\n",
+                report.plans_executed, report.skipped_identical_plans);
+    std::printf("  rule:    %s\n", v.target_name.c_str());
+    std::printf("  rows:    %ld with the rule vs %ld without\n",
+                static_cast<long>(v.base_rows),
+                static_cast<long>(v.restricted_rows));
+    std::printf("  repro:   %s\n\n", v.sql.substr(0, 110).c_str());
+    return;
+  }
+  std::printf("NOT caught (the bug never won the cost race on this data)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hunting three injected optimizer bugs with the correctness "
+              "harness...\n\n");
+  Hunt({"outer join silently converted to inner join "
+        "(missing NULL-rejection check)",
+        &MakeBuggyLojToJoin, 2});
+  Hunt({"filter pushed below GROUP BY drops the non-pushable conjuncts",
+        &MakeBuggySelectPushBelowGroupBy, 0});
+  Hunt({"LEFT OUTER JOIN commuted as if it were an inner join",
+        &MakeBuggyLojCommutativity, 1});
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "catalog/catalog.h"
+
+namespace qtf {
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::AddTable(std::shared_ptr<TableDef> table) {
+  QTF_CHECK(table != nullptr);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  table_order_.push_back(name);
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const TableDef>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return std::shared_ptr<const TableDef>(it->second);
+}
+
+}  // namespace qtf

@@ -1,0 +1,102 @@
+#ifndef QTF_CATALOG_CATALOG_H_
+#define QTF_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace qtf {
+
+/// Metadata for one column of a base table, including the statistics used
+/// by the cardinality estimator.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  /// Estimated number of distinct values (>=1). Drives equality selectivity.
+  double distinct_count = 1.0;
+  /// Value domain for integer columns; used by the data generator and by
+  /// range-predicate selectivity.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  /// Fraction of NULLs in the column (data generator honours this).
+  double null_fraction = 0.0;
+};
+
+/// A uniqueness constraint: the listed column ordinals are unique in the
+/// table (the first key registered is the primary key).
+struct KeyDef {
+  std::vector<int> column_ordinals;
+};
+
+/// Foreign key: this table's `column_ordinal` references
+/// `referenced_table`.`referenced_ordinal` (which must be a key there).
+struct ForeignKeyDef {
+  int column_ordinal = 0;
+  std::string referenced_table;
+  int referenced_ordinal = 0;
+};
+
+/// Metadata for a base table.
+class TableDef {
+ public:
+  TableDef(std::string name, std::vector<ColumnDef> columns, int64_t row_count)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        row_count_(row_count) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int64_t row_count() const { return row_count_; }
+  const std::vector<KeyDef>& keys() const { return keys_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  void AddKey(KeyDef key) { keys_.push_back(std::move(key)); }
+  void AddForeignKey(ForeignKeyDef fk) { foreign_keys_.push_back(std::move(fk)); }
+
+  /// Ordinal of the named column, or -1.
+  int FindColumn(const std::string& column_name) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  int64_t row_count_;
+  std::vector<KeyDef> keys_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+/// The test database's schema: a collection of table definitions. The paper
+/// assumes a fixed test database is given as input (Section 2.3); Catalog is
+/// that database's metadata surface.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table; fails if the name already exists.
+  Status AddTable(std::shared_ptr<TableDef> table);
+
+  /// Looks a table up by name.
+  Result<std::shared_ptr<const TableDef>> GetTable(
+      const std::string& name) const;
+
+  /// All table names in registration order.
+  std::vector<std::string> TableNames() const { return table_order_; }
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<TableDef>> tables_;
+  std::vector<std::string> table_order_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_CATALOG_CATALOG_H_

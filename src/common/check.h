@@ -1,0 +1,56 @@
+#ifndef QTF_COMMON_CHECK_H_
+#define QTF_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace qtf {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed at
+/// the end of the full expression. Used only via QTF_CHECK; invariant
+/// violations in this framework are programming errors, not recoverable
+/// conditions.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowest-precedence sink that turns the streamed CheckFailStream into void
+/// so it can sit in the false branch of the QTF_CHECK ternary.
+struct Voidify {
+  // const& so the operand may be the freshly-constructed temporary (no
+  // message streamed yet) as well as the reference returned by <<.
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace qtf
+
+/// Aborts with a message if `condition` is false. Additional context can be
+/// streamed: QTF_CHECK(x > 0) << "x=" << x;
+#define QTF_CHECK(condition)              \
+  (condition) ? static_cast<void>(0)      \
+              : ::qtf::internal::Voidify() & \
+                    ::qtf::internal::CheckFailStream(__FILE__, __LINE__, #condition)
+
+#endif  // QTF_COMMON_CHECK_H_

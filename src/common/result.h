@@ -1,0 +1,80 @@
+#ifndef QTF_COMMON_RESULT_H_
+#define QTF_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace qtf {
+
+/// Either a value of type T or an error Status. Mirrors
+/// arrow::Result/absl::StatusOr; used as the return type of all fallible
+/// functions that produce a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return value;` / `return Status::Internal(...)`), matching the
+  /// arrow::Result idiom.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    QTF_CHECK(!this->status().ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Value access; requires ok().
+  const T& value() const& {
+    QTF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    QTF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    QTF_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace qtf
+
+#define QTF_CONCAT_IMPL(x, y) x##y
+#define QTF_CONCAT(x, y) QTF_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// binds the value to `lhs` (which may include a type, e.g.
+/// `QTF_ASSIGN_OR_RETURN(auto plan, Optimize(q))`).
+#define QTF_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  QTF_ASSIGN_OR_RETURN_IMPL(QTF_CONCAT(_qtf_result_, __LINE__), lhs, rexpr)
+
+#define QTF_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // QTF_COMMON_RESULT_H_

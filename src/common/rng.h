@@ -1,0 +1,73 @@
+#ifndef QTF_COMMON_RNG_H_
+#define QTF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qtf {
+
+/// Deterministic random number generator. All randomness in the framework
+/// (data generation, random query generation, workload sampling) flows from
+/// explicitly seeded Rng instances so that tests and benchmarks are
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    QTF_CHECK(lo <= hi) << "UniformInt(" << lo << ", " << hi << ")";
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniformly chosen element of `items` (by const reference).
+  template <typename T>
+  const T& PickOne(const std::vector<T>& items) {
+    QTF_CHECK(!items.empty()) << "PickOne on empty vector";
+    return items[static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Uniformly chosen index into a container of `size` elements.
+  size_t PickIndex(size_t size) {
+    QTF_CHECK(size > 0) << "PickIndex on empty range";
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = PickIndex(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give subsystems their
+  /// own deterministic stream.
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_RNG_H_

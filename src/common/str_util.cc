@@ -1,0 +1,41 @@
+#include "common/str_util.h"
+
+#include <cstdio>
+
+namespace qtf {
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string SqlQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string Repeat(const std::string& s, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) out += s;
+  return out;
+}
+
+std::string Indent(int depth) { return Repeat("  ", depth); }
+
+}  // namespace qtf

@@ -1,0 +1,27 @@
+#ifndef QTF_COMMON_STR_UTIL_H_
+#define QTF_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace qtf {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// SQL string literal with single quotes, quotes doubled ('O''Brien').
+std::string SqlQuote(const std::string& s);
+
+/// Formats a double without trailing zeros ("1.5", "2", "0.25").
+std::string FormatDouble(double value);
+
+/// Repeats `s` `count` times.
+std::string Repeat(const std::string& s, int count);
+
+/// Two-space indentation prefix for `depth` levels.
+std::string Indent(int depth);
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_STR_UTIL_H_

@@ -1,0 +1,269 @@
+#include "compress/compression.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace qtf {
+
+Result<double> SolutionCost(EdgeCostProvider* provider,
+                            const std::vector<std::vector<int>>& assignment) {
+  std::set<int> used_queries;
+  double total = 0.0;
+  for (size_t t = 0; t < assignment.size(); ++t) {
+    for (int q : assignment[t]) {
+      used_queries.insert(q);
+      QTF_ASSIGN_OR_RETURN(double edge,
+                           provider->EdgeCost(static_cast<int>(t), q));
+      total += edge;
+    }
+  }
+  for (int q : used_queries) total += provider->NodeCost(q);
+  return total;
+}
+
+Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider) {
+  const TestSuite& suite = provider->suite();
+  CompressionSolution solution;
+  solution.assignment = suite.per_target;
+  int64_t calls_before = provider->optimizer_calls();
+  // BASELINE pays every query's Plan(q) per target (no sharing).
+  double total = 0.0;
+  for (size_t t = 0; t < suite.per_target.size(); ++t) {
+    for (int q : suite.per_target[t]) {
+      QTF_ASSIGN_OR_RETURN(double edge,
+                           provider->EdgeCost(static_cast<int>(t), q));
+      total += provider->NodeCost(q) + edge;
+    }
+  }
+  solution.total_cost = total;
+  solution.optimizer_calls = provider->optimizer_calls() - calls_before;
+  return solution;
+}
+
+Result<CompressionSolution> CompressSetMultiCover(EdgeCostProvider* provider,
+                                                  int k) {
+  const TestSuite& suite = provider->suite();
+  int64_t calls_before = provider->optimizer_calls();
+  const int n_targets = static_cast<int>(suite.targets.size());
+  const int n_queries = static_cast<int>(suite.queries.size());
+
+  // coverage[t] = queries already assigned to target t.
+  std::vector<std::vector<int>> assignment(
+      static_cast<size_t>(n_targets));
+  // Per query, the targets it can still help (membership recomputed from
+  // rule sets once).
+  std::vector<std::vector<int>> covers(static_cast<size_t>(n_queries));
+  for (int t = 0; t < n_targets; ++t) {
+    for (int q : suite.CandidatesFor(t)) {
+      covers[static_cast<size_t>(q)].push_back(t);
+    }
+  }
+  std::vector<bool> picked(static_cast<size_t>(n_queries), false);
+
+  auto remaining_targets_covered = [&](int q) {
+    int count = 0;
+    for (int t : covers[static_cast<size_t>(q)]) {
+      if (static_cast<int>(assignment[static_cast<size_t>(t)].size()) < k) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  auto done = [&]() {
+    for (int t = 0; t < n_targets; ++t) {
+      if (static_cast<int>(assignment[static_cast<size_t>(t)].size()) < k) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (!done()) {
+    int best_query = -1;
+    double best_benefit = -1.0;
+    for (int q = 0; q < n_queries; ++q) {
+      if (picked[static_cast<size_t>(q)]) continue;
+      int covered = remaining_targets_covered(q);
+      if (covered == 0) continue;
+      double benefit = static_cast<double>(covered) /
+                       std::max(provider->NodeCost(q), 1e-9);
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_query = q;
+      }
+    }
+    if (best_query < 0) {
+      return Status::Internal(
+          "SetMultiCover: no query can cover a remaining target");
+    }
+    picked[static_cast<size_t>(best_query)] = true;
+    for (int t : covers[static_cast<size_t>(best_query)]) {
+      auto& assigned = assignment[static_cast<size_t>(t)];
+      if (static_cast<int>(assigned.size()) < k) {
+        assigned.push_back(best_query);
+      }
+    }
+  }
+
+  CompressionSolution solution;
+  solution.assignment = std::move(assignment);
+  QTF_ASSIGN_OR_RETURN(solution.total_cost,
+                       SolutionCost(provider, solution.assignment));
+  solution.optimizer_calls = provider->optimizer_calls() - calls_before;
+  return solution;
+}
+
+Result<CompressionSolution> CompressTopKIndependent(
+    EdgeCostProvider* provider, int k, bool exploit_monotonicity) {
+  const TestSuite& suite = provider->suite();
+  int64_t calls_before = provider->optimizer_calls();
+  const int n_targets = static_cast<int>(suite.targets.size());
+
+  CompressionSolution solution;
+  solution.assignment.resize(static_cast<size_t>(n_targets));
+
+  for (int t = 0; t < n_targets; ++t) {
+    std::vector<int> candidates = suite.CandidatesFor(t);
+    if (static_cast<int>(candidates.size()) < k) {
+      return Status::Internal("target " + std::to_string(t) +
+                              " has fewer than k candidate queries");
+    }
+    // (edge cost, query) max-heap of the current k best edges.
+    std::priority_queue<std::pair<double, int>> best;
+
+    if (exploit_monotonicity) {
+      // Scan in increasing node-cost order; since
+      // Cost(q) <= Cost(q, ¬target), once the k-th best edge cost is below
+      // the next node cost no later candidate can improve the set.
+      std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        return provider->NodeCost(a) < provider->NodeCost(b);
+      });
+      for (int q : candidates) {
+        if (static_cast<int>(best.size()) == k &&
+            provider->NodeCost(q) >= best.top().first) {
+          break;
+        }
+        QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
+        best.emplace(edge, q);
+        if (static_cast<int>(best.size()) > k) best.pop();
+      }
+    } else {
+      for (int q : candidates) {
+        QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
+        best.emplace(edge, q);
+        if (static_cast<int>(best.size()) > k) best.pop();
+      }
+    }
+    auto& assigned = solution.assignment[static_cast<size_t>(t)];
+    while (!best.empty()) {
+      assigned.push_back(best.top().second);
+      best.pop();
+    }
+    std::sort(assigned.begin(), assigned.end());
+  }
+
+  QTF_ASSIGN_OR_RETURN(solution.total_cost,
+                       SolutionCost(provider, solution.assignment));
+  solution.optimizer_calls = provider->optimizer_calls() - calls_before;
+  return solution;
+}
+
+namespace {
+
+/// DFS over per-target k-subsets of candidates, sharing node costs through
+/// the running set of used queries.
+class ExactSearch {
+ public:
+  ExactSearch(EdgeCostProvider* provider, int k, int64_t max_states)
+      : provider_(provider), k_(k), max_states_(max_states) {}
+
+  Result<CompressionSolution> Run() {
+    const TestSuite& suite = provider_->suite();
+    const int n_targets = static_cast<int>(suite.targets.size());
+    candidates_.resize(static_cast<size_t>(n_targets));
+    for (int t = 0; t < n_targets; ++t) {
+      candidates_[static_cast<size_t>(t)] = suite.CandidatesFor(t);
+    }
+    current_.assign(static_cast<size_t>(n_targets), {});
+    QTF_RETURN_NOT_OK(Dfs(0, 0.0));
+    if (states_ >= max_states_) {
+      return Status::Unimplemented("exact solver exceeded its state budget");
+    }
+    if (best_.assignment.empty()) {
+      return Status::Internal("exact solver found no feasible solution");
+    }
+    return best_;
+  }
+
+ private:
+  Status Dfs(int t, double edge_cost_so_far) {
+    if (++states_ >= max_states_) return Status::OK();
+    const int n_targets = static_cast<int>(candidates_.size());
+    if (t == n_targets) {
+      double total = edge_cost_so_far;
+      std::set<int> used;
+      for (const auto& per_target : current_) {
+        used.insert(per_target.begin(), per_target.end());
+      }
+      for (int q : used) total += provider_->NodeCost(q);
+      if (best_.assignment.empty() || total < best_.total_cost) {
+        best_.assignment = current_;
+        best_.total_cost = total;
+      }
+      return Status::OK();
+    }
+    // Choose k-subsets of candidates_[t] via combination enumeration.
+    const std::vector<int>& cands = candidates_[static_cast<size_t>(t)];
+    std::vector<int> combo;
+    return EnumerateCombos(t, cands, 0, &combo, edge_cost_so_far);
+  }
+
+  Status EnumerateCombos(int t, const std::vector<int>& cands, size_t start,
+                         std::vector<int>* combo, double edge_cost_so_far) {
+    if (states_ >= max_states_) return Status::OK();
+    if (static_cast<int>(combo->size()) == k_) {
+      double added = 0.0;
+      for (int q : *combo) {
+        QTF_ASSIGN_OR_RETURN(double edge, provider_->EdgeCost(t, q));
+        added += edge;
+      }
+      current_[static_cast<size_t>(t)] = *combo;
+      QTF_RETURN_NOT_OK(Dfs(t + 1, edge_cost_so_far + added));
+      current_[static_cast<size_t>(t)].clear();
+      return Status::OK();
+    }
+    if (start >= cands.size()) return Status::OK();
+    if (cands.size() - start <
+        static_cast<size_t>(k_) - combo->size()) {
+      return Status::OK();
+    }
+    combo->push_back(cands[start]);
+    QTF_RETURN_NOT_OK(
+        EnumerateCombos(t, cands, start + 1, combo, edge_cost_so_far));
+    combo->pop_back();
+    return EnumerateCombos(t, cands, start + 1, combo, edge_cost_so_far);
+  }
+
+  EdgeCostProvider* provider_;
+  int k_;
+  int64_t max_states_;
+  int64_t states_ = 0;
+  std::vector<std::vector<int>> candidates_;
+  std::vector<std::vector<int>> current_;
+  CompressionSolution best_;
+};
+
+}  // namespace
+
+Result<CompressionSolution> CompressExact(EdgeCostProvider* provider, int k,
+                                          int64_t max_states) {
+  int64_t calls_before = provider->optimizer_calls();
+  ExactSearch search(provider, k, max_states);
+  QTF_ASSIGN_OR_RETURN(CompressionSolution solution, search.Run());
+  solution.optimizer_calls = provider->optimizer_calls() - calls_before;
+  return solution;
+}
+
+}  // namespace qtf

@@ -1,0 +1,57 @@
+#ifndef QTF_COMPRESS_COMPRESSION_H_
+#define QTF_COMPRESS_COMPRESSION_H_
+
+#include <vector>
+
+#include "compress/edge_costs.h"
+
+namespace qtf {
+
+/// A test-suite compression solution: for every target, the (exactly k)
+/// queries mapped to it, plus the execution cost of the whole suite.
+///
+/// Cost accounting follows Section 4.1: each distinct query's Plan(q) is
+/// executed once (node cost counted once across all targets sharing it) and
+/// every (target, query) edge pays Cost(q, ¬target).
+struct CompressionSolution {
+  std::vector<std::vector<int>> assignment;  // per target: query indices
+  double total_cost = 0.0;
+  /// Optimizer invocations this algorithm spent on edge costs.
+  int64_t optimizer_calls = 0;
+};
+
+/// Recomputes a solution's total cost from its assignment (shared node
+/// costs + edge costs). Used internally and by tests.
+Result<double> SolutionCost(EdgeCostProvider* provider,
+                            const std::vector<std::vector<int>>& assignment);
+
+/// BASELINE (Section 2.3): each target executes its own k generated queries
+/// independently — no sharing of Plan(q) across targets, per the paper's
+/// TotalCost formula.
+Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider);
+
+/// SetMultiCover greedy (Section 5.1, Figure 5): repeatedly picks the query
+/// with the highest (remaining targets covered / Cost(q)) benefit. Ignores
+/// edge costs when deciding — its known weakness on rule pairs (Figure 12).
+Result<CompressionSolution> CompressSetMultiCover(EdgeCostProvider* provider,
+                                                  int k);
+
+/// TopKIndependent (Section 5.2, Figure 6): per target, the k queries with
+/// the lowest Cost(q, ¬target). Factor-2 approximation of the optimum.
+/// With `exploit_monotonicity` (Section 5.3.1), candidates are scanned in
+/// increasing Cost(q) order and the scan stops once Cost(q) can no longer
+/// beat the current k-th best edge (Cost(q) <= Cost(q, ¬target)), saving
+/// optimizer invocations without changing the result.
+Result<CompressionSolution> CompressTopKIndependent(EdgeCostProvider* provider,
+                                                    int k,
+                                                    bool exploit_monotonicity);
+
+/// Exact exponential solver for small instances (used by tests to validate
+/// the TopKIndependent approximation bound and measure greedy gaps).
+/// `max_states` bounds the search; returns Unimplemented when exceeded.
+Result<CompressionSolution> CompressExact(EdgeCostProvider* provider, int k,
+                                          int64_t max_states = 2000000);
+
+}  // namespace qtf
+
+#endif  // QTF_COMPRESS_COMPRESSION_H_

@@ -1,0 +1,23 @@
+#include "compress/edge_costs.h"
+
+namespace qtf {
+
+Result<double> EdgeCostProvider::EdgeCost(int target, int q) {
+  auto key = std::make_pair(target, q);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  OptimizerOptions options;
+  for (RuleId id : suite_->targets[static_cast<size_t>(target)].rules) {
+    options.disabled_rules.insert(id);
+  }
+  ++optimizer_calls_;
+  QTF_ASSIGN_OR_RETURN(
+      OptimizeResult result,
+      optimizer_->Optimize(suite_->queries[static_cast<size_t>(q)].query,
+                           options));
+  cache_[key] = result.cost;
+  return result.cost;
+}
+
+}  // namespace qtf

@@ -1,0 +1,59 @@
+#ifndef QTF_COMPRESS_EDGE_COSTS_H_
+#define QTF_COMPRESS_EDGE_COSTS_H_
+
+#include <map>
+#include <utility>
+
+#include "common/result.h"
+#include "optimizer/optimizer.h"
+#include "qgen/test_suite.h"
+
+namespace qtf {
+
+/// Lazily computes and caches the bipartite graph's costs (paper Section
+/// 4.1): node costs Cost(q) and edge costs Cost(q, ¬target). Every cache
+/// miss is one optimizer invocation — the quantity the monotonicity
+/// optimization (Section 5.3.1, Figure 14) saves.
+class EdgeCostProvider {
+ public:
+  EdgeCostProvider(Optimizer* optimizer, const TestSuite* suite)
+      : optimizer_(optimizer), suite_(suite) {
+    QTF_CHECK(optimizer_ != nullptr && suite_ != nullptr);
+  }
+  virtual ~EdgeCostProvider() = default;
+  EdgeCostProvider(const EdgeCostProvider&) = delete;
+  EdgeCostProvider& operator=(const EdgeCostProvider&) = delete;
+
+  /// Cost(q) with all rules enabled. Taken from the suite's recorded
+  /// optimization (no extra optimizer call). Virtual so tests can fake the
+  /// cost structure (e.g. the paper's Example 1).
+  virtual double NodeCost(int q) const {
+    return suite_->queries[static_cast<size_t>(q)].cost;
+  }
+
+  /// Cost(q, ¬target): optimizes q with the target's rules disabled.
+  /// Cached per (target, query).
+  virtual Result<double> EdgeCost(int target, int q);
+
+  /// Optimizer invocations spent on edge costs so far.
+  int64_t optimizer_calls() const { return optimizer_calls_; }
+
+  const TestSuite& suite() const { return *suite_; }
+
+ protected:
+  /// For test fakes that override the cost surface.
+  explicit EdgeCostProvider(const TestSuite* suite)
+      : optimizer_(nullptr), suite_(suite) {
+    QTF_CHECK(suite_ != nullptr);
+  }
+
+ private:
+  Optimizer* optimizer_;
+  const TestSuite* suite_;
+  std::map<std::pair<int, int>, double> cache_;
+  int64_t optimizer_calls_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_COMPRESS_EDGE_COSTS_H_

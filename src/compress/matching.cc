@@ -1,0 +1,62 @@
+#include "compress/matching.h"
+
+#include <cmath>
+#include <map>
+
+#include "compress/mcmf.h"
+
+namespace qtf {
+
+Result<CompressionSolution> CompressNoSharingMatching(
+    EdgeCostProvider* provider, int k) {
+  const TestSuite& suite = provider->suite();
+  int64_t calls_before = provider->optimizer_calls();
+  const int n_targets = static_cast<int>(suite.targets.size());
+  const int n_queries = static_cast<int>(suite.queries.size());
+
+  // Nodes: 0 = source, 1..n_targets = targets,
+  // n_targets+1..n_targets+n_queries = queries, last = sink.
+  const int source = 0;
+  const int sink = n_targets + n_queries + 1;
+  MinCostMaxFlow flow(sink + 1);
+
+  for (int t = 0; t < n_targets; ++t) {
+    flow.AddEdge(source, 1 + t, static_cast<double>(k), 0.0);
+  }
+  std::map<int, std::pair<int, int>> edge_to_pair;  // flow edge -> (t, q)
+  for (int t = 0; t < n_targets; ++t) {
+    for (int q : suite.CandidatesFor(t)) {
+      QTF_ASSIGN_OR_RETURN(double edge_cost, provider->EdgeCost(t, q));
+      int id = flow.AddEdge(1 + t, 1 + n_targets + q, 1.0,
+                            provider->NodeCost(q) + edge_cost);
+      edge_to_pair[id] = {t, q};
+    }
+  }
+  for (int q = 0; q < n_queries; ++q) {
+    flow.AddEdge(1 + n_targets + q, sink, 1.0, 0.0);
+  }
+
+  MinCostMaxFlow::FlowResult result = flow.Solve(source, sink);
+  double needed = static_cast<double>(n_targets) * k;
+  if (std::abs(result.max_flow - needed) > 1e-6) {
+    return Status::InvalidArgument(
+        "test suite cannot supply k disjoint queries per target "
+        "(matched " +
+        std::to_string(result.max_flow) + " of " + std::to_string(needed) +
+        ")");
+  }
+
+  CompressionSolution solution;
+  solution.assignment.resize(static_cast<size_t>(n_targets));
+  for (const auto& [edge_id, pair] : edge_to_pair) {
+    if (flow.flow_on(edge_id) > 0.5) {
+      solution.assignment[static_cast<size_t>(pair.first)].push_back(
+          pair.second);
+    }
+  }
+  solution.total_cost = result.total_cost;
+  solution.optimizer_calls = provider->optimizer_calls() - calls_before;
+  return solution;
+}
+
+}  // namespace qtf

@@ -1,0 +1,22 @@
+#ifndef QTF_COMPRESS_MATCHING_H_
+#define QTF_COMPRESS_MATCHING_H_
+
+#include "compress/compression.h"
+
+namespace qtf {
+
+/// The Section-7 variant of test-suite compression: queries are NOT shared
+/// across targets — each query is mapped to at most one target and every
+/// target still receives exactly k distinct queries. As the paper notes,
+/// this version reduces to (b-)matching and is solvable in polynomial time;
+/// we solve it as a min-cost max-flow problem.
+///
+/// Each (target, query) assignment pays Cost(q) + Cost(q, ¬target) since no
+/// Plan(q) execution can be shared. Returns InvalidArgument if the suite
+/// cannot supply k disjoint queries per target.
+Result<CompressionSolution> CompressNoSharingMatching(
+    EdgeCostProvider* provider, int k);
+
+}  // namespace qtf
+
+#endif  // QTF_COMPRESS_MATCHING_H_

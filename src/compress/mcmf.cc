@@ -1,0 +1,103 @@
+#include "compress/mcmf.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace qtf {
+
+MinCostMaxFlow::MinCostMaxFlow(int node_count)
+    : node_count_(node_count),
+      graph_(static_cast<size_t>(node_count)) {}
+
+int MinCostMaxFlow::AddEdge(int from, int to, double capacity, double cost) {
+  QTF_CHECK(from >= 0 && from < node_count_ && to >= 0 && to < node_count_);
+  Edge forward{to, capacity, cost,
+               static_cast<int>(graph_[static_cast<size_t>(to)].size())};
+  Edge backward{from, 0.0, -cost,
+                static_cast<int>(graph_[static_cast<size_t>(from)].size())};
+  graph_[static_cast<size_t>(from)].push_back(forward);
+  graph_[static_cast<size_t>(to)].push_back(backward);
+  edge_refs_.emplace_back(from,
+                          static_cast<int>(graph_[static_cast<size_t>(from)]
+                                               .size()) -
+                              1);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+MinCostMaxFlow::FlowResult MinCostMaxFlow::Solve(int source, int sink) {
+  FlowResult result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kEps = 1e-12;
+
+  while (true) {
+    // SPFA shortest path by cost on the residual graph.
+    std::vector<double> dist(static_cast<size_t>(node_count_), kInf);
+    std::vector<int> prev_node(static_cast<size_t>(node_count_), -1);
+    std::vector<int> prev_edge(static_cast<size_t>(node_count_), -1);
+    std::vector<bool> in_queue(static_cast<size_t>(node_count_), false);
+    std::deque<int> queue;
+    dist[static_cast<size_t>(source)] = 0.0;
+    queue.push_back(source);
+    in_queue[static_cast<size_t>(source)] = true;
+
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<size_t>(u)] = false;
+      for (size_t i = 0; i < graph_[static_cast<size_t>(u)].size(); ++i) {
+        const Edge& edge = graph_[static_cast<size_t>(u)][i];
+        if (edge.capacity <= kEps) continue;
+        double candidate = dist[static_cast<size_t>(u)] + edge.cost;
+        if (candidate + kEps < dist[static_cast<size_t>(edge.to)]) {
+          dist[static_cast<size_t>(edge.to)] = candidate;
+          prev_node[static_cast<size_t>(edge.to)] = u;
+          prev_edge[static_cast<size_t>(edge.to)] = static_cast<int>(i);
+          if (!in_queue[static_cast<size_t>(edge.to)]) {
+            queue.push_back(edge.to);
+            in_queue[static_cast<size_t>(edge.to)] = true;
+          }
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(sink)] == kInf) break;
+
+    // Bottleneck along the path.
+    double bottleneck = kInf;
+    for (int v = sink; v != source;
+         v = prev_node[static_cast<size_t>(v)]) {
+      const Edge& edge =
+          graph_[static_cast<size_t>(prev_node[static_cast<size_t>(v)])]
+                [static_cast<size_t>(prev_edge[static_cast<size_t>(v)])];
+      bottleneck = std::min(bottleneck, edge.capacity);
+    }
+    // Augment.
+    for (int v = sink; v != source;
+         v = prev_node[static_cast<size_t>(v)]) {
+      Edge& edge =
+          graph_[static_cast<size_t>(prev_node[static_cast<size_t>(v)])]
+                [static_cast<size_t>(prev_edge[static_cast<size_t>(v)])];
+      edge.capacity -= bottleneck;
+      graph_[static_cast<size_t>(edge.to)][static_cast<size_t>(edge.reverse)]
+          .capacity += bottleneck;
+    }
+    result.max_flow += bottleneck;
+    result.total_cost += bottleneck * dist[static_cast<size_t>(sink)];
+  }
+  return result;
+}
+
+double MinCostMaxFlow::flow_on(int edge_id) const {
+  QTF_CHECK(edge_id >= 0 &&
+            static_cast<size_t>(edge_id) < edge_refs_.size());
+  const auto& [node, index] = edge_refs_[static_cast<size_t>(edge_id)];
+  const Edge& forward =
+      graph_[static_cast<size_t>(node)][static_cast<size_t>(index)];
+  // Flow = reverse edge's residual capacity.
+  return graph_[static_cast<size_t>(forward.to)]
+               [static_cast<size_t>(forward.reverse)]
+                   .capacity;
+}
+
+}  // namespace qtf

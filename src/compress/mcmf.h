@@ -1,0 +1,47 @@
+#ifndef QTF_COMPRESS_MCMF_H_
+#define QTF_COMPRESS_MCMF_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace qtf {
+
+/// Minimum-cost maximum-flow on a directed graph (successive shortest
+/// augmenting paths with SPFA potentials; suitable for the small assignment
+/// graphs of the Section-7 test-suite variant). Costs may be any finite
+/// doubles as long as no negative cycle exists.
+class MinCostMaxFlow {
+ public:
+  explicit MinCostMaxFlow(int node_count);
+
+  /// Adds a directed edge and returns its id (usable with flow_on()).
+  int AddEdge(int from, int to, double capacity, double cost);
+
+  struct FlowResult {
+    double max_flow = 0.0;
+    double total_cost = 0.0;
+  };
+
+  /// Computes min-cost max-flow from `source` to `sink`.
+  FlowResult Solve(int source, int sink);
+
+  /// Flow routed through edge `edge_id` after Solve().
+  double flow_on(int edge_id) const;
+
+ private:
+  struct Edge {
+    int to;
+    double capacity;
+    double cost;
+    int reverse;  // index of the reverse edge in graph_[to]
+  };
+
+  int node_count_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_refs_;  // id -> (node, index)
+};
+
+}  // namespace qtf
+
+#endif  // QTF_COMPRESS_MCMF_H_

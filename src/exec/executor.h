@@ -1,0 +1,44 @@
+#ifndef QTF_EXEC_EXECUTOR_H_
+#define QTF_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "exec/physical.h"
+#include "exec/result_set.h"
+#include "logical/column_registry.h"
+#include "storage/database.h"
+
+namespace qtf {
+
+/// Executes physical plans against an in-memory Database. Operators are
+/// materialized (each produces its full output before the parent runs),
+/// which is simple and sufficient for correctness testing at test-database
+/// scale.
+class Executor {
+ public:
+  /// `db` and `registry` must outlive the executor. The registry supplies
+  /// column types for NULL-extension in outer joins.
+  Executor(const Database* db, const ColumnRegistry* registry)
+      : db_(db), registry_(registry) {
+    QTF_CHECK(db_ != nullptr && registry_ != nullptr);
+  }
+
+  /// Runs the plan and returns its result set.
+  Result<ResultSet> Execute(const PhysicalOp& plan) const;
+
+  /// Total rows produced by all operators across all Execute calls
+  /// (monotonic counter for benchmarking).
+  int64_t rows_produced() const { return rows_produced_; }
+
+ private:
+  Result<std::vector<Row>> ExecuteNode(const PhysicalOp& op) const;
+
+  const Database* db_;
+  const ColumnRegistry* registry_;
+  mutable int64_t rows_produced_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_EXEC_EXECUTOR_H_

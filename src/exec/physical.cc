@@ -1,0 +1,268 @@
+#include "exec/physical.h"
+
+#include "common/str_util.h"
+#include "expr/analysis.h"
+
+namespace qtf {
+
+const char* PhysicalOpKindToString(PhysicalOpKind kind) {
+  switch (kind) {
+    case PhysicalOpKind::kTableScan:
+      return "TableScan";
+    case PhysicalOpKind::kFilter:
+      return "Filter";
+    case PhysicalOpKind::kCompute:
+      return "Compute";
+    case PhysicalOpKind::kNlJoin:
+      return "NlJoin";
+    case PhysicalOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysicalOpKind::kHashAggregate:
+      return "HashAggregate";
+    case PhysicalOpKind::kStreamAggregate:
+      return "StreamAggregate";
+    case PhysicalOpKind::kSort:
+      return "Sort";
+    case PhysicalOpKind::kConcat:
+      return "Concat";
+    case PhysicalOpKind::kHashDistinct:
+      return "HashDistinct";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ColumnList(const std::vector<ColumnId>& cols,
+                       const ColumnNameResolver* resolver) {
+  std::vector<std::string> names;
+  for (ColumnId id : cols) {
+    names.push_back(resolver != nullptr ? (*resolver)(id)
+                                        : "c" + std::to_string(id));
+  }
+  return Join(names, ", ");
+}
+
+}  // namespace
+
+std::string TableScanOp::Describe(const ColumnNameResolver*) const {
+  return "TableScan(" + table_->name() + ")";
+}
+
+bool TableScanOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kTableScan) return false;
+  const auto& o = static_cast<const TableScanOp&>(other);
+  return table_->name() == o.table_->name() && columns_ == o.columns_;
+}
+
+std::string FilterOp::Describe(const ColumnNameResolver* resolver) const {
+  return "Filter(" + predicate_->ToString(resolver) + ")";
+}
+
+bool FilterOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kFilter) return false;
+  return ExprEquals(*predicate_,
+                    *static_cast<const FilterOp&>(other).predicate_);
+}
+
+std::vector<ColumnId> ComputeOp::OutputColumns() const {
+  std::vector<ColumnId> out;
+  for (const ProjectItem& item : items_) out.push_back(item.id);
+  return out;
+}
+
+std::string ComputeOp::Describe(const ColumnNameResolver* resolver) const {
+  std::vector<std::string> parts;
+  for (const ProjectItem& item : items_) {
+    parts.push_back(item.expr->ToString(resolver));
+  }
+  return "Compute(" + Join(parts, ", ") + ")";
+}
+
+bool ComputeOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kCompute) return false;
+  const auto& o = static_cast<const ComputeOp&>(other);
+  if (items_.size() != o.items_.size()) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].id != o.items_[i].id ||
+        !ExprEquals(*items_[i].expr, *o.items_[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ColumnId> NlJoinOp::OutputColumns() const {
+  std::vector<ColumnId> out = child(0)->OutputColumns();
+  if (join_kind_ == JoinKind::kInner || join_kind_ == JoinKind::kLeftOuter) {
+    std::vector<ColumnId> right = child(1)->OutputColumns();
+    out.insert(out.end(), right.begin(), right.end());
+  }
+  return out;
+}
+
+std::string NlJoinOp::Describe(const ColumnNameResolver* resolver) const {
+  std::string pred =
+      predicate_ == nullptr ? "TRUE" : predicate_->ToString(resolver);
+  return std::string("NlJoin[") + JoinKindToString(join_kind_) + "](" + pred +
+         ")";
+}
+
+bool NlJoinOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kNlJoin) return false;
+  const auto& o = static_cast<const NlJoinOp&>(other);
+  if (join_kind_ != o.join_kind_) return false;
+  if ((predicate_ == nullptr) != (o.predicate_ == nullptr)) return false;
+  return predicate_ == nullptr || ExprEquals(*predicate_, *o.predicate_);
+}
+
+std::vector<ColumnId> HashJoinOp::OutputColumns() const {
+  std::vector<ColumnId> out = child(0)->OutputColumns();
+  if (join_kind_ == JoinKind::kInner || join_kind_ == JoinKind::kLeftOuter) {
+    std::vector<ColumnId> right = child(1)->OutputColumns();
+    out.insert(out.end(), right.begin(), right.end());
+  }
+  return out;
+}
+
+std::string HashJoinOp::Describe(const ColumnNameResolver* resolver) const {
+  std::vector<std::string> keys;
+  for (const auto& [l, r] : equi_pairs_) {
+    std::string ln = resolver != nullptr ? (*resolver)(l) : "c" + std::to_string(l);
+    std::string rn = resolver != nullptr ? (*resolver)(r) : "c" + std::to_string(r);
+    keys.push_back(ln + "=" + rn);
+  }
+  std::string out = std::string("HashJoin[") + JoinKindToString(join_kind_) +
+                    "](" + Join(keys, ", ");
+  if (residual_ != nullptr) out += "; " + residual_->ToString(resolver);
+  out += ")";
+  return out;
+}
+
+bool HashJoinOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kHashJoin) return false;
+  const auto& o = static_cast<const HashJoinOp&>(other);
+  if (join_kind_ != o.join_kind_ || equi_pairs_ != o.equi_pairs_) return false;
+  if ((residual_ == nullptr) != (o.residual_ == nullptr)) return false;
+  return residual_ == nullptr || ExprEquals(*residual_, *o.residual_);
+}
+
+namespace {
+
+bool AggregatesEqual(const std::vector<AggregateItem>& a,
+                     const std::vector<AggregateItem>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || !AggregateCallEquals(a[i].call, b[i].call)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DescribeAgg(const char* name,
+                        const std::vector<ColumnId>& group_cols,
+                        const std::vector<AggregateItem>& aggregates,
+                        const ColumnNameResolver* resolver) {
+  std::vector<std::string> aggs;
+  for (const AggregateItem& item : aggregates) {
+    aggs.push_back(item.call.ToString(resolver));
+  }
+  return std::string(name) + "(groups=[" + ColumnList(group_cols, resolver) +
+         "], aggs=[" + Join(aggs, ", ") + "])";
+}
+
+}  // namespace
+
+std::vector<ColumnId> HashAggregateOp::OutputColumns() const {
+  std::vector<ColumnId> out = group_cols_;
+  for (const AggregateItem& item : aggregates_) out.push_back(item.id);
+  return out;
+}
+
+std::string HashAggregateOp::Describe(
+    const ColumnNameResolver* resolver) const {
+  return DescribeAgg("HashAggregate", group_cols_, aggregates_, resolver);
+}
+
+bool HashAggregateOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kHashAggregate) return false;
+  const auto& o = static_cast<const HashAggregateOp&>(other);
+  return group_cols_ == o.group_cols_ &&
+         AggregatesEqual(aggregates_, o.aggregates_);
+}
+
+std::vector<ColumnId> StreamAggregateOp::OutputColumns() const {
+  std::vector<ColumnId> out = group_cols_;
+  for (const AggregateItem& item : aggregates_) out.push_back(item.id);
+  return out;
+}
+
+std::string StreamAggregateOp::Describe(
+    const ColumnNameResolver* resolver) const {
+  return DescribeAgg("StreamAggregate", group_cols_, aggregates_, resolver);
+}
+
+bool StreamAggregateOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kStreamAggregate) return false;
+  const auto& o = static_cast<const StreamAggregateOp&>(other);
+  return group_cols_ == o.group_cols_ &&
+         AggregatesEqual(aggregates_, o.aggregates_);
+}
+
+std::string SortOp::Describe(const ColumnNameResolver* resolver) const {
+  return "Sort(" + ColumnList(sort_cols_, resolver) + ")";
+}
+
+bool SortOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kSort) return false;
+  return sort_cols_ == static_cast<const SortOp&>(other).sort_cols_;
+}
+
+std::string ConcatOp::Describe(const ColumnNameResolver*) const {
+  return "Concat";
+}
+
+bool ConcatOp::LocalEquals(const PhysicalOp& other) const {
+  if (other.kind() != PhysicalOpKind::kConcat) return false;
+  return output_ids_ == static_cast<const ConcatOp&>(other).output_ids_;
+}
+
+std::string HashDistinctOp::Describe(const ColumnNameResolver*) const {
+  return "HashDistinct";
+}
+
+bool HashDistinctOp::LocalEquals(const PhysicalOp& other) const {
+  return other.kind() == PhysicalOpKind::kHashDistinct;
+}
+
+namespace {
+
+void AppendPhysicalTree(const PhysicalOp& op,
+                        const ColumnNameResolver* resolver, int depth,
+                        std::string* out) {
+  *out += Indent(depth) + op.Describe(resolver) + "\n";
+  for (const PhysicalOpPtr& child : op.children()) {
+    AppendPhysicalTree(*child, resolver, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PhysicalTreeToString(const PhysicalOp& root,
+                                 const ColumnNameResolver* resolver) {
+  std::string out;
+  AppendPhysicalTree(root, resolver, 0, &out);
+  return out;
+}
+
+bool PhysicalTreeEquals(const PhysicalOp& a, const PhysicalOp& b) {
+  if (!a.LocalEquals(b)) return false;
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!PhysicalTreeEquals(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace qtf

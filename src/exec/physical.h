@@ -1,0 +1,259 @@
+#ifndef QTF_EXEC_PHYSICAL_H_
+#define QTF_EXEC_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "logical/ops.h"
+
+namespace qtf {
+
+/// Physical (executable) operators, produced by the optimizer's
+/// implementation rules and consumed by the executor.
+enum class PhysicalOpKind {
+  kTableScan = 0,
+  kFilter,
+  kCompute,        // projection / computed columns
+  kNlJoin,         // nested-loops join, any join kind, any predicate
+  kHashJoin,       // hash join on equi-columns + residual predicate
+  kHashAggregate,
+  kStreamAggregate,  // requires input sorted on group columns
+  kSort,
+  kConcat,         // UNION ALL
+  kHashDistinct,
+};
+
+const char* PhysicalOpKindToString(PhysicalOpKind kind);
+
+class PhysicalOp;
+using PhysicalOpPtr = std::shared_ptr<const PhysicalOp>;
+
+/// Immutable physical operator node.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+  PhysicalOp(const PhysicalOp&) = delete;
+  PhysicalOp& operator=(const PhysicalOp&) = delete;
+
+  PhysicalOpKind kind() const { return kind_; }
+  const std::vector<PhysicalOpPtr>& children() const { return children_; }
+  const PhysicalOpPtr& child(size_t i) const {
+    QTF_CHECK(i < children_.size());
+    return children_[i];
+  }
+
+  /// Output column ids in row order.
+  virtual std::vector<ColumnId> OutputColumns() const = 0;
+
+  virtual std::string Describe(const ColumnNameResolver* resolver) const = 0;
+
+  /// Node-local structural identity (kind + arguments, not children).
+  virtual bool LocalEquals(const PhysicalOp& other) const = 0;
+
+ protected:
+  PhysicalOp(PhysicalOpKind kind, std::vector<PhysicalOpPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+ private:
+  PhysicalOpKind kind_;
+  std::vector<PhysicalOpPtr> children_;
+};
+
+class TableScanOp final : public PhysicalOp {
+ public:
+  TableScanOp(std::shared_ptr<const TableDef> table,
+              std::vector<ColumnId> columns)
+      : PhysicalOp(PhysicalOpKind::kTableScan, {}),
+        table_(std::move(table)),
+        columns_(std::move(columns)) {}
+
+  const TableDef& table() const { return *table_; }
+  std::vector<ColumnId> OutputColumns() const override { return columns_; }
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::shared_ptr<const TableDef> table_;
+  std::vector<ColumnId> columns_;
+};
+
+class FilterOp final : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr input, ExprPtr predicate)
+      : PhysicalOp(PhysicalOpKind::kFilter, {std::move(input)}),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+  std::vector<ColumnId> OutputColumns() const override {
+    return child(0)->OutputColumns();
+  }
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ComputeOp final : public PhysicalOp {
+ public:
+  ComputeOp(PhysicalOpPtr input, std::vector<ProjectItem> items)
+      : PhysicalOp(PhysicalOpKind::kCompute, {std::move(input)}),
+        items_(std::move(items)) {}
+
+  const std::vector<ProjectItem>& items() const { return items_; }
+  std::vector<ColumnId> OutputColumns() const override;
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::vector<ProjectItem> items_;
+};
+
+class NlJoinOp final : public PhysicalOp {
+ public:
+  NlJoinOp(JoinKind join_kind, PhysicalOpPtr left, PhysicalOpPtr right,
+           ExprPtr predicate)
+      : PhysicalOp(PhysicalOpKind::kNlJoin,
+                   {std::move(left), std::move(right)}),
+        join_kind_(join_kind),
+        predicate_(std::move(predicate)) {}
+
+  JoinKind join_kind() const { return join_kind_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  std::vector<ColumnId> OutputColumns() const override;
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  JoinKind join_kind_;
+  ExprPtr predicate_;  // nullptr == TRUE
+};
+
+class HashJoinOp final : public PhysicalOp {
+ public:
+  HashJoinOp(JoinKind join_kind, PhysicalOpPtr left, PhysicalOpPtr right,
+             std::vector<std::pair<ColumnId, ColumnId>> equi_pairs,
+             ExprPtr residual)
+      : PhysicalOp(PhysicalOpKind::kHashJoin,
+                   {std::move(left), std::move(right)}),
+        join_kind_(join_kind),
+        equi_pairs_(std::move(equi_pairs)),
+        residual_(std::move(residual)) {
+    QTF_CHECK(!equi_pairs_.empty()) << "hash join requires equi-columns";
+  }
+
+  JoinKind join_kind() const { return join_kind_; }
+  const std::vector<std::pair<ColumnId, ColumnId>>& equi_pairs() const {
+    return equi_pairs_;
+  }
+  const ExprPtr& residual() const { return residual_; }
+  std::vector<ColumnId> OutputColumns() const override;
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  JoinKind join_kind_;
+  std::vector<std::pair<ColumnId, ColumnId>> equi_pairs_;
+  ExprPtr residual_;  // nullptr == TRUE
+};
+
+class HashAggregateOp final : public PhysicalOp {
+ public:
+  HashAggregateOp(PhysicalOpPtr input, std::vector<ColumnId> group_cols,
+                  std::vector<AggregateItem> aggregates)
+      : PhysicalOp(PhysicalOpKind::kHashAggregate, {std::move(input)}),
+        group_cols_(std::move(group_cols)),
+        aggregates_(std::move(aggregates)) {}
+
+  const std::vector<ColumnId>& group_cols() const { return group_cols_; }
+  const std::vector<AggregateItem>& aggregates() const { return aggregates_; }
+  std::vector<ColumnId> OutputColumns() const override;
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::vector<ColumnId> group_cols_;
+  std::vector<AggregateItem> aggregates_;
+};
+
+/// Aggregation over input sorted on the group columns (the optimizer
+/// inserts the required Sort below).
+class StreamAggregateOp final : public PhysicalOp {
+ public:
+  StreamAggregateOp(PhysicalOpPtr input, std::vector<ColumnId> group_cols,
+                    std::vector<AggregateItem> aggregates)
+      : PhysicalOp(PhysicalOpKind::kStreamAggregate, {std::move(input)}),
+        group_cols_(std::move(group_cols)),
+        aggregates_(std::move(aggregates)) {}
+
+  const std::vector<ColumnId>& group_cols() const { return group_cols_; }
+  const std::vector<AggregateItem>& aggregates() const { return aggregates_; }
+  std::vector<ColumnId> OutputColumns() const override;
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::vector<ColumnId> group_cols_;
+  std::vector<AggregateItem> aggregates_;
+};
+
+class SortOp final : public PhysicalOp {
+ public:
+  SortOp(PhysicalOpPtr input, std::vector<ColumnId> sort_cols)
+      : PhysicalOp(PhysicalOpKind::kSort, {std::move(input)}),
+        sort_cols_(std::move(sort_cols)) {}
+
+  const std::vector<ColumnId>& sort_cols() const { return sort_cols_; }
+  std::vector<ColumnId> OutputColumns() const override {
+    return child(0)->OutputColumns();
+  }
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::vector<ColumnId> sort_cols_;
+};
+
+class ConcatOp final : public PhysicalOp {
+ public:
+  ConcatOp(PhysicalOpPtr left, PhysicalOpPtr right,
+           std::vector<ColumnId> output_ids)
+      : PhysicalOp(PhysicalOpKind::kConcat, {std::move(left), std::move(right)}),
+        output_ids_(std::move(output_ids)) {}
+
+  std::vector<ColumnId> OutputColumns() const override { return output_ids_; }
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+
+ private:
+  std::vector<ColumnId> output_ids_;
+};
+
+class HashDistinctOp final : public PhysicalOp {
+ public:
+  explicit HashDistinctOp(PhysicalOpPtr input)
+      : PhysicalOp(PhysicalOpKind::kHashDistinct, {std::move(input)}) {}
+
+  std::vector<ColumnId> OutputColumns() const override {
+    return child(0)->OutputColumns();
+  }
+  std::string Describe(const ColumnNameResolver* resolver) const override;
+  bool LocalEquals(const PhysicalOp& other) const override;
+};
+
+/// Multi-line indented rendering of a physical plan.
+std::string PhysicalTreeToString(const PhysicalOp& root,
+                                 const ColumnNameResolver* resolver);
+
+/// Deep structural equality. Used to skip execution when Plan(q) and
+/// Plan(q, ¬R) are identical (paper Section 2.3, footnote 1).
+bool PhysicalTreeEquals(const PhysicalOp& a, const PhysicalOp& b);
+
+}  // namespace qtf
+
+#endif  // QTF_EXEC_PHYSICAL_H_

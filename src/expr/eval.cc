@@ -1,0 +1,145 @@
+#include "expr/eval.h"
+
+namespace qtf {
+
+ColumnBindings::ColumnBindings(const std::vector<ColumnId>& layout) {
+  for (size_t i = 0; i < layout.size(); ++i) {
+    positions_[layout[i]] = static_cast<int>(i);
+  }
+}
+
+int ColumnBindings::PositionOf(ColumnId id) const {
+  auto it = positions_.find(id);
+  QTF_CHECK(it != positions_.end()) << "unbound column c" << id;
+  return it->second;
+}
+
+bool IsTrue(const Value& v) { return !v.is_null() && v.boolean(); }
+
+namespace {
+
+/// Compares two non-null values, allowing int64/double cross-comparison.
+int CompareValues(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    QTF_CHECK((a.type() == ValueType::kInt64 || a.type() == ValueType::kDouble) &&
+              (b.type() == ValueType::kInt64 || b.type() == ValueType::kDouble))
+        << "incomparable types";
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return a.Compare(b);
+}
+
+Result<Value> EvalComparison(const ComparisonExpr& cmp,
+                             const ColumnBindings& bindings, const Row& row) {
+  QTF_ASSIGN_OR_RETURN(Value left, Eval(*cmp.left(), bindings, row));
+  QTF_ASSIGN_OR_RETURN(Value right, Eval(*cmp.right(), bindings, row));
+  if (left.is_null() || right.is_null()) return Value::Null(ValueType::kBool);
+  int c = CompareValues(left, right);
+  bool result = false;
+  switch (cmp.op()) {
+    case CompareOp::kEq:
+      result = c == 0;
+      break;
+    case CompareOp::kNe:
+      result = c != 0;
+      break;
+    case CompareOp::kLt:
+      result = c < 0;
+      break;
+    case CompareOp::kLe:
+      result = c <= 0;
+      break;
+    case CompareOp::kGt:
+      result = c > 0;
+      break;
+    case CompareOp::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Value::Bool(result);
+}
+
+Result<Value> EvalArithmetic(const ArithmeticExpr& arith,
+                             const ColumnBindings& bindings, const Row& row) {
+  QTF_ASSIGN_OR_RETURN(Value left, Eval(*arith.children()[0], bindings, row));
+  QTF_ASSIGN_OR_RETURN(Value right, Eval(*arith.children()[1], bindings, row));
+  if (left.is_null() || right.is_null()) return Value::Null(arith.type());
+  if (arith.type() == ValueType::kInt64) {
+    int64_t a = left.int64(), b = right.int64();
+    switch (arith.op()) {
+      case ArithOp::kAdd:
+        return Value::Int64(a + b);
+      case ArithOp::kSub:
+        return Value::Int64(a - b);
+      case ArithOp::kMul:
+        return Value::Int64(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null(ValueType::kInt64);
+        return Value::Int64(a / b);
+    }
+  }
+  double a = left.AsDouble(), b = right.AsDouble();
+  switch (arith.op()) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      if (b == 0.0) return Value::Null(ValueType::kDouble);
+      return Value::Double(a / b);
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expr& expr, const ColumnBindings& bindings,
+                   const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      int pos = bindings.PositionOf(ref.id());
+      QTF_CHECK(pos >= 0 && static_cast<size_t>(pos) < row.size());
+      return row[static_cast<size_t>(pos)];
+    }
+    case ExprKind::kConstant:
+      return static_cast<const ConstantExpr&>(expr).value();
+    case ExprKind::kComparison:
+      return EvalComparison(static_cast<const ComparisonExpr&>(expr), bindings,
+                            row);
+    case ExprKind::kAnd: {
+      QTF_ASSIGN_OR_RETURN(Value a, Eval(*expr.children()[0], bindings, row));
+      if (!a.is_null() && !a.boolean()) return Value::Bool(false);
+      QTF_ASSIGN_OR_RETURN(Value b, Eval(*expr.children()[1], bindings, row));
+      if (!b.is_null() && !b.boolean()) return Value::Bool(false);
+      if (a.is_null() || b.is_null()) return Value::Null(ValueType::kBool);
+      return Value::Bool(true);
+    }
+    case ExprKind::kOr: {
+      QTF_ASSIGN_OR_RETURN(Value a, Eval(*expr.children()[0], bindings, row));
+      if (!a.is_null() && a.boolean()) return Value::Bool(true);
+      QTF_ASSIGN_OR_RETURN(Value b, Eval(*expr.children()[1], bindings, row));
+      if (!b.is_null() && b.boolean()) return Value::Bool(true);
+      if (a.is_null() || b.is_null()) return Value::Null(ValueType::kBool);
+      return Value::Bool(false);
+    }
+    case ExprKind::kNot: {
+      QTF_ASSIGN_OR_RETURN(Value a, Eval(*expr.children()[0], bindings, row));
+      if (a.is_null()) return Value::Null(ValueType::kBool);
+      return Value::Bool(!a.boolean());
+    }
+    case ExprKind::kArithmetic:
+      return EvalArithmetic(static_cast<const ArithmeticExpr&>(expr), bindings,
+                            row);
+    case ExprKind::kIsNull: {
+      QTF_ASSIGN_OR_RETURN(Value a, Eval(*expr.children()[0], bindings, row));
+      return Value::Bool(a.is_null());
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace qtf

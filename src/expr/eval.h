@@ -1,0 +1,48 @@
+#ifndef QTF_EXPR_EVAL_H_
+#define QTF_EXPR_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace qtf {
+
+/// Maps ColumnIds to positions within a physical row layout. Built once per
+/// operator, then used for every row.
+class ColumnBindings {
+ public:
+  /// `layout[i]` is the ColumnId stored at row position i.
+  explicit ColumnBindings(const std::vector<ColumnId>& layout);
+
+  /// Position of `id`; CHECK-fails if the id is not part of the layout
+  /// (plans are validated before execution).
+  int PositionOf(ColumnId id) const;
+
+  bool Contains(ColumnId id) const { return positions_.count(id) > 0; }
+
+ private:
+  std::unordered_map<ColumnId, int> positions_;
+};
+
+/// Evaluates `expr` against `row` (laid out per `bindings`) with SQL
+/// three-valued logic:
+///   * comparisons and arithmetic are NULL-strict;
+///   * AND/OR follow Kleene logic; NOT(NULL) = NULL;
+///   * IS NULL always yields non-NULL TRUE/FALSE;
+///   * division by zero yields NULL (documented engine semantics: generated
+///     queries must never abort mid-run, and the choice is identical with
+///     and without transformation rules, so correctness comparisons are
+///     unaffected).
+Result<Value> Eval(const Expr& expr, const ColumnBindings& bindings,
+                   const Row& row);
+
+/// True iff `v` is boolean TRUE (i.e. not NULL and true) — the SQL filter
+/// acceptance condition.
+bool IsTrue(const Value& v);
+
+}  // namespace qtf
+
+#endif  // QTF_EXPR_EVAL_H_

@@ -1,0 +1,168 @@
+#ifndef QTF_EXPR_EXPR_H_
+#define QTF_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace qtf {
+
+/// Globally unique identifier of a column instance within one query.
+///
+/// Every Get operator instantiates fresh ids for the columns of its base
+/// table, and computed/aggregate outputs allocate new ids. Expressions
+/// reference ids, never positions, so transformation rules never need to
+/// rebind columns when operators are reordered (mirroring column identities
+/// in Cascades-style optimizers).
+using ColumnId = int32_t;
+
+enum class ExprKind {
+  kColumnRef = 0,
+  kConstant,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,
+  kIsNull,
+};
+
+enum class CompareOp { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd = 0, kSub, kMul, kDiv };
+
+const char* CompareOpToSql(CompareOp op);
+const char* ArithOpToSql(ArithOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Maps a ColumnId to its display name for SQL/debug rendering.
+using ColumnNameResolver = std::function<std::string(ColumnId)>;
+
+/// Immutable scalar expression node. Shared freely between plans;
+/// construction goes through the factory helpers at the bottom of this
+/// header (Col, Lit, Cmp, And, Or, Not, Arith, IsNull).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  /// Static result type of the expression.
+  ValueType type() const { return type_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// SQL-ish rendering; `resolver` supplies column names (pass nullptr to
+  /// render ids as "c<id>").
+  virtual std::string ToString(const ColumnNameResolver* resolver) const = 0;
+
+ protected:
+  Expr(ExprKind kind, ValueType type, std::vector<ExprPtr> children)
+      : kind_(kind), type_(type), children_(std::move(children)) {}
+
+ private:
+  ExprKind kind_;
+  ValueType type_;
+  std::vector<ExprPtr> children_;
+};
+
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(ColumnId id, ValueType type)
+      : Expr(ExprKind::kColumnRef, type, {}), id_(id) {}
+  ColumnId id() const { return id_; }
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+
+ private:
+  ColumnId id_;
+};
+
+class ConstantExpr final : public Expr {
+ public:
+  explicit ConstantExpr(Value value)
+      : Expr(ExprKind::kConstant, value.type(), {}), value_(std::move(value)) {}
+  const Value& value() const { return value_; }
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+
+ private:
+  Value value_;
+};
+
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kComparison, ValueType::kBool,
+             {std::move(left), std::move(right)}),
+        op_(op) {}
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return children()[0]; }
+  const ExprPtr& right() const { return children()[1]; }
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+
+ private:
+  CompareOp op_;
+};
+
+class AndExpr final : public Expr {
+ public:
+  AndExpr(ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kAnd, ValueType::kBool,
+             {std::move(left), std::move(right)}) {}
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+};
+
+class OrExpr final : public Expr {
+ public:
+  OrExpr(ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kOr, ValueType::kBool,
+             {std::move(left), std::move(right)}) {}
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr input)
+      : Expr(ExprKind::kNot, ValueType::kBool, {std::move(input)}) {}
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+};
+
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right, ValueType type)
+      : Expr(ExprKind::kArithmetic, type, {std::move(left), std::move(right)}),
+        op_(op) {}
+  ArithOp op() const { return op_; }
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+
+ private:
+  ArithOp op_;
+};
+
+class IsNullExpr final : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr input)
+      : Expr(ExprKind::kIsNull, ValueType::kBool, {std::move(input)}) {}
+  std::string ToString(const ColumnNameResolver* resolver) const override;
+};
+
+// ---- Factory helpers ----
+
+ExprPtr Col(ColumnId id, ValueType type);
+ExprPtr Lit(Value value);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string v);
+ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr Eq(ExprPtr left, ExprPtr right);
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr input);
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right);
+ExprPtr IsNull(ExprPtr input);
+
+}  // namespace qtf
+
+#endif  // QTF_EXPR_EXPR_H_

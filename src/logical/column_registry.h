@@ -1,0 +1,63 @@
+#ifndef QTF_LOGICAL_COLUMN_REGISTRY_H_
+#define QTF_LOGICAL_COLUMN_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace qtf {
+
+/// Name and type attached to a ColumnId.
+struct ColumnInfo {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// Per-query allocator of column identities.
+///
+/// Every Get operator allocates fresh ids for its base-table columns and
+/// every computed/aggregate output allocates a new id, so ids are unique
+/// within a query and expressions can reference columns without positional
+/// binding (see expr/expr.h). Shared by shared_ptr across the whole query
+/// tree, the memo, and the SQL renderer.
+class ColumnRegistry {
+ public:
+  ColumnRegistry() = default;
+  ColumnRegistry(const ColumnRegistry&) = delete;
+  ColumnRegistry& operator=(const ColumnRegistry&) = delete;
+
+  ColumnId Allocate(std::string name, ValueType type) {
+    columns_.push_back(ColumnInfo{std::move(name), type});
+    return static_cast<ColumnId>(columns_.size() - 1);
+  }
+
+  const ColumnInfo& Get(ColumnId id) const {
+    QTF_CHECK(id >= 0 && static_cast<size_t>(id) < columns_.size())
+        << "unknown column id " << id;
+    return columns_[static_cast<size_t>(id)];
+  }
+
+  ValueType TypeOf(ColumnId id) const { return Get(id).type; }
+  const std::string& NameOf(ColumnId id) const { return Get(id).name; }
+
+  size_t size() const { return columns_.size(); }
+
+  /// Resolver for expression rendering. The registry must outlive the
+  /// returned functor.
+  ColumnNameResolver MakeResolver() const {
+    return [this](ColumnId id) { return NameOf(id); };
+  }
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+using ColumnRegistryPtr = std::shared_ptr<ColumnRegistry>;
+
+}  // namespace qtf
+
+#endif  // QTF_LOGICAL_COLUMN_REGISTRY_H_

@@ -1,0 +1,364 @@
+#include "logical/ops.h"
+
+#include "common/str_util.h"
+
+namespace qtf {
+
+const char* LogicalOpKindToString(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      return "Get";
+    case LogicalOpKind::kSelect:
+      return "Select";
+    case LogicalOpKind::kProject:
+      return "Project";
+    case LogicalOpKind::kJoin:
+      return "Join";
+    case LogicalOpKind::kGroupByAgg:
+      return "GroupByAgg";
+    case LogicalOpKind::kUnionAll:
+      return "UnionAll";
+    case LogicalOpKind::kDistinct:
+      return "Distinct";
+    case LogicalOpKind::kGroupRef:
+      return "GroupRef";
+  }
+  return "?";
+}
+
+const char* JoinKindToString(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "Inner";
+    case JoinKind::kLeftOuter:
+      return "LeftOuter";
+    case JoinKind::kLeftSemi:
+      return "LeftSemi";
+    case JoinKind::kLeftAnti:
+      return "LeftAnti";
+  }
+  return "?";
+}
+
+bool LogicalProps::HasKeyWithin(const ColumnSet& cols) const {
+  for (const ColumnSet& key : keys) {
+    bool contained = true;
+    for (ColumnId id : key) {
+      if (cols.count(id) == 0) {
+        contained = false;
+        break;
+      }
+    }
+    if (contained) return true;
+  }
+  return false;
+}
+
+double LogicalProps::DistinctOf(ColumnId id) const {
+  auto it = distinct.find(id);
+  if (it != distinct.end()) return it->second;
+  return cardinality < 1.0 ? 1.0 : cardinality;
+}
+
+ValueType LogicalProps::TypeOf(ColumnId id) const {
+  auto it = col_types.find(id);
+  QTF_CHECK(it != col_types.end()) << "no type tracked for column c" << id;
+  return it->second;
+}
+
+// ---- GetOp ----
+
+std::shared_ptr<const GetOp> GetOp::Create(
+    std::shared_ptr<const TableDef> table, ColumnRegistry* registry) {
+  QTF_CHECK(registry != nullptr);
+  std::vector<ColumnId> ids;
+  ids.reserve(table->columns().size());
+  for (const ColumnDef& col : table->columns()) {
+    ids.push_back(registry->Allocate(table->name() + "." + col.name, col.type));
+  }
+  return std::make_shared<GetOp>(std::move(table), std::move(ids));
+}
+
+std::string GetOp::Describe(const ColumnNameResolver*) const {
+  return "Get(" + table_->name() + ")";
+}
+
+size_t GetOp::LocalHash() const {
+  size_t h = std::hash<std::string>()(table_->name());
+  for (ColumnId id : columns_) h = h * 31 + static_cast<size_t>(id);
+  return h;
+}
+
+bool GetOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kGet) return false;
+  const auto& o = static_cast<const GetOp&>(other);
+  return table_->name() == o.table_->name() && columns_ == o.columns_;
+}
+
+// ---- SelectOp ----
+
+std::string SelectOp::Describe(const ColumnNameResolver* resolver) const {
+  return "Select(" + predicate_->ToString(resolver) + ")";
+}
+
+size_t SelectOp::LocalHash() const { return 0x5e1ec7 ^ ExprHash(*predicate_); }
+
+bool SelectOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kSelect) return false;
+  return ExprEquals(*predicate_,
+                    *static_cast<const SelectOp&>(other).predicate_);
+}
+
+// ---- ProjectOp ----
+
+std::vector<ColumnId> ProjectOp::OutputColumns() const {
+  std::vector<ColumnId> out;
+  out.reserve(items_.size());
+  for (const ProjectItem& item : items_) out.push_back(item.id);
+  return out;
+}
+
+std::string ProjectOp::Describe(const ColumnNameResolver* resolver) const {
+  std::vector<std::string> parts;
+  for (const ProjectItem& item : items_) {
+    parts.push_back(item.expr->ToString(resolver));
+  }
+  return "Project(" + Join(parts, ", ") + ")";
+}
+
+size_t ProjectOp::LocalHash() const {
+  size_t h = 0x9e3779b9;
+  for (const ProjectItem& item : items_) {
+    h = h * 131 + ExprHash(*item.expr) + static_cast<size_t>(item.id);
+  }
+  return h;
+}
+
+bool ProjectOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kProject) return false;
+  const auto& o = static_cast<const ProjectOp&>(other);
+  if (items_.size() != o.items_.size()) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].id != o.items_[i].id) return false;
+    if (!ExprEquals(*items_[i].expr, *o.items_[i].expr)) return false;
+  }
+  return true;
+}
+
+// ---- JoinOp ----
+
+std::vector<ColumnId> JoinOp::OutputColumns() const {
+  std::vector<ColumnId> out = child(0)->OutputColumns();
+  if (join_kind_ == JoinKind::kInner || join_kind_ == JoinKind::kLeftOuter) {
+    std::vector<ColumnId> right = child(1)->OutputColumns();
+    out.insert(out.end(), right.begin(), right.end());
+  }
+  return out;
+}
+
+std::string JoinOp::Describe(const ColumnNameResolver* resolver) const {
+  std::string pred =
+      predicate_ == nullptr ? "TRUE" : predicate_->ToString(resolver);
+  return std::string(JoinKindToString(join_kind_)) + "Join(" + pred + ")";
+}
+
+size_t JoinOp::LocalHash() const {
+  size_t h = 0x70171 ^ (static_cast<size_t>(join_kind_) << 4);
+  if (predicate_ != nullptr) h ^= ExprHash(*predicate_);
+  return h;
+}
+
+bool JoinOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kJoin) return false;
+  const auto& o = static_cast<const JoinOp&>(other);
+  if (join_kind_ != o.join_kind_) return false;
+  if ((predicate_ == nullptr) != (o.predicate_ == nullptr)) return false;
+  return predicate_ == nullptr || ExprEquals(*predicate_, *o.predicate_);
+}
+
+// ---- GroupByAggOp ----
+
+std::vector<ColumnId> GroupByAggOp::OutputColumns() const {
+  std::vector<ColumnId> out = group_cols_;
+  for (const AggregateItem& item : aggregates_) out.push_back(item.id);
+  return out;
+}
+
+std::string GroupByAggOp::Describe(const ColumnNameResolver* resolver) const {
+  std::vector<std::string> groups;
+  for (ColumnId id : group_cols_) {
+    groups.push_back(resolver != nullptr ? (*resolver)(id)
+                                         : "c" + std::to_string(id));
+  }
+  std::vector<std::string> aggs;
+  for (const AggregateItem& item : aggregates_) {
+    aggs.push_back(item.call.ToString(resolver));
+  }
+  return "GroupByAgg(groups=[" + Join(groups, ", ") + "], aggs=[" +
+         Join(aggs, ", ") + "])";
+}
+
+size_t GroupByAggOp::LocalHash() const {
+  size_t h = 0x6b0a6b;
+  for (ColumnId id : group_cols_) h = h * 37 + static_cast<size_t>(id);
+  for (const AggregateItem& item : aggregates_) {
+    h = h * 41 + AggregateCallHash(item.call) + static_cast<size_t>(item.id);
+  }
+  return h;
+}
+
+bool GroupByAggOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kGroupByAgg) return false;
+  const auto& o = static_cast<const GroupByAggOp&>(other);
+  if (group_cols_ != o.group_cols_) return false;
+  if (aggregates_.size() != o.aggregates_.size()) return false;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (aggregates_[i].id != o.aggregates_[i].id) return false;
+    if (!AggregateCallEquals(aggregates_[i].call, o.aggregates_[i].call)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- UnionAllOp ----
+
+std::string UnionAllOp::Describe(const ColumnNameResolver*) const {
+  return "UnionAll";
+}
+
+size_t UnionAllOp::LocalHash() const {
+  size_t h = 0xa11u;
+  for (ColumnId id : output_ids_) h = h * 43 + static_cast<size_t>(id);
+  return h;
+}
+
+bool UnionAllOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kUnionAll) return false;
+  return output_ids_ == static_cast<const UnionAllOp&>(other).output_ids_;
+}
+
+// ---- DistinctOp ----
+
+std::string DistinctOp::Describe(const ColumnNameResolver*) const {
+  return "Distinct";
+}
+
+size_t DistinctOp::LocalHash() const { return 0xd157; }
+
+bool DistinctOp::LocalEquals(const LogicalOp& other) const {
+  return other.kind() == LogicalOpKind::kDistinct;
+}
+
+// ---- GroupRefOp ----
+
+std::string GroupRefOp::Describe(const ColumnNameResolver*) const {
+  return "GroupRef(" + std::to_string(group_id_) + ")";
+}
+
+size_t GroupRefOp::LocalHash() const {
+  return 0x6e0f ^ static_cast<size_t>(group_id_);
+}
+
+bool GroupRefOp::LocalEquals(const LogicalOp& other) const {
+  if (other.kind() != LogicalOpKind::kGroupRef) return false;
+  return group_id_ == static_cast<const GroupRefOp&>(other).group_id_;
+}
+
+
+LogicalOpPtr GetOp::WithNewChildren(std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.empty());
+  return std::make_shared<GetOp>(table_, columns_);
+}
+
+
+LogicalOpPtr SelectOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 1);
+  return std::make_shared<SelectOp>(std::move(children[0]), predicate_);
+}
+
+
+LogicalOpPtr ProjectOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 1);
+  return std::make_shared<ProjectOp>(std::move(children[0]), items_);
+}
+
+
+LogicalOpPtr JoinOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 2);
+  return std::make_shared<JoinOp>(join_kind_, std::move(children[0]),
+                                  std::move(children[1]), predicate_);
+}
+
+
+LogicalOpPtr GroupByAggOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 1);
+  return std::make_shared<GroupByAggOp>(std::move(children[0]), group_cols_,
+                                        aggregates_);
+}
+
+
+LogicalOpPtr UnionAllOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 2);
+  return std::make_shared<UnionAllOp>(std::move(children[0]),
+                                      std::move(children[1]), output_ids_);
+}
+
+
+LogicalOpPtr DistinctOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.size() == 1);
+  return std::make_shared<DistinctOp>(std::move(children[0]));
+}
+
+
+LogicalOpPtr GroupRefOp::WithNewChildren(
+    std::vector<LogicalOpPtr> children) const {
+  QTF_CHECK(children.empty());
+  return std::make_shared<GroupRefOp>(group_id_, props_);
+}
+
+// ---- Tree helpers ----
+
+namespace {
+
+void AppendTree(const LogicalOp& op, const ColumnNameResolver* resolver,
+                int depth, std::string* out) {
+  *out += Indent(depth) + op.Describe(resolver) + "\n";
+  for (const LogicalOpPtr& child : op.children()) {
+    AppendTree(*child, resolver, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string LogicalTreeToString(const LogicalOp& root,
+                                const ColumnNameResolver* resolver) {
+  std::string out;
+  AppendTree(root, resolver, 0, &out);
+  return out;
+}
+
+bool LogicalTreeEquals(const LogicalOp& a, const LogicalOp& b) {
+  if (!a.LocalEquals(b)) return false;
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!LogicalTreeEquals(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+int CountOps(const LogicalOp& root) {
+  int count = 1;
+  for (const LogicalOpPtr& child : root.children()) {
+    count += CountOps(*child);
+  }
+  return count;
+}
+
+}  // namespace qtf

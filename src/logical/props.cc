@@ -1,0 +1,418 @@
+#include "logical/props.h"
+
+#include <algorithm>
+
+namespace qtf {
+namespace {
+
+constexpr double kMinCardinality = 0.1;
+constexpr double kDefaultSelectivity = 0.25;
+constexpr double kRangeSelectivity = 0.3;
+constexpr double kIsNullSelectivity = 0.05;
+// Cap on the number of candidate keys tracked per group (avoids key-set
+// blowup under deep join trees).
+constexpr size_t kMaxKeys = 8;
+
+void AddKey(std::vector<ColumnSet>* keys, ColumnSet key) {
+  if (keys->size() >= kMaxKeys) return;
+  for (const ColumnSet& existing : *keys) {
+    if (existing == key) return;
+  }
+  keys->push_back(std::move(key));
+}
+
+/// Scales all distinct counts down to at most the new cardinality.
+void CapDistinct(LogicalProps* props) {
+  for (auto& [id, d] : props->distinct) {
+    d = std::min(d, std::max(props->cardinality, 1.0));
+  }
+}
+
+double EqualitySelectivity(const Expr& left, const Expr& right,
+                           const LogicalProps& input) {
+  bool left_col = left.kind() == ExprKind::kColumnRef;
+  bool right_col = right.kind() == ExprKind::kColumnRef;
+  if (left_col && right_col) {
+    double dl = input.DistinctOf(static_cast<const ColumnRefExpr&>(left).id());
+    double dr =
+        input.DistinctOf(static_cast<const ColumnRefExpr&>(right).id());
+    return 1.0 / std::max({dl, dr, 1.0});
+  }
+  if (left_col || right_col) {
+    const auto& col = static_cast<const ColumnRefExpr&>(left_col ? left : right);
+    return 1.0 / std::max(input.DistinctOf(col.id()), 1.0);
+  }
+  return kDefaultSelectivity;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& predicate, const LogicalProps& input) {
+  switch (predicate.kind()) {
+    case ExprKind::kAnd:
+      return EstimateSelectivity(*predicate.children()[0], input) *
+             EstimateSelectivity(*predicate.children()[1], input);
+    case ExprKind::kOr: {
+      double a = EstimateSelectivity(*predicate.children()[0], input);
+      double b = EstimateSelectivity(*predicate.children()[1], input);
+      return a + b - a * b;
+    }
+    case ExprKind::kNot:
+      return 1.0 - EstimateSelectivity(*predicate.children()[0], input);
+    case ExprKind::kIsNull:
+      return kIsNullSelectivity;
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(predicate);
+      double eq = EqualitySelectivity(*cmp.left(), *cmp.right(), input);
+      switch (cmp.op()) {
+        case CompareOp::kEq:
+          return eq;
+        case CompareOp::kNe:
+          return std::max(0.0, 1.0 - eq);
+        default:
+          return kRangeSelectivity;
+      }
+    }
+    case ExprKind::kConstant: {
+      const Value& v = static_cast<const ConstantExpr&>(predicate).value();
+      if (!v.is_null() && v.type() == ValueType::kBool) {
+        return v.boolean() ? 1.0 : 0.0;
+      }
+      return kDefaultSelectivity;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+ColumnSet EquiJoinInfo::LeftColumns() const {
+  ColumnSet out;
+  for (const auto& [l, r] : pairs) out.insert(l);
+  return out;
+}
+
+ColumnSet EquiJoinInfo::RightColumns() const {
+  ColumnSet out;
+  for (const auto& [l, r] : pairs) out.insert(r);
+  return out;
+}
+
+EquiJoinInfo ExtractEquiJoin(const ExprPtr& predicate, const ColumnSet& left,
+                             const ColumnSet& right) {
+  EquiJoinInfo info;
+  if (predicate == nullptr) return info;
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    bool handled = false;
+    if (conjunct->kind() == ExprKind::kComparison) {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+      if (cmp.op() == CompareOp::kEq &&
+          cmp.left()->kind() == ExprKind::kColumnRef &&
+          cmp.right()->kind() == ExprKind::kColumnRef) {
+        ColumnId a = static_cast<const ColumnRefExpr&>(*cmp.left()).id();
+        ColumnId b = static_cast<const ColumnRefExpr&>(*cmp.right()).id();
+        if (left.count(a) > 0 && right.count(b) > 0) {
+          info.pairs.emplace_back(a, b);
+          handled = true;
+        } else if (left.count(b) > 0 && right.count(a) > 0) {
+          info.pairs.emplace_back(b, a);
+          handled = true;
+        }
+      }
+    }
+    if (!handled) info.residual.push_back(conjunct);
+  }
+  return info;
+}
+
+namespace {
+
+LogicalProps DeriveGet(const GetOp& get) {
+  LogicalProps props;
+  props.output_cols = get.columns();
+  props.cardinality = static_cast<double>(get.table().row_count());
+  for (size_t i = 0; i < get.columns().size(); ++i) {
+    props.distinct[get.columns()[i]] = std::max(
+        1.0, get.table().columns()[i].distinct_count);
+    props.col_types[get.columns()[i]] = get.table().columns()[i].type;
+  }
+  for (size_t i = 0; i < get.columns().size(); ++i) {
+    if (get.table().columns()[i].null_fraction > 0.0) {
+      props.nullable.insert(get.columns()[i]);
+    }
+  }
+  for (const KeyDef& key : get.table().keys()) {
+    ColumnSet key_cols;
+    for (int ordinal : key.column_ordinals) {
+      QTF_CHECK(ordinal >= 0 &&
+                static_cast<size_t>(ordinal) < get.columns().size());
+      key_cols.insert(get.columns()[static_cast<size_t>(ordinal)]);
+    }
+    AddKey(&props.keys, std::move(key_cols));
+  }
+  return props;
+}
+
+LogicalProps DeriveSelect(const SelectOp& select, const LogicalProps& input) {
+  LogicalProps props = input;
+  double sel = EstimateSelectivity(*select.predicate(), input);
+  props.cardinality =
+      std::max(kMinCardinality, input.cardinality * std::clamp(sel, 0.0, 1.0));
+  CapDistinct(&props);
+  return props;
+}
+
+LogicalProps DeriveProject(const ProjectOp& project,
+                           const LogicalProps& input) {
+  LogicalProps props;
+  props.output_cols = project.OutputColumns();
+  props.cardinality = input.cardinality;
+  props.col_types = input.col_types;
+  for (const ProjectItem& item : project.items()) {
+    props.col_types[item.id] = item.expr->type();
+  }
+  ColumnSet out_set = props.OutputSet();
+  for (const ProjectItem& item : project.items()) {
+    if (item.expr->kind() == ExprKind::kColumnRef) {
+      ColumnId ref = static_cast<const ColumnRefExpr&>(*item.expr).id();
+      props.distinct[item.id] = input.DistinctOf(ref);
+      if (input.nullable.count(ref) > 0) props.nullable.insert(item.id);
+    } else {
+      props.distinct[item.id] = std::max(1.0, input.cardinality);
+      // Computed expressions are conservatively considered nullable.
+      props.nullable.insert(item.id);
+    }
+  }
+  // Keys survive if all their columns are still projected.
+  for (const ColumnSet& key : input.keys) {
+    bool survives = true;
+    for (ColumnId id : key) {
+      if (out_set.count(id) == 0) {
+        survives = false;
+        break;
+      }
+    }
+    if (survives) AddKey(&props.keys, key);
+  }
+  return props;
+}
+
+LogicalProps DeriveJoin(const JoinOp& join, const LogicalProps& left,
+                        const LogicalProps& right) {
+  LogicalProps props;
+  props.output_cols = join.OutputColumns();
+
+  // Combined properties used for predicate selectivity.
+  LogicalProps combined;
+  combined.cardinality = std::max(1.0, left.cardinality * right.cardinality);
+  combined.distinct = left.distinct;
+  combined.distinct.insert(right.distinct.begin(), right.distinct.end());
+
+  double sel = 1.0;
+  if (join.predicate() != nullptr) {
+    sel = std::clamp(EstimateSelectivity(*join.predicate(), combined), 0.0,
+                     1.0);
+  }
+  double inner_card =
+      std::max(kMinCardinality, left.cardinality * right.cardinality * sel);
+
+  EquiJoinInfo equi = ExtractEquiJoin(join.predicate(), left.OutputSet(),
+                                      right.OutputSet());
+  bool right_unique = right.HasKeyWithin(equi.RightColumns());
+  bool left_unique = left.HasKeyWithin(equi.LeftColumns());
+
+  props.col_types = left.col_types;
+  props.col_types.insert(right.col_types.begin(), right.col_types.end());
+
+  switch (join.join_kind()) {
+    case JoinKind::kInner: {
+      props.cardinality = inner_card;
+      props.distinct = combined.distinct;
+      props.nullable = left.nullable;
+      props.nullable.insert(right.nullable.begin(), right.nullable.end());
+      if (right_unique) {
+        for (const ColumnSet& key : left.keys) AddKey(&props.keys, key);
+      }
+      if (left_unique) {
+        for (const ColumnSet& key : right.keys) AddKey(&props.keys, key);
+      }
+      // Concatenated keys always hold.
+      for (const ColumnSet& kl : left.keys) {
+        for (const ColumnSet& kr : right.keys) {
+          ColumnSet merged = kl;
+          merged.insert(kr.begin(), kr.end());
+          AddKey(&props.keys, std::move(merged));
+        }
+      }
+      break;
+    }
+    case JoinKind::kLeftOuter: {
+      props.cardinality = std::max(inner_card, left.cardinality);
+      props.distinct = combined.distinct;
+      props.nullable = left.nullable;
+      // Every right-side column can be NULL-extended.
+      for (ColumnId id : right.output_cols) props.nullable.insert(id);
+      if (right_unique) {
+        for (const ColumnSet& key : left.keys) AddKey(&props.keys, key);
+      }
+      for (const ColumnSet& kl : left.keys) {
+        for (const ColumnSet& kr : right.keys) {
+          ColumnSet merged = kl;
+          merged.insert(kr.begin(), kr.end());
+          AddKey(&props.keys, std::move(merged));
+        }
+      }
+      break;
+    }
+    case JoinKind::kLeftSemi: {
+      double match_fraction =
+          std::min(1.0, sel * std::max(1.0, right.cardinality));
+      props.cardinality =
+          std::max(kMinCardinality, left.cardinality * match_fraction);
+      props.distinct = left.distinct;
+      props.keys = left.keys;
+      props.nullable = left.nullable;
+      break;
+    }
+    case JoinKind::kLeftAnti: {
+      double match_fraction =
+          std::min(1.0, sel * std::max(1.0, right.cardinality));
+      props.cardinality = std::max(
+          kMinCardinality, left.cardinality * (1.0 - match_fraction * 0.9));
+      props.distinct = left.distinct;
+      props.keys = left.keys;
+      props.nullable = left.nullable;
+      break;
+    }
+  }
+  CapDistinct(&props);
+  return props;
+}
+
+LogicalProps DeriveGroupBy(const GroupByAggOp& agg,
+                           const LogicalProps& input) {
+  LogicalProps props;
+  props.output_cols = agg.OutputColumns();
+  props.col_types = input.col_types;
+  for (const AggregateItem& item : agg.aggregates()) {
+    props.col_types[item.id] = item.call.ResultType();
+  }
+  if (agg.group_cols().empty()) {
+    props.cardinality = 1.0;
+    AddKey(&props.keys, ColumnSet{});
+  } else {
+    double groups = 1.0;
+    for (ColumnId id : agg.group_cols()) {
+      groups *= std::max(1.0, input.DistinctOf(id));
+      if (groups > input.cardinality) break;
+    }
+    props.cardinality =
+        std::max(1.0, std::min(groups, input.cardinality));
+    ColumnSet key(agg.group_cols().begin(), agg.group_cols().end());
+    AddKey(&props.keys, std::move(key));
+    for (ColumnId id : agg.group_cols()) {
+      props.distinct[id] =
+          std::min(input.DistinctOf(id), props.cardinality);
+    }
+  }
+  for (ColumnId id : agg.group_cols()) {
+    if (input.nullable.count(id) > 0) props.nullable.insert(id);
+  }
+  for (const AggregateItem& item : agg.aggregates()) {
+    props.distinct[item.id] = props.cardinality;
+    if (item.call.kind != AggKind::kCountStar &&
+        item.call.kind != AggKind::kCount) {
+      props.nullable.insert(item.id);
+    }
+  }
+  CapDistinct(&props);
+  return props;
+}
+
+LogicalProps DeriveUnionAll(const UnionAllOp& u, const LogicalProps& left,
+                            const LogicalProps& right) {
+  LogicalProps props;
+  props.output_cols = u.output_ids();
+  props.col_types = left.col_types;
+  props.col_types.insert(right.col_types.begin(), right.col_types.end());
+  props.cardinality = std::max(kMinCardinality,
+                               left.cardinality + right.cardinality);
+  const std::vector<ColumnId> lcols = u.child(0)->OutputColumns();
+  const std::vector<ColumnId> rcols = u.child(1)->OutputColumns();
+  QTF_CHECK(lcols.size() == u.output_ids().size());
+  QTF_CHECK(rcols.size() == u.output_ids().size());
+  for (size_t i = 0; i < u.output_ids().size(); ++i) {
+    props.distinct[u.output_ids()[i]] = std::min(
+        props.cardinality,
+        left.DistinctOf(lcols[i]) + right.DistinctOf(rcols[i]));
+    if (left.nullable.count(lcols[i]) > 0 ||
+        right.nullable.count(rcols[i]) > 0) {
+      props.nullable.insert(u.output_ids()[i]);
+    }
+    props.col_types[u.output_ids()[i]] = left.TypeOf(lcols[i]);
+  }
+  // Bag union preserves no keys.
+  return props;
+}
+
+LogicalProps DeriveDistinct(const LogicalProps& input) {
+  LogicalProps props = input;
+  double combos = 1.0;
+  for (ColumnId id : input.output_cols) {
+    combos *= std::max(1.0, input.DistinctOf(id));
+    if (combos > input.cardinality) break;
+  }
+  props.cardinality = std::max(1.0, std::min(combos, input.cardinality));
+  AddKey(&props.keys, props.OutputSet());
+  CapDistinct(&props);
+  return props;
+}
+
+}  // namespace
+
+LogicalProps DeriveProps(const LogicalOp& op,
+                         const std::vector<const LogicalProps*>& child_props) {
+  switch (op.kind()) {
+    case LogicalOpKind::kGet:
+      QTF_CHECK(child_props.empty());
+      return DeriveGet(static_cast<const GetOp&>(op));
+    case LogicalOpKind::kSelect:
+      QTF_CHECK(child_props.size() == 1);
+      return DeriveSelect(static_cast<const SelectOp&>(op), *child_props[0]);
+    case LogicalOpKind::kProject:
+      QTF_CHECK(child_props.size() == 1);
+      return DeriveProject(static_cast<const ProjectOp&>(op), *child_props[0]);
+    case LogicalOpKind::kJoin:
+      QTF_CHECK(child_props.size() == 2);
+      return DeriveJoin(static_cast<const JoinOp&>(op), *child_props[0],
+                        *child_props[1]);
+    case LogicalOpKind::kGroupByAgg:
+      QTF_CHECK(child_props.size() == 1);
+      return DeriveGroupBy(static_cast<const GroupByAggOp&>(op),
+                           *child_props[0]);
+    case LogicalOpKind::kUnionAll:
+      QTF_CHECK(child_props.size() == 2);
+      return DeriveUnionAll(static_cast<const UnionAllOp&>(op),
+                            *child_props[0], *child_props[1]);
+    case LogicalOpKind::kDistinct:
+      QTF_CHECK(child_props.size() == 1);
+      return DeriveDistinct(*child_props[0]);
+    case LogicalOpKind::kGroupRef:
+      QTF_CHECK(child_props.empty());
+      return static_cast<const GroupRefOp&>(op).props();
+  }
+  QTF_CHECK(false) << "unknown logical op kind";
+  return LogicalProps{};
+}
+
+LogicalProps DeriveTreeProps(const LogicalOp& root) {
+  std::vector<LogicalProps> owned;
+  owned.reserve(root.children().size());
+  std::vector<const LogicalProps*> child_ptrs;
+  for (const LogicalOpPtr& child : root.children()) {
+    owned.push_back(DeriveTreeProps(*child));
+  }
+  for (const LogicalProps& p : owned) child_ptrs.push_back(&p);
+  return DeriveProps(root, child_ptrs);
+}
+
+}  // namespace qtf

@@ -1,0 +1,45 @@
+#ifndef QTF_LOGICAL_PROPS_H_
+#define QTF_LOGICAL_PROPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "logical/ops.h"
+
+namespace qtf {
+
+/// Derives the logical properties of `op` given the (already derived)
+/// properties of its children. Pure function; used by the memo (per group)
+/// and by DeriveTreeProps for standalone trees.
+LogicalProps DeriveProps(const LogicalOp& op,
+                         const std::vector<const LogicalProps*>& child_props);
+
+/// Recursively derives properties for a whole tree (GroupRef leaves use
+/// their cached group properties).
+LogicalProps DeriveTreeProps(const LogicalOp& root);
+
+/// Estimated fraction of input rows satisfying `predicate`, given the
+/// input's properties (uses per-column distinct counts; independence
+/// assumed between conjuncts).
+double EstimateSelectivity(const Expr& predicate, const LogicalProps& input);
+
+/// Equi-join structure extracted from a join predicate: the column pairs
+/// equated across sides and the remaining (non-equi) conjuncts.
+struct EquiJoinInfo {
+  /// (left column, right column) pairs from conjuncts `l = r`.
+  std::vector<std::pair<ColumnId, ColumnId>> pairs;
+  /// Conjuncts that are not cross-side column equalities.
+  std::vector<ExprPtr> residual;
+
+  ColumnSet LeftColumns() const;
+  ColumnSet RightColumns() const;
+};
+
+/// Splits `predicate` (may be nullptr) into equi-join pairs and residual,
+/// relative to the given left/right output column sets.
+EquiJoinInfo ExtractEquiJoin(const ExprPtr& predicate, const ColumnSet& left,
+                             const ColumnSet& right);
+
+}  // namespace qtf
+
+#endif  // QTF_LOGICAL_PROPS_H_

@@ -1,0 +1,24 @@
+#ifndef QTF_LOGICAL_QUERY_H_
+#define QTF_LOGICAL_QUERY_H_
+
+#include <memory>
+#include <string>
+
+#include "logical/column_registry.h"
+#include "logical/ops.h"
+
+namespace qtf {
+
+/// A complete query: the logical tree plus the registry that owns its
+/// column identities. This is the unit the optimizer, executor, query
+/// generator and test-suite machinery pass around.
+struct Query {
+  LogicalOpPtr root;
+  ColumnRegistryPtr registry;
+
+  bool valid() const { return root != nullptr && registry != nullptr; }
+};
+
+}  // namespace qtf
+
+#endif  // QTF_LOGICAL_QUERY_H_

@@ -1,0 +1,117 @@
+#include "logical/validate.h"
+
+namespace qtf {
+namespace {
+
+Status CheckReferences(const Expr& expr, const ColumnSet& available,
+                       const char* context) {
+  ColumnSet cols = ColumnsOf(expr);
+  for (ColumnId id : cols) {
+    if (available.count(id) == 0) {
+      return Status::Internal(std::string(context) +
+                              " references column c" + std::to_string(id) +
+                              " not produced by its input");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const LogicalOp& op, const ColumnRegistry& registry) {
+  // Gather child outputs.
+  ColumnSet child_outputs;
+  for (const LogicalOpPtr& child : op.children()) {
+    for (ColumnId id : child->OutputColumns()) child_outputs.insert(id);
+  }
+
+  switch (op.kind()) {
+    case LogicalOpKind::kGet:
+    case LogicalOpKind::kGroupRef:
+      return Status::OK();
+    case LogicalOpKind::kSelect: {
+      const auto& select = static_cast<const SelectOp&>(op);
+      if (select.predicate()->type() != ValueType::kBool) {
+        return Status::Internal("Select predicate is not boolean");
+      }
+      return CheckReferences(*select.predicate(), child_outputs, "Select");
+    }
+    case LogicalOpKind::kProject: {
+      const auto& project = static_cast<const ProjectOp&>(op);
+      for (const ProjectItem& item : project.items()) {
+        QTF_RETURN_NOT_OK(
+            CheckReferences(*item.expr, child_outputs, "Project"));
+        if (item.expr->kind() == ExprKind::kColumnRef) {
+          ColumnId ref = static_cast<const ColumnRefExpr&>(*item.expr).id();
+          if (item.id != ref) {
+            return Status::Internal(
+                "Project pass-through item must keep its column id");
+          }
+        } else {
+          if (child_outputs.count(item.id) > 0) {
+            return Status::Internal(
+                "Project computed item reuses an input column id");
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kJoin: {
+      const auto& join = static_cast<const JoinOp&>(op);
+      if (join.predicate() == nullptr) return Status::OK();
+      if (join.predicate()->type() != ValueType::kBool) {
+        return Status::Internal("Join predicate is not boolean");
+      }
+      return CheckReferences(*join.predicate(), child_outputs, "Join");
+    }
+    case LogicalOpKind::kGroupByAgg: {
+      const auto& agg = static_cast<const GroupByAggOp&>(op);
+      for (ColumnId id : agg.group_cols()) {
+        if (child_outputs.count(id) == 0) {
+          return Status::Internal("grouping column not in input");
+        }
+      }
+      for (const AggregateItem& item : agg.aggregates()) {
+        if (item.call.arg != nullptr) {
+          QTF_RETURN_NOT_OK(
+              CheckReferences(*item.call.arg, child_outputs, "Aggregate"));
+        } else if (item.call.kind != AggKind::kCountStar) {
+          return Status::Internal("non-COUNT(*) aggregate missing argument");
+        }
+        if (child_outputs.count(item.id) > 0) {
+          return Status::Internal("aggregate output reuses an input id");
+        }
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kUnionAll: {
+      const auto& u = static_cast<const UnionAllOp&>(op);
+      std::vector<ColumnId> lcols = u.child(0)->OutputColumns();
+      std::vector<ColumnId> rcols = u.child(1)->OutputColumns();
+      if (lcols.size() != rcols.size() ||
+          lcols.size() != u.output_ids().size()) {
+        return Status::Internal("UnionAll arity mismatch");
+      }
+      for (size_t i = 0; i < lcols.size(); ++i) {
+        if (registry.TypeOf(lcols[i]) != registry.TypeOf(rcols[i]) ||
+            registry.TypeOf(lcols[i]) != registry.TypeOf(u.output_ids()[i])) {
+          return Status::Internal("UnionAll type mismatch at position " +
+                                  std::to_string(i));
+        }
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kDistinct:
+      return Status::OK();
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+}  // namespace
+
+Status ValidateTree(const LogicalOp& root, const ColumnRegistry& registry) {
+  for (const LogicalOpPtr& child : root.children()) {
+    QTF_RETURN_NOT_OK(ValidateTree(*child, registry));
+  }
+  return ValidateNode(root, registry);
+}
+
+}  // namespace qtf

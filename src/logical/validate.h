@@ -1,0 +1,24 @@
+#ifndef QTF_LOGICAL_VALIDATE_H_
+#define QTF_LOGICAL_VALIDATE_H_
+
+#include "common/status.h"
+#include "logical/ops.h"
+
+namespace qtf {
+
+/// Structural validation of a logical tree:
+///   * expressions reference only columns produced by the node's children;
+///   * predicates are boolean;
+///   * grouping columns come from the input;
+///   * UnionAll children agree positionally in arity and type (per
+///     `registry` types);
+///   * projection pass-through items keep their id, computed items use a
+///     fresh id not produced by the child.
+///
+/// Every tree handed to the optimizer or produced by a transformation rule
+/// must validate; the test suite checks this invariant after each rewrite.
+Status ValidateTree(const LogicalOp& root, const ColumnRegistry& registry);
+
+}  // namespace qtf
+
+#endif  // QTF_LOGICAL_VALIDATE_H_

@@ -1,0 +1,9 @@
+#include "optimizer/cost_model.h"
+
+#include <cmath>
+
+namespace qtf {
+
+double CostModel::Log2(double x) { return std::log2(x); }
+
+}  // namespace qtf

@@ -1,0 +1,40 @@
+#ifndef QTF_OPTIMIZER_COST_MODEL_H_
+#define QTF_OPTIMIZER_COST_MODEL_H_
+
+namespace qtf {
+
+/// Cost model for physical operators. Costs are in abstract "tuple work"
+/// units derived from estimated input/output cardinalities; the paper's
+/// compression experiments likewise use the optimizer's estimated cost
+/// (Section 6.2.2), so these need to be *relatively* sensible, not
+/// calibrated to hardware.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  double TableScan(double rows) const { return rows; }
+  double Filter(double input_rows) const { return 0.2 * input_rows; }
+  double Compute(double input_rows) const { return 0.2 * input_rows; }
+  /// Nested-loops join: quadratic in inputs.
+  double NlJoin(double left_rows, double right_rows) const {
+    return left_rows + 0.3 * left_rows * right_rows;
+  }
+  /// Hash join: linear build + probe.
+  double HashJoin(double left_rows, double right_rows) const {
+    return 1.2 * right_rows + 1.0 * left_rows;
+  }
+  double HashAggregate(double input_rows) const { return 1.5 * input_rows; }
+  double StreamAggregate(double input_rows) const { return 0.6 * input_rows; }
+  double Sort(double rows) const { return 0.15 * rows * Log2(rows + 2.0); }
+  double Concat(double left_rows, double right_rows) const {
+    return 0.1 * (left_rows + right_rows);
+  }
+  double HashDistinct(double input_rows) const { return 1.3 * input_rows; }
+
+ private:
+  static double Log2(double x);
+};
+
+}  // namespace qtf
+
+#endif  // QTF_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,167 @@
+#include "optimizer/memo.h"
+
+namespace qtf {
+
+LogicalOpPtr Memo::MakeGroupRef(int group_id) const {
+  const Group& g = group(group_id);
+  return std::make_shared<GroupRefOp>(group_id, &g.props);
+}
+
+int Memo::NewGroup(LogicalProps props) {
+  auto g = std::make_unique<Group>();
+  g->id = group_count();
+  g->props = std::move(props);
+  groups_.push_back(std::move(g));
+  return groups_.back()->id;
+}
+
+int Memo::InsertTree(const LogicalOp& op) {
+  if (op.kind() == LogicalOpKind::kGroupRef) {
+    return static_cast<const GroupRefOp&>(op).group_id();
+  }
+  std::vector<LogicalOpPtr> ref_children;
+  ref_children.reserve(op.children().size());
+  for (const LogicalOpPtr& child : op.children()) {
+    int child_group = InsertTree(*child);
+    ref_children.push_back(MakeGroupRef(child_group));
+  }
+  LogicalOpPtr bound = op.WithNewChildren(std::move(ref_children));
+  return Insert(*bound, /*target_group=*/-1).first;
+}
+
+std::pair<int, bool> Memo::Insert(const LogicalOp& op, int target_group) {
+  // Normalize children to GroupRefs (recursively inserting new subtrees).
+  std::vector<int> child_groups;
+  std::vector<LogicalOpPtr> ref_children;
+  child_groups.reserve(op.children().size());
+  for (const LogicalOpPtr& child : op.children()) {
+    int g;
+    if (child->kind() == LogicalOpKind::kGroupRef) {
+      g = static_cast<const GroupRefOp&>(*child).group_id();
+      ref_children.push_back(child);
+    } else {
+      g = InsertTree(*child);
+      ref_children.push_back(MakeGroupRef(g));
+    }
+    child_groups.push_back(g);
+  }
+  if (op.kind() == LogicalOpKind::kGroupRef) {
+    // Degenerate rule output: the whole expression is an existing group.
+    int g = static_cast<const GroupRefOp&>(op).group_id();
+    return {g, false};
+  }
+  LogicalOpPtr bound = op.WithNewChildren(std::move(ref_children));
+
+  Signature sig{bound->LocalHash(), child_groups};
+  auto [begin, end] = signature_index_.equal_range(sig);
+  for (auto it = begin; it != end; ++it) {
+    const auto& [g, idx] = it->second;
+    const GroupExpr& existing = *group(g).exprs[static_cast<size_t>(idx)];
+    if (existing.op->LocalEquals(*bound) &&
+        existing.child_groups == child_groups) {
+      // Known expression. If it already lives in the target group (or no
+      // target), nothing to do.
+      if (target_group < 0 || g == target_group) return {g, false};
+      // Expression known in another group: fall through and also add it to
+      // the target group (group merging is intentionally not implemented;
+      // see DESIGN.md). Per-group dedup below prevents duplicates.
+      break;
+    }
+  }
+
+  int g = target_group;
+  if (g < 0) {
+    // Derive properties for a fresh group from this expression.
+    std::vector<const LogicalProps*> child_props;
+    child_props.reserve(child_groups.size());
+    for (int cg : child_groups) child_props.push_back(&group(cg).props);
+    g = NewGroup(DeriveProps(*bound, child_props));
+  }
+
+  Group& grp = group(g);
+  // Per-group dedup.
+  for (const auto& existing : grp.exprs) {
+    if (existing->op->LocalEquals(*bound) &&
+        existing->child_groups == child_groups) {
+      return {g, false};
+    }
+  }
+  if (expr_count_ >= kMaxTotalExprs ||
+      static_cast<int>(grp.exprs.size()) >= kMaxGroupExprs) {
+    saturated_ = true;
+    return {g, false};
+  }
+
+  auto expr = std::make_unique<GroupExpr>();
+  expr->op = bound;
+  expr->child_groups = child_groups;
+  expr->applied_version.assign(static_cast<size_t>(rule_count_), -1);
+  grp.exprs.push_back(std::move(expr));
+  ++expr_count_;
+  signature_index_.emplace(
+      sig, std::make_pair(g, static_cast<int>(grp.exprs.size()) - 1));
+  return {g, true};
+}
+
+namespace {
+
+void CrossProduct(
+    const std::vector<std::vector<LogicalOpPtr>>& options, size_t index,
+    std::vector<LogicalOpPtr>* current,
+    const LogicalOp& op, std::vector<LogicalOpPtr>* out, int max_bindings) {
+  if (static_cast<int>(out->size()) >= max_bindings) return;
+  if (index == options.size()) {
+    out->push_back(op.WithNewChildren(*current));
+    return;
+  }
+  for (const LogicalOpPtr& option : options[index]) {
+    current->push_back(option);
+    CrossProduct(options, index + 1, current, op, out, max_bindings);
+    current->pop_back();
+    if (static_cast<int>(out->size()) >= max_bindings) return;
+  }
+}
+
+bool RootMatches(const LogicalOp& op, const PatternNode& pattern) {
+  if (pattern.type() == PatternNode::Type::kAny) return true;
+  if (op.kind() != pattern.op_kind()) return false;
+  if (pattern.join_kind().has_value() &&
+      static_cast<const JoinOp&>(op).join_kind() != *pattern.join_kind()) {
+    return false;
+  }
+  return op.children().size() == pattern.children().size();
+}
+
+}  // namespace
+
+std::vector<LogicalOpPtr> Memo::BindPattern(const GroupExpr& expr,
+                                            const PatternNode& pattern) const {
+  std::vector<LogicalOpPtr> out;
+  if (!RootMatches(*expr.op, pattern)) return out;
+  if (pattern.type() == PatternNode::Type::kAny) {
+    out.push_back(expr.op);
+    return out;
+  }
+  std::vector<std::vector<LogicalOpPtr>> options(pattern.children().size());
+  for (size_t i = 0; i < pattern.children().size(); ++i) {
+    const PatternNode& child_pattern = *pattern.children()[i];
+    int child_group = expr.child_groups[i];
+    if (child_pattern.type() == PatternNode::Type::kAny) {
+      // Reuse the stored GroupRef leaf.
+      options[i].push_back(expr.op->children()[i]);
+    } else {
+      const Group& cg = group(child_group);
+      for (const auto& child_expr : cg.exprs) {
+        std::vector<LogicalOpPtr> sub = BindPattern(*child_expr, child_pattern);
+        options[i].insert(options[i].end(), sub.begin(), sub.end());
+        if (static_cast<int>(options[i].size()) >= kMaxBindings) break;
+      }
+    }
+    if (options[i].empty()) return {};
+  }
+  std::vector<LogicalOpPtr> current;
+  CrossProduct(options, 0, &current, *expr.op, &out, kMaxBindings);
+  return out;
+}
+
+}  // namespace qtf

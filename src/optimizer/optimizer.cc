@@ -1,0 +1,230 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "logical/validate.h"
+#include "optimizer/memo.h"
+
+namespace qtf {
+namespace {
+
+/// Drives exploration, implementation, costing and extraction over one
+/// memo. Stack-allocated per Optimize() call.
+class SearchEngine {
+ public:
+  SearchEngine(const RuleRegistry& rules, const CostModel& cost_model,
+               const OptimizerOptions& options)
+      : rules_(rules),
+        cost_model_(cost_model),
+        options_(options),
+        memo_(rules.size()) {}
+
+  Result<OptimizeResult> Run(const Query& query) {
+    int root = memo_.InsertTree(*query.root);
+    Explore();
+    if (memo_.saturated() && std::getenv("QTF_DEBUG_MEMO") != nullptr) {
+      DumpMemoStats();
+    }
+    Implement();
+    double cost = BestCost(root);
+    if (!std::isfinite(cost)) {
+      return Status::Internal("no finite-cost plan found for query");
+    }
+    QTF_ASSIGN_OR_RETURN(PhysicalOpPtr plan, Extract(root));
+
+    // Normalize the root output order to the query's declared order (group
+    // expressions agree on the output *set*, not its order). The reorder is
+    // pure bookkeeping -- charging for it would make the reported cost
+    // depend on *which* equivalent expression won and break the
+    // monotonicity guarantee Cost(q) <= Cost(q, not R).
+    std::vector<ColumnId> want = query.root->OutputColumns();
+    if (plan->OutputColumns() != want) {
+      std::vector<ProjectItem> items;
+      items.reserve(want.size());
+      for (ColumnId id : want) {
+        items.push_back(
+            ProjectItem{Col(id, query.registry->TypeOf(id)), id});
+      }
+      plan = std::make_shared<ComputeOp>(std::move(plan), std::move(items));
+    }
+
+    OptimizeResult result;
+    result.plan = std::move(plan);
+    result.cost = cost;
+    result.exercised_rules = std::move(exercised_);
+    result.group_count = memo_.group_count();
+    result.expr_count = memo_.expr_count();
+    result.saturated = memo_.saturated();
+    return result;
+  }
+
+ private:
+  void DumpMemoStats() {
+    std::vector<std::pair<size_t, int>> sizes;
+    for (int g = 0; g < memo_.group_count(); ++g) {
+      sizes.emplace_back(memo_.group(g).exprs.size(), g);
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    std::cerr << "top groups:";
+    for (size_t i = 0; i < std::min<size_t>(sizes.size(), 10); ++i) {
+      std::cerr << " g" << sizes[i].second << "=" << sizes[i].first;
+    }
+    std::cerr << "\n";
+    for (int g = 0; g < memo_.group_count(); ++g) {
+      const Group& grp = memo_.group(g);
+      if (static_cast<int>(grp.exprs.size()) <
+          (sizes.empty() ? 50 : std::max<int>(50, static_cast<int>(sizes[0].first)))) continue;
+      std::cerr << "group " << g << ": " << grp.exprs.size() << " exprs\n";
+      for (size_t i = 0; i < std::min<size_t>(grp.exprs.size(), 8); ++i) {
+        std::cerr << "  " << grp.exprs[i]->op->Describe(nullptr) << " [";
+        for (int c : grp.exprs[i]->child_groups) std::cerr << c << " ";
+        std::cerr << "]\n";
+      }
+    }
+  }
+
+  bool IsDisabled(const Rule& rule) const {
+    return options_.disabled_rules.count(rule.id()) > 0;
+  }
+
+  /// Applies exploration rules to fixpoint. A rule is (re)applied to an
+  /// expression whenever the memo has grown since its last application, so
+  /// multi-level patterns eventually see all bindings.
+  void Explore() {
+    bool changed = true;
+    while (changed && !memo_.saturated()) {
+      changed = false;
+      for (int g = 0; g < memo_.group_count(); ++g) {
+        // Index loop: exprs/groups grow during iteration.
+        for (size_t ei = 0; ei < memo_.group(g).exprs.size(); ++ei) {
+          for (const auto& rule_ptr : rules_.rules()) {
+            if (rule_ptr->type() != RuleType::kExploration) continue;
+            const auto& rule =
+                static_cast<const ExplorationRule&>(*rule_ptr);
+            if (IsDisabled(rule)) continue;
+            int64_t version = memo_.expr_count();
+            {
+              GroupExpr& expr = *memo_.group(g).exprs[ei];
+              if (expr.applied_version[static_cast<size_t>(rule.id())] ==
+                  version) {
+                continue;
+              }
+              expr.applied_version[static_cast<size_t>(rule.id())] = version;
+            }
+            // Note: expr references may be invalidated by insertions below;
+            // re-fetch through the memo each time.
+            std::vector<LogicalOpPtr> bindings =
+                memo_.BindPattern(*memo_.group(g).exprs[ei], *rule.pattern());
+            for (const LogicalOpPtr& bound : bindings) {
+              std::vector<LogicalOpPtr> outputs;
+              rule.Apply(*bound, &outputs);
+              if (!outputs.empty()) exercised_.insert(rule.id());
+              for (const LogicalOpPtr& output : outputs) {
+                auto [group_id, added] = memo_.Insert(*output, g);
+                (void)group_id;
+                if (added) changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Applies implementation rules to every logical expression.
+  void Implement() {
+    for (int g = 0; g < memo_.group_count(); ++g) {
+      Group& grp = memo_.group(g);
+      for (const auto& expr : grp.exprs) {
+        for (const auto& rule_ptr : rules_.rules()) {
+          if (rule_ptr->type() != RuleType::kImplementation) continue;
+          const auto& rule =
+              static_cast<const ImplementationRule&>(*rule_ptr);
+          if (IsDisabled(rule)) continue;
+          if (!MatchesPattern(*expr->op, *rule.pattern())) continue;
+          size_t before = grp.alternatives.size();
+          rule.Apply(*expr->op, cost_model_, &grp.alternatives);
+          if (grp.alternatives.size() > before) exercised_.insert(rule.id());
+        }
+      }
+      grp.implemented = true;
+    }
+  }
+
+  double BestCost(int g) {
+    Group& grp = memo_.group(g);
+    switch (grp.cost_state) {
+      case Group::CostState::kDone:
+        return grp.best_cost;
+      case Group::CostState::kInProgress:
+        // Cycle guard; should not occur (memo is a DAG by construction).
+        return std::numeric_limits<double>::infinity();
+      case Group::CostState::kUntouched:
+        break;
+    }
+    grp.cost_state = Group::CostState::kInProgress;
+    double best = std::numeric_limits<double>::infinity();
+    int best_idx = -1;
+    for (size_t i = 0; i < grp.alternatives.size(); ++i) {
+      const PhysicalAlternative& alt = grp.alternatives[i];
+      double cost = alt.local_cost;
+      for (int child : alt.child_groups) {
+        cost += BestCost(child);
+        if (!std::isfinite(cost)) break;
+      }
+      if (cost < best) {
+        best = cost;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    grp.best_cost = best;
+    grp.best_alternative = best_idx;
+    grp.cost_state = Group::CostState::kDone;
+    return best;
+  }
+
+  Result<PhysicalOpPtr> Extract(int g) {
+    Group& grp = memo_.group(g);
+    if (grp.best_plan != nullptr) return grp.best_plan;
+    if (grp.best_alternative < 0) {
+      return Status::Internal("group " + std::to_string(g) +
+                              " has no physical alternative");
+    }
+    const PhysicalAlternative& alt =
+        grp.alternatives[static_cast<size_t>(grp.best_alternative)];
+    std::vector<PhysicalOpPtr> child_plans;
+    child_plans.reserve(alt.child_groups.size());
+    for (int child : alt.child_groups) {
+      QTF_ASSIGN_OR_RETURN(PhysicalOpPtr child_plan, Extract(child));
+      child_plans.push_back(std::move(child_plan));
+    }
+    grp.best_plan = alt.build(child_plans);
+    QTF_CHECK(grp.best_plan != nullptr);
+    return grp.best_plan;
+  }
+
+  const RuleRegistry& rules_;
+  const CostModel& cost_model_;
+  const OptimizerOptions& options_;
+  Memo memo_;
+  RuleIdSet exercised_;
+};
+
+}  // namespace
+
+Result<OptimizeResult> Optimizer::Optimize(const Query& query,
+                                           const OptimizerOptions& options) {
+  if (!query.valid()) {
+    return Status::InvalidArgument("query has no root or registry");
+  }
+  ++invocation_count_;
+  QTF_RETURN_NOT_OK(ValidateTree(*query.root, *query.registry));
+  SearchEngine engine(*rules_, cost_model_, options);
+  return engine.Run(query);
+}
+
+}  // namespace qtf

@@ -1,0 +1,78 @@
+#ifndef QTF_OPTIMIZER_OPTIMIZER_H_
+#define QTF_OPTIMIZER_OPTIMIZER_H_
+
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/physical.h"
+#include "logical/query.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+/// A set of rule ids — RuleSet(q) in the paper's notation.
+using RuleIdSet = std::set<RuleId>;
+
+/// Per-invocation optimizer configuration. `disabled_rules` implements the
+/// paper's Plan(q, ¬R) extension: the listed rules are never applied, which
+/// can only shrink the search space (so Cost(q) <= Cost(q, ¬R) holds by
+/// construction — the property both TopKIndependent's approximation bound
+/// and the monotonicity pruning rely on).
+struct OptimizerOptions {
+  RuleIdSet disabled_rules;
+};
+
+/// Result of optimizing one query.
+struct OptimizeResult {
+  PhysicalOpPtr plan;
+  double cost = 0.0;
+  /// RuleSet(q): ids of rules whose substitution function was invoked
+  /// during this optimization (pattern matched and preconditions held).
+  RuleIdSet exercised_rules;
+  /// Search statistics.
+  int group_count = 0;
+  int64_t expr_count = 0;
+  bool saturated = false;
+};
+
+/// The transformation-based query optimizer (paper Section 2.1) with the
+/// two testing extensions of Section 2.3: RuleSet tracking and rule
+/// disabling.
+class Optimizer {
+ public:
+  /// `rules` and `cost_model` must outlive the optimizer.
+  explicit Optimizer(const RuleRegistry* rules)
+      : rules_(rules) {
+    QTF_CHECK(rules_ != nullptr);
+  }
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Optimizes `query`, returning the best physical plan, its estimated
+  /// cost, and RuleSet(query).
+  Result<OptimizeResult> Optimize(const Query& query,
+                                  const OptimizerOptions& options);
+
+  /// Convenience overload with default options.
+  Result<OptimizeResult> Optimize(const Query& query) {
+    return Optimize(query, OptimizerOptions{});
+  }
+
+  const RuleRegistry& rules() const { return *rules_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Number of Optimize() calls made so far. The monotonicity experiment
+  /// (paper Section 5.3.1 / Figure 14) counts optimizer invocations saved.
+  int64_t invocation_count() const { return invocation_count_; }
+
+ private:
+  const RuleRegistry* rules_;
+  CostModel cost_model_;
+  int64_t invocation_count_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_OPTIMIZER_OPTIMIZER_H_

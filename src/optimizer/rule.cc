@@ -1,0 +1,28 @@
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+RuleId RuleRegistry::Register(std::unique_ptr<Rule> rule) {
+  QTF_CHECK(rule != nullptr);
+  RuleId id = static_cast<RuleId>(rules_.size());
+  rule->set_id(id);
+  rules_.push_back(std::move(rule));
+  return id;
+}
+
+RuleId RuleRegistry::FindByName(const std::string& name) const {
+  for (const auto& rule : rules_) {
+    if (rule->name() == name) return rule->id();
+  }
+  return -1;
+}
+
+std::vector<RuleId> RuleRegistry::ExplorationRuleIds() const {
+  std::vector<RuleId> ids;
+  for (const auto& rule : rules_) {
+    if (rule->type() == RuleType::kExploration) ids.push_back(rule->id());
+  }
+  return ids;
+}
+
+}  // namespace qtf

@@ -1,0 +1,124 @@
+#ifndef QTF_OPTIMIZER_RULE_H_
+#define QTF_OPTIMIZER_RULE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/physical.h"
+#include "logical/ops.h"
+#include "optimizer/cost_model.h"
+#include "pattern/pattern.h"
+
+namespace qtf {
+
+/// Identifier of a transformation rule; assigned by the RuleRegistry in
+/// registration order and stable for a given registry.
+using RuleId = int;
+
+/// Exploration (logical) rules rewrite logical trees into equivalent
+/// logical trees; implementation (physical) rules produce physical
+/// operators (paper Section 2.1).
+enum class RuleType {
+  kExploration = 0,
+  kImplementation,
+};
+
+/// One physical alternative proposed by an implementation rule for a group
+/// expression: the inputs (as memo groups), the operator's own cost, and a
+/// deferred constructor that assembles the physical node once the best
+/// child plans are chosen.
+struct PhysicalAlternative {
+  std::vector<int> child_groups;
+  double local_cost = 0.0;
+  std::function<PhysicalOpPtr(const std::vector<PhysicalOpPtr>&)> build;
+};
+
+/// A transformation rule: (name, pattern, substitute) triple as in the
+/// Cascades framework [13]. The pattern is exported through the testing API
+/// (paper Section 3.1); the substitute is the Apply method of the concrete
+/// subclass (ExplorationRule or ImplementationRule).
+class Rule {
+ public:
+  Rule(std::string name, RuleType type, PatternNodePtr pattern)
+      : name_(std::move(name)), type_(type), pattern_(std::move(pattern)) {
+    QTF_CHECK(pattern_ != nullptr);
+  }
+  virtual ~Rule() = default;
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  const std::string& name() const { return name_; }
+  RuleType type() const { return type_; }
+  const PatternNodePtr& pattern() const { return pattern_; }
+
+  /// Assigned by the RuleRegistry.
+  RuleId id() const { return id_; }
+  void set_id(RuleId id) { id_ = id; }
+
+ private:
+  std::string name_;
+  RuleType type_;
+  PatternNodePtr pattern_;
+  RuleId id_ = -1;
+};
+
+/// Logical-to-logical rule. `bound` is a tree matching the rule's pattern
+/// whose placeholder positions are GroupRefOp leaves (carrying group
+/// properties for precondition checks). Apply appends zero or more
+/// equivalent trees to `out`; output trees may reuse the bound GroupRefs
+/// and/or introduce new operator subtrees.
+class ExplorationRule : public Rule {
+ public:
+  ExplorationRule(std::string name, PatternNodePtr pattern)
+      : Rule(std::move(name), RuleType::kExploration, std::move(pattern)) {}
+
+  virtual void Apply(const LogicalOp& bound,
+                     std::vector<LogicalOpPtr>* out) const = 0;
+};
+
+/// Logical-to-physical rule. `bound` is a single operator over GroupRef
+/// children. Apply appends physical alternatives (with their local costs
+/// per `cost_model`) to `out`.
+class ImplementationRule : public Rule {
+ public:
+  ImplementationRule(std::string name, PatternNodePtr pattern)
+      : Rule(std::move(name), RuleType::kImplementation, std::move(pattern)) {}
+
+  virtual void Apply(const LogicalOp& bound, const CostModel& cost_model,
+                     std::vector<PhysicalAlternative>* out) const = 0;
+};
+
+/// Owns the full rule set of the optimizer (R = {r1..rn} in the paper) and
+/// assigns RuleIds.
+class RuleRegistry {
+ public:
+  RuleRegistry() = default;
+  RuleRegistry(const RuleRegistry&) = delete;
+  RuleRegistry& operator=(const RuleRegistry&) = delete;
+
+  /// Registers a rule and assigns its id. Returns the id.
+  RuleId Register(std::unique_ptr<Rule> rule);
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  const Rule& rule(RuleId id) const {
+    QTF_CHECK(id >= 0 && static_cast<size_t>(id) < rules_.size());
+    return *rules_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(rules_.size()); }
+
+  /// Lookup by name; -1 if absent.
+  RuleId FindByName(const std::string& name) const;
+
+  /// Ids of all exploration (logical) rules, in id order. These are the
+  /// rules the paper's experiments target.
+  std::vector<RuleId> ExplorationRuleIds() const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_OPTIMIZER_RULE_H_

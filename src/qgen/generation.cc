@@ -1,0 +1,116 @@
+#include "qgen/generation.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "qgen/sqlgen.h"
+
+namespace qtf {
+
+const char* GenerationMethodToString(GenerationMethod method) {
+  switch (method) {
+    case GenerationMethod::kRandom:
+      return "RANDOM";
+    case GenerationMethod::kPattern:
+      return "PATTERN";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ContainsAll(const RuleIdSet& rule_set, const std::vector<RuleId>& targets) {
+  for (RuleId id : targets) {
+    if (rule_set.count(id) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GenerationOutcome TargetedQueryGenerator::Generate(
+    const std::vector<RuleId>& targets, const GenerationConfig& config) {
+  std::vector<PatternNodePtr> patterns;
+  if (config.method == GenerationMethod::kPattern) {
+    QTF_CHECK(targets.size() == 1 || targets.size() == 2)
+        << "PATTERN generation supports singleton rules and rule pairs";
+    if (targets.size() == 1) {
+      patterns.push_back(optimizer_->rules().rule(targets[0]).pattern());
+    } else {
+      // Rule pairs: compose the two patterns (Section 3.2) and try the
+      // composites smallest-first, approximating "pick the query with the
+      // least number of operators".
+      patterns = ComposePatterns(optimizer_->rules().rule(targets[0]).pattern(),
+                                 optimizer_->rules().rule(targets[1]).pattern());
+      std::stable_sort(patterns.begin(), patterns.end(),
+                       [](const PatternNodePtr& a, const PatternNodePtr& b) {
+                         return a->Size() < b->Size();
+                       });
+    }
+  }
+  return RunTrials(targets, config, patterns, /*require_relevant=*/false);
+}
+
+GenerationOutcome TargetedQueryGenerator::GenerateRelevant(
+    RuleId target, const GenerationConfig& config) {
+  std::vector<PatternNodePtr> patterns;
+  if (config.method == GenerationMethod::kPattern) {
+    patterns.push_back(optimizer_->rules().rule(target).pattern());
+  }
+  return RunTrials({target}, config, patterns, /*require_relevant=*/true);
+}
+
+GenerationOutcome TargetedQueryGenerator::RunTrials(
+    const std::vector<RuleId>& targets, const GenerationConfig& config,
+    const std::vector<PatternNodePtr>& patterns, bool require_relevant) {
+  GenerationOutcome outcome;
+  auto start = std::chrono::steady_clock::now();
+
+  RandomQueryGenerator random_gen(catalog_, config.seed);
+  PatternInstantiator instantiator(catalog_, config.seed ^ 0x9e3779b9,
+                                   config.builder_options);
+  Rng knob_rng(config.seed ^ 0x51237);
+
+  for (int trial = 0; trial < config.max_trials; ++trial) {
+    Query candidate;
+    if (config.method == GenerationMethod::kRandom) {
+      candidate = random_gen.Generate();
+    } else {
+      const PatternNodePtr& pattern =
+          patterns[static_cast<size_t>(trial) % patterns.size()];
+      int extra = config.extra_ops > 0
+                      ? static_cast<int>(
+                            knob_rng.UniformInt(0, config.extra_ops))
+                      : 0;
+      candidate = instantiator.Instantiate(*pattern, extra);
+    }
+    ++outcome.trials;
+    auto result = optimizer_->Optimize(candidate);
+    if (!result.ok()) continue;  // unplannable candidates are just misses
+    if (!ContainsAll(result->exercised_rules, targets)) continue;
+
+    if (require_relevant) {
+      // The rule is relevant iff turning it off changes the plan.
+      OptimizerOptions options;
+      options.disabled_rules.insert(targets[0]);
+      auto restricted = optimizer_->Optimize(candidate, options);
+      if (!restricted.ok()) continue;
+      if (PhysicalTreeEquals(*result->plan, *restricted->plan)) continue;
+    }
+
+    outcome.success = true;
+    outcome.query = candidate;
+    outcome.sql = GenerateSql(candidate);
+    outcome.rule_set = result->exercised_rules;
+    outcome.cost = result->cost;
+    outcome.operator_count = CountOps(*candidate.root);
+    break;
+  }
+
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+}  // namespace qtf

@@ -1,0 +1,85 @@
+#ifndef QTF_QGEN_GENERATION_H_
+#define QTF_QGEN_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "logical/query.h"
+#include "optimizer/optimizer.h"
+#include "qgen/generators.h"
+
+namespace qtf {
+
+/// How to search for a query exercising the target rules.
+enum class GenerationMethod {
+  kRandom = 0,  // stochastic trial-and-error ([1][17]); the paper's baseline
+  kPattern,     // rule-pattern instantiation (paper Section 3)
+};
+
+const char* GenerationMethodToString(GenerationMethod method);
+
+struct GenerationConfig {
+  GenerationMethod method = GenerationMethod::kPattern;
+  /// Give up after this many optimize() trials.
+  int max_trials = 2000;
+  /// Up to this many extra random operators are appended to each candidate
+  /// (Section 2.3's knob; used to produce larger correctness-test queries
+  /// with varied costs).
+  int extra_ops = 0;
+  /// PATTERN only: instantiation biases towards rule-precondition shapes
+  /// (see TreeBuilderOptions). Disabled by the ablation benchmark.
+  TreeBuilderOptions builder_options;
+  uint64_t seed = 1;
+};
+
+/// Result of one targeted generation run.
+struct GenerationOutcome {
+  bool success = false;
+  Query query;
+  std::string sql;
+  RuleIdSet rule_set;  // RuleSet(query)
+  double cost = 0.0;   // Cost(query)
+  int operator_count = 0;
+  /// Trials (optimizer invocations on candidate queries) until success —
+  /// the efficiency metric of Figures 8-9.
+  int trials = 0;
+  /// Wall-clock generation time — the metric of Figure 10.
+  double seconds = 0.0;
+};
+
+/// Generates queries that exercise a given rule or rule pair, by either
+/// method (the Query Generation component of Figure 2).
+class TargetedQueryGenerator {
+ public:
+  /// `optimizer` is used to optimize candidates and read RuleSet(q);
+  /// the catalog defines the fixed test database's schema.
+  TargetedQueryGenerator(const Catalog* catalog, Optimizer* optimizer)
+      : catalog_(catalog), optimizer_(optimizer) {
+    QTF_CHECK(catalog_ != nullptr && optimizer_ != nullptr);
+  }
+
+  /// Searches for a query q with targets ⊆ RuleSet(q). `targets` holds one
+  /// rule id (singleton) or two (rule pair; PATTERN uses pattern
+  /// composition, Section 3.2).
+  GenerationOutcome Generate(const std::vector<RuleId>& targets,
+                             const GenerationConfig& config);
+
+  /// Section 7 variant: additionally requires the rule to be *relevant* —
+  /// disabling it changes the chosen plan. Only meaningful for singleton
+  /// targets.
+  GenerationOutcome GenerateRelevant(RuleId target,
+                                     const GenerationConfig& config);
+
+ private:
+  GenerationOutcome RunTrials(
+      const std::vector<RuleId>& targets, const GenerationConfig& config,
+      const std::vector<PatternNodePtr>& patterns, bool require_relevant);
+
+  const Catalog* catalog_;
+  Optimizer* optimizer_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_QGEN_GENERATION_H_

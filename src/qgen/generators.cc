@@ -1,0 +1,81 @@
+#include "qgen/generators.h"
+
+#include "qgen/tree_builder.h"
+
+namespace qtf {
+
+Query RandomQueryGenerator::Generate() {
+  TreeBuilder builder(catalog_, &rng_);
+  int target_ops = static_cast<int>(
+      rng_.UniformInt(config_.min_ops, config_.max_ops));
+  LogicalOpPtr tree = builder.RandomGet();
+  while (CountOps(*tree) < target_ops) {
+    tree = builder.ApplyRandomOperator(std::move(tree));
+  }
+  return Query{std::move(tree), builder.registry()};
+}
+
+namespace {
+
+LogicalOpPtr InstantiateNode(const PatternNode& pattern, TreeBuilder* builder,
+                             Rng* rng) {
+  if (pattern.type() == PatternNode::Type::kAny) {
+    return builder->RandomGet();
+  }
+  switch (pattern.op_kind()) {
+    case LogicalOpKind::kGet:
+      return builder->RandomGet();
+    case LogicalOpKind::kSelect: {
+      LogicalOpPtr child =
+          InstantiateNode(*pattern.children()[0], builder, rng);
+      return builder->RandomSelect(std::move(child));
+    }
+    case LogicalOpKind::kProject: {
+      LogicalOpPtr child =
+          InstantiateNode(*pattern.children()[0], builder, rng);
+      return builder->RandomProject(std::move(child));
+    }
+    case LogicalOpKind::kJoin: {
+      LogicalOpPtr left = InstantiateNode(*pattern.children()[0], builder, rng);
+      LogicalOpPtr right =
+          InstantiateNode(*pattern.children()[1], builder, rng);
+      JoinKind kind = pattern.join_kind().value_or(JoinKind::kInner);
+      return builder->RandomJoin(kind, std::move(left), std::move(right));
+    }
+    case LogicalOpKind::kGroupByAgg: {
+      LogicalOpPtr child =
+          InstantiateNode(*pattern.children()[0], builder, rng);
+      return builder->RandomGroupBy(std::move(child));
+    }
+    case LogicalOpKind::kUnionAll: {
+      LogicalOpPtr left = InstantiateNode(*pattern.children()[0], builder, rng);
+      LogicalOpPtr right =
+          InstantiateNode(*pattern.children()[1], builder, rng);
+      return builder->RandomUnionAll(std::move(left), std::move(right));
+    }
+    case LogicalOpKind::kDistinct: {
+      LogicalOpPtr child =
+          InstantiateNode(*pattern.children()[0], builder, rng);
+      return std::make_shared<DistinctOp>(std::move(child));
+    }
+    case LogicalOpKind::kGroupRef:
+      QTF_CHECK(false) << "GroupRef cannot appear in an exported pattern";
+      return nullptr;
+  }
+  QTF_CHECK(false) << "unknown pattern operator";
+  return nullptr;
+}
+
+}  // namespace
+
+Query PatternInstantiator::Instantiate(const PatternNode& pattern,
+                                       int extra_ops) {
+  TreeBuilder builder(catalog_, &rng_, options_);
+  LogicalOpPtr tree = InstantiateNode(pattern, &builder, &rng_);
+  for (int i = 0; i < extra_ops; ++i) {
+    tree = builder.ApplyRandomOperator(std::move(tree));
+  }
+  return Query{std::move(tree), builder.registry()};
+}
+
+}  // namespace qtf

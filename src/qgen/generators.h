@@ -1,0 +1,63 @@
+#ifndef QTF_QGEN_GENERATORS_H_
+#define QTF_QGEN_GENERATORS_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "logical/query.h"
+#include "pattern/pattern.h"
+#include "qgen/tree_builder.h"
+
+namespace qtf {
+
+/// Configuration of the RANDOM stochastic query generator.
+struct RandomGeneratorConfig {
+  /// Number of logical operators per generated query, uniform in
+  /// [min_ops, max_ops].
+  int min_ops = 2;
+  int max_ops = 9;
+};
+
+/// RANDOM: the state-of-the-art stochastic approach ([1][17]-style) — grow
+/// a random valid logical tree and hope it exercises the target rule. The
+/// framework's baseline for query generation.
+class RandomQueryGenerator {
+ public:
+  RandomQueryGenerator(const Catalog* catalog, uint64_t seed,
+                       RandomGeneratorConfig config = {})
+      : catalog_(catalog), rng_(seed), config_(config) {}
+
+  /// Generates a fresh random query (new registry each call).
+  Query Generate();
+
+ private:
+  const Catalog* catalog_;
+  Rng rng_;
+  RandomGeneratorConfig config_;
+};
+
+/// PATTERN: instantiates a rule pattern into a logical query tree — the
+/// paper's contribution (Section 3.1). Concrete operators replace the
+/// pattern's nodes, placeholders become base-table accesses, and arguments
+/// (predicates, grouping columns, aggregates) are chosen randomly with
+/// biases towards the functional-dependency shapes rule preconditions need.
+class PatternInstantiator {
+ public:
+  PatternInstantiator(const Catalog* catalog, uint64_t seed,
+                      TreeBuilderOptions options = {})
+      : catalog_(catalog), rng_(seed), options_(options) {}
+
+  /// Instantiates `pattern`, then grows the tree with `extra_ops` random
+  /// operators (Section 2.3's knob for larger correctness-test queries).
+  Query Instantiate(const PatternNode& pattern, int extra_ops = 0);
+
+ private:
+  const Catalog* catalog_;
+  Rng rng_;
+  TreeBuilderOptions options_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_QGEN_GENERATORS_H_

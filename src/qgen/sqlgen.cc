@@ -1,0 +1,135 @@
+#include "qgen/sqlgen.h"
+
+#include "common/str_util.h"
+
+namespace qtf {
+namespace {
+
+std::string ColName(ColumnId id) { return "c" + std::to_string(id); }
+
+/// Resolver that renders every column as its stable alias c<id>.
+std::string AliasResolver(ColumnId id) { return ColName(id); }
+
+class SqlRenderer {
+ public:
+  SqlRenderer() : resolver_(&AliasResolver) {}
+
+  /// Returns a full SELECT statement for `op`.
+  std::string Render(const LogicalOp& op) {
+    switch (op.kind()) {
+      case LogicalOpKind::kGet: {
+        const auto& get = static_cast<const GetOp&>(op);
+        std::vector<std::string> items;
+        const auto& defs = get.table().columns();
+        for (size_t i = 0; i < get.columns().size(); ++i) {
+          items.push_back(defs[i].name + " AS " + ColName(get.columns()[i]));
+        }
+        return "SELECT " + Join(items, ", ") + " FROM " + get.table().name();
+      }
+
+      case LogicalOpKind::kSelect: {
+        const auto& select = static_cast<const SelectOp&>(op);
+        return "SELECT * FROM (" + Render(*op.child(0)) + ") " + NextAlias() +
+               " WHERE " + select.predicate()->ToString(&resolver_);
+      }
+
+      case LogicalOpKind::kProject: {
+        const auto& project = static_cast<const ProjectOp&>(op);
+        std::vector<std::string> items;
+        for (const ProjectItem& item : project.items()) {
+          items.push_back(item.expr->ToString(&resolver_) + " AS " +
+                          ColName(item.id));
+        }
+        return "SELECT " + Join(items, ", ") + " FROM (" +
+               Render(*op.child(0)) + ") " + NextAlias();
+      }
+
+      case LogicalOpKind::kJoin: {
+        const auto& join = static_cast<const JoinOp&>(op);
+        std::string left = "(" + Render(*op.child(0)) + ") " + NextAlias();
+        std::string right = "(" + Render(*op.child(1)) + ") " + NextAlias();
+        std::string pred = join.predicate() == nullptr
+                               ? "(1 = 1)"
+                               : join.predicate()->ToString(&resolver_);
+        switch (join.join_kind()) {
+          case JoinKind::kInner:
+            return "SELECT * FROM " + left + " INNER JOIN " + right + " ON " +
+                   pred;
+          case JoinKind::kLeftOuter:
+            return "SELECT * FROM " + left + " LEFT OUTER JOIN " + right +
+                   " ON " + pred;
+          case JoinKind::kLeftSemi:
+            return "SELECT * FROM " + left + " WHERE EXISTS (SELECT 1 FROM " +
+                   right + " WHERE " + pred + ")";
+          case JoinKind::kLeftAnti:
+            return "SELECT * FROM " + left +
+                   " WHERE NOT EXISTS (SELECT 1 FROM " + right + " WHERE " +
+                   pred + ")";
+        }
+        return "";
+      }
+
+      case LogicalOpKind::kGroupByAgg: {
+        const auto& agg = static_cast<const GroupByAggOp&>(op);
+        std::vector<std::string> items;
+        std::vector<std::string> groups;
+        for (ColumnId id : agg.group_cols()) {
+          items.push_back(ColName(id));
+          groups.push_back(ColName(id));
+        }
+        for (const AggregateItem& item : agg.aggregates()) {
+          items.push_back(item.call.ToString(&resolver_) + " AS " +
+                          ColName(item.id));
+        }
+        std::string sql = "SELECT " + Join(items, ", ") + " FROM (" +
+                          Render(*op.child(0)) + ") " + NextAlias();
+        if (!groups.empty()) sql += " GROUP BY " + Join(groups, ", ");
+        return sql;
+      }
+
+      case LogicalOpKind::kUnionAll: {
+        const auto& u = static_cast<const UnionAllOp&>(op);
+        std::vector<ColumnId> lcols = op.child(0)->OutputColumns();
+        std::vector<ColumnId> rcols = op.child(1)->OutputColumns();
+        std::vector<std::string> litems, ritems;
+        for (size_t i = 0; i < u.output_ids().size(); ++i) {
+          litems.push_back(ColName(lcols[i]) + " AS " +
+                           ColName(u.output_ids()[i]));
+          ritems.push_back(ColName(rcols[i]) + " AS " +
+                           ColName(u.output_ids()[i]));
+        }
+        return "SELECT " + Join(litems, ", ") + " FROM (" +
+               Render(*op.child(0)) + ") " + NextAlias() +
+               " UNION ALL SELECT " + Join(ritems, ", ") + " FROM (" +
+               Render(*op.child(1)) + ") " + NextAlias();
+      }
+
+      case LogicalOpKind::kDistinct:
+        return "SELECT DISTINCT * FROM (" + Render(*op.child(0)) + ") " +
+               NextAlias();
+
+      case LogicalOpKind::kGroupRef:
+        return "SELECT /* group " +
+               std::to_string(
+                   static_cast<const GroupRefOp&>(op).group_id()) +
+               " */ *";
+    }
+    return "";
+  }
+
+ private:
+  std::string NextAlias() { return "d" + std::to_string(alias_counter_++); }
+
+  ColumnNameResolver resolver_;
+  int alias_counter_ = 0;
+};
+
+}  // namespace
+
+std::string GenerateSql(const Query& query) {
+  QTF_CHECK(query.root != nullptr);
+  SqlRenderer renderer;
+  return renderer.Render(*query.root);
+}
+
+}  // namespace qtf

@@ -1,0 +1,66 @@
+#include "qgen/test_suite.h"
+
+namespace qtf {
+
+std::string RuleTarget::ToString(const RuleRegistry& registry) const {
+  std::string out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += "+";
+    out += registry.rule(rules[i]).name();
+  }
+  return out;
+}
+
+std::vector<int> TestSuite::CandidatesFor(int t) const {
+  std::vector<int> out;
+  const RuleTarget& target = targets[static_cast<size_t>(t)];
+  for (size_t q = 0; q < queries.size(); ++q) {
+    bool covers = true;
+    for (RuleId id : target.rules) {
+      if (queries[q].rule_set.count(id) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) out.push_back(static_cast<int>(q));
+  }
+  return out;
+}
+
+Result<TestSuite> TestSuiteGenerator::Generate(
+    const std::vector<RuleTarget>& targets, int k,
+    const GenerationConfig& config) {
+  QTF_CHECK(k >= 1);
+  TestSuite suite;
+  suite.targets = targets;
+  TargetedQueryGenerator generator(catalog_, optimizer_);
+
+  uint64_t seed = config.seed;
+  for (size_t t = 0; t < targets.size(); ++t) {
+    std::vector<int> indices;
+    for (int i = 0; i < k; ++i) {
+      GenerationConfig per_query = config;
+      per_query.seed = seed++ * 0x9e3779b97f4a7c15ULL + 12345 + i;
+      GenerationOutcome outcome =
+          generator.Generate(targets[t].rules, per_query);
+      if (!outcome.success) {
+        return Status::Internal(
+            "could not generate query " + std::to_string(i) + " for target " +
+            targets[t].ToString(optimizer_->rules()) + " within " +
+            std::to_string(config.max_trials) + " trials");
+      }
+      TestCase test_case;
+      test_case.query = outcome.query;
+      test_case.sql = outcome.sql;
+      test_case.rule_set = outcome.rule_set;
+      test_case.cost = outcome.cost;
+      test_case.trials = outcome.trials;
+      suite.queries.push_back(std::move(test_case));
+      indices.push_back(static_cast<int>(suite.queries.size()) - 1);
+    }
+    suite.per_target.push_back(std::move(indices));
+  }
+  return suite;
+}
+
+}  // namespace qtf

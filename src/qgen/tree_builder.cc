@@ -1,0 +1,365 @@
+#include "qgen/tree_builder.h"
+
+#include <algorithm>
+
+namespace qtf {
+namespace {
+
+/// String literals that occur in the generated TPC-H-style data, so string
+/// predicates are sometimes selective rather than always empty/full.
+const char* kStringVocab[] = {
+    "ASIA",       "EUROPE",   "AFRICA",    "AUTOMOBILE", "BUILDING",
+    "FURNITURE",  "Brand#11", "Brand#32",  "1-URGENT",   "5-LOW",
+    "F",          "O",        "A",         "N",          "R"};
+
+}  // namespace
+
+TreeBuilder::TreeBuilder(const Catalog* catalog, Rng* rng,
+                         TreeBuilderOptions options)
+    : catalog_(catalog),
+      rng_(rng),
+      options_(options),
+      registry_(std::make_shared<ColumnRegistry>()) {
+  QTF_CHECK(catalog_ != nullptr && rng_ != nullptr);
+  QTF_CHECK(catalog_->table_count() > 0);
+}
+
+LogicalOpPtr TreeBuilder::RandomGet() {
+  std::vector<std::string> names = catalog_->TableNames();
+  const std::string& name = rng_->PickOne(names);
+  auto table = catalog_->GetTable(name).value();
+  auto get = GetOp::Create(table, registry_.get());
+  for (size_t i = 0; i < get->columns().size(); ++i) {
+    base_defs_[get->columns()[i]] = table->columns()[i];
+  }
+  return get;
+}
+
+ExprPtr TreeBuilder::RandomConstantFor(ColumnId id) {
+  ValueType type = registry_->TypeOf(id);
+  auto it = base_defs_.find(id);
+  switch (type) {
+    case ValueType::kInt64: {
+      if (it != base_defs_.end() && it->second.max_value > it->second.min_value) {
+        return LitInt(rng_->UniformInt(it->second.min_value,
+                                       it->second.max_value));
+      }
+      return LitInt(rng_->UniformInt(0, 100));
+    }
+    case ValueType::kDouble:
+      return LitDouble(rng_->UniformDouble(0.0, 10000.0));
+    case ValueType::kString:
+      return LitString(kStringVocab[rng_->PickIndex(
+          sizeof(kStringVocab) / sizeof(kStringVocab[0]))]);
+    case ValueType::kBool:
+      return Lit(Value::Bool(rng_->Bernoulli(0.5)));
+  }
+  return LitInt(0);
+}
+
+ExprPtr TreeBuilder::RandomConjunct(const std::vector<ColumnId>& cols) {
+  ColumnId col = rng_->PickOne(cols);
+  ValueType type = registry_->TypeOf(col);
+
+  // Occasionally test NULL handling explicitly.
+  if (rng_->Bernoulli(0.08)) {
+    ExprPtr is_null = IsNull(Col(col, type));
+    return rng_->Bernoulli(0.5) ? is_null : Not(is_null);
+  }
+  // Column-to-column comparison when a same-typed partner exists.
+  if (rng_->Bernoulli(0.2)) {
+    std::vector<ColumnId> partners;
+    for (ColumnId other : cols) {
+      if (other != col && registry_->TypeOf(other) == type) {
+        partners.push_back(other);
+      }
+    }
+    if (!partners.empty()) {
+      ColumnId other = rng_->PickOne(partners);
+      return Cmp(rng_->Bernoulli(0.7) ? CompareOp::kEq : CompareOp::kLe,
+                 Col(col, type), Col(other, type));
+    }
+  }
+  static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                       CompareOp::kLt, CompareOp::kLe,
+                                       CompareOp::kGt, CompareOp::kGe};
+  CompareOp op = kOps[rng_->PickIndex(6)];
+  if (type == ValueType::kString && rng_->Bernoulli(0.6)) {
+    op = CompareOp::kEq;  // string ranges are rarely interesting
+  }
+  return Cmp(op, Col(col, type), RandomConstantFor(col));
+}
+
+ExprPtr TreeBuilder::RandomPredicate(const LogicalOp& input) {
+  std::vector<ColumnId> cols = input.OutputColumns();
+  QTF_CHECK(!cols.empty());
+  ExprPtr pred = RandomConjunct(cols);
+  if (rng_->Bernoulli(0.3)) {
+    ExprPtr second = RandomConjunct(cols);
+    pred = rng_->Bernoulli(0.8) ? And(pred, second) : Or(pred, second);
+  }
+  return pred;
+}
+
+LogicalOpPtr TreeBuilder::RandomSelect(LogicalOpPtr input) {
+  ExprPtr pred = RandomPredicate(*input);
+  return std::make_shared<SelectOp>(std::move(input), std::move(pred));
+}
+
+LogicalOpPtr TreeBuilder::RandomProject(LogicalOpPtr input) {
+  std::vector<ColumnId> cols = input->OutputColumns();
+  std::vector<ColumnId> kept;
+
+  // Bias: over a join, keeping only the left side enables join-to-semi-join.
+  if (options_.bias_project_left_only &&
+      input->kind() == LogicalOpKind::kJoin && rng_->Bernoulli(0.5)) {
+    kept = input->child(0)->OutputColumns();
+  } else {
+    for (ColumnId id : cols) {
+      if (rng_->Bernoulli(0.6)) kept.push_back(id);
+    }
+    if (kept.empty()) kept.push_back(rng_->PickOne(cols));
+  }
+
+  std::vector<ProjectItem> items;
+  for (ColumnId id : kept) {
+    items.push_back(ProjectItem{Col(id, registry_->TypeOf(id)), id});
+  }
+  // Occasionally add a computed arithmetic column over a numeric input.
+  if (rng_->Bernoulli(0.25)) {
+    std::vector<ColumnId> numeric;
+    for (ColumnId id : cols) {
+      ValueType t = registry_->TypeOf(id);
+      if (t == ValueType::kInt64 || t == ValueType::kDouble) {
+        numeric.push_back(id);
+      }
+    }
+    if (!numeric.empty()) {
+      ColumnId base = rng_->PickOne(numeric);
+      ExprPtr expr = Arith(rng_->Bernoulli(0.5) ? ArithOp::kAdd : ArithOp::kMul,
+                           Col(base, registry_->TypeOf(base)),
+                           LitInt(rng_->UniformInt(1, 9)));
+      ColumnId id = registry_->Allocate(
+          "expr" + std::to_string(agg_counter_++), expr->type());
+      items.push_back(ProjectItem{std::move(expr), id});
+    }
+  }
+  return std::make_shared<ProjectOp>(std::move(input), std::move(items));
+}
+
+LogicalOpPtr TreeBuilder::RandomGroupBy(LogicalOpPtr input) {
+  std::vector<ColumnId> cols = input->OutputColumns();
+  LogicalProps props = DeriveTreeProps(*input);
+  ColumnSet group_set;
+
+  // Bias 1: over a join, include the left equi-join columns (needed by the
+  // Group-By push-below-join rule).
+  if (options_.bias_groupby_join_cols &&
+      input->kind() == LogicalOpKind::kJoin && rng_->Bernoulli(0.7)) {
+    const auto& join = static_cast<const JoinOp&>(*input);
+    if (join.predicate() != nullptr &&
+        (join.join_kind() == JoinKind::kInner ||
+         join.join_kind() == JoinKind::kLeftOuter)) {
+      ColumnSet left_cols, right_cols;
+      for (ColumnId id : join.child(0)->OutputColumns()) left_cols.insert(id);
+      for (ColumnId id : join.child(1)->OutputColumns()) right_cols.insert(id);
+      EquiJoinInfo equi =
+          ExtractEquiJoin(join.predicate(), left_cols, right_cols);
+      for (const auto& [l, r] : equi.pairs) group_set.insert(l);
+    }
+  }
+  // Bias 2: sometimes group on a key (enables group-by-on-key elimination).
+  if (options_.bias_groupby_keys && rng_->Bernoulli(0.25)) {
+    for (const ColumnSet& key : props.keys) {
+      if (!key.empty() && key.size() <= 2) {
+        group_set.insert(key.begin(), key.end());
+        break;
+      }
+    }
+  }
+  int extra = static_cast<int>(rng_->UniformInt(group_set.empty() ? 1 : 0, 2));
+  for (int i = 0; i < extra; ++i) group_set.insert(rng_->PickOne(cols));
+
+  // Aggregates: 0-2, over numeric columns; COUNT(*) always available.
+  std::vector<ColumnId> numeric;
+  for (ColumnId id : cols) {
+    if (group_set.count(id) > 0) continue;
+    ValueType t = registry_->TypeOf(id);
+    if (t == ValueType::kInt64 || t == ValueType::kDouble) {
+      numeric.push_back(id);
+    }
+  }
+  std::vector<AggregateItem> aggs;
+  int n_aggs = static_cast<int>(rng_->UniformInt(0, 2));
+  for (int i = 0; i < n_aggs; ++i) {
+    AggregateCall call;
+    if (numeric.empty() || rng_->Bernoulli(0.3)) {
+      call.kind = AggKind::kCountStar;
+    } else {
+      static constexpr AggKind kKinds[] = {AggKind::kSum, AggKind::kMin,
+                                           AggKind::kMax, AggKind::kAvg,
+                                           AggKind::kCount};
+      call.kind = kKinds[rng_->PickIndex(5)];
+      ColumnId arg = rng_->PickOne(numeric);
+      call.arg = Col(arg, registry_->TypeOf(arg));
+    }
+    ColumnId id = registry_->Allocate("agg" + std::to_string(agg_counter_++),
+                                      call.ResultType());
+    aggs.push_back(AggregateItem{std::move(call), id});
+  }
+  std::vector<ColumnId> group_cols(group_set.begin(), group_set.end());
+  if (group_cols.empty() && aggs.empty()) {
+    // Degenerate; group on one column to keep the operator meaningful.
+    group_cols.push_back(rng_->PickOne(cols));
+  }
+  return std::make_shared<GroupByAggOp>(std::move(input),
+                                        std::move(group_cols),
+                                        std::move(aggs));
+}
+
+LogicalOpPtr TreeBuilder::RandomJoin(JoinKind kind, LogicalOpPtr left,
+                                     LogicalOpPtr right) {
+  std::vector<ColumnId> lcols = left->OutputColumns();
+  std::vector<ColumnId> rcols = right->OutputColumns();
+  LogicalProps rprops = DeriveTreeProps(*right);
+
+  // Candidate equi pairs, preferring a right column that is a key of the
+  // right input (PK-FK-shaped joins enable the duplicate-sensitive rules).
+  std::vector<std::pair<ColumnId, ColumnId>> key_pairs, other_pairs;
+  for (ColumnId r : rcols) {
+    ValueType rt = registry_->TypeOf(r);
+    if (rt == ValueType::kBool) continue;
+    bool is_key = rprops.HasKeyWithin({r});
+    for (ColumnId l : lcols) {
+      if (registry_->TypeOf(l) != rt) continue;
+      if (is_key) {
+        key_pairs.emplace_back(l, r);
+      } else {
+        other_pairs.emplace_back(l, r);
+      }
+    }
+  }
+  ExprPtr pred;
+  const auto* pool = &key_pairs;
+  if (!options_.bias_key_joins) {
+    // Unbiased: pool all candidate pairs together.
+    key_pairs.insert(key_pairs.end(), other_pairs.begin(), other_pairs.end());
+  } else if (key_pairs.empty() ||
+             (!other_pairs.empty() && rng_->Bernoulli(0.3))) {
+    pool = &other_pairs;
+  }
+  if (pool->empty()) pool = &other_pairs;
+  if (!pool->empty()) {
+    auto [l, r] = rng_->PickOne(*pool);
+    pred = Eq(Col(l, registry_->TypeOf(l)), Col(r, registry_->TypeOf(r)));
+    // Occasionally add a residual range conjunct.
+    if (rng_->Bernoulli(0.15)) {
+      std::vector<ColumnId> all = lcols;
+      all.insert(all.end(), rcols.begin(), rcols.end());
+      pred = And(pred, RandomConjunct(all));
+    }
+  }
+  // pred may stay nullptr (cross join) when no compatible pair exists.
+  return std::make_shared<JoinOp>(kind, std::move(left), std::move(right),
+                                  std::move(pred));
+}
+
+LogicalOpPtr TreeBuilder::RandomUnionAll(LogicalOpPtr left,
+                                         LogicalOpPtr right) {
+  std::vector<ColumnId> lcols = left->OutputColumns();
+  std::vector<ColumnId> rcols = right->OutputColumns();
+
+  // Coerce the right side to the left side's positional type signature.
+  std::vector<ProjectItem> right_items;
+  std::vector<bool> used(rcols.size(), false);
+  bool right_is_identity = lcols.size() == rcols.size();
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    ValueType want = registry_->TypeOf(lcols[i]);
+    int found = -1;
+    for (size_t j = 0; j < rcols.size(); ++j) {
+      if (!used[j] && registry_->TypeOf(rcols[j]) == want) {
+        found = static_cast<int>(j);
+        break;
+      }
+    }
+    if (found >= 0) {
+      used[static_cast<size_t>(found)] = true;
+      right_items.push_back(
+          ProjectItem{Col(rcols[static_cast<size_t>(found)], want),
+                      rcols[static_cast<size_t>(found)]});
+      if (static_cast<size_t>(found) != i) right_is_identity = false;
+    } else {
+      ExprPtr filler;
+      switch (want) {
+        case ValueType::kInt64:
+          filler = LitInt(rng_->UniformInt(0, 9));
+          break;
+        case ValueType::kDouble:
+          filler = LitDouble(0.0);
+          break;
+        case ValueType::kString:
+          filler = LitString("filler");
+          break;
+        case ValueType::kBool:
+          filler = Lit(Value::Bool(false));
+          break;
+      }
+      ColumnId id = registry_->Allocate(
+          "u_fill" + std::to_string(agg_counter_++), want);
+      right_items.push_back(ProjectItem{std::move(filler), id});
+      right_is_identity = false;
+    }
+  }
+  LogicalOpPtr coerced =
+      right_is_identity
+          ? std::move(right)
+          : std::make_shared<ProjectOp>(std::move(right),
+                                        std::move(right_items));
+
+  std::vector<ColumnId> output_ids;
+  for (ColumnId id : lcols) {
+    output_ids.push_back(registry_->Allocate(
+        "u" + std::to_string(agg_counter_++), registry_->TypeOf(id)));
+  }
+  return std::make_shared<UnionAllOp>(std::move(left), std::move(coerced),
+                                      std::move(output_ids));
+}
+
+LogicalOpPtr TreeBuilder::RandomDistinct(LogicalOpPtr input) {
+  // Distinct over a narrow projection is more interesting (and more likely
+  // to actually deduplicate) than over all columns.
+  if (input->OutputColumns().size() > 3 && rng_->Bernoulli(0.6)) {
+    input = RandomProject(std::move(input));
+  }
+  return std::make_shared<DistinctOp>(std::move(input));
+}
+
+LogicalOpPtr TreeBuilder::ApplyRandomOperator(LogicalOpPtr input) {
+  double roll = rng_->UniformDouble(0.0, 1.0);
+  if (roll < 0.30) return RandomSelect(std::move(input));
+  if (roll < 0.42) return RandomProject(std::move(input));
+  if (roll < 0.67) {
+    static constexpr JoinKind kKinds[] = {
+        JoinKind::kInner, JoinKind::kInner, JoinKind::kInner,
+        JoinKind::kLeftOuter, JoinKind::kLeftOuter, JoinKind::kLeftSemi,
+        JoinKind::kLeftAnti};
+    JoinKind kind = kKinds[rng_->PickIndex(7)];
+    LogicalOpPtr other = RandomGet();
+    if (rng_->Bernoulli(0.5)) {
+      return RandomJoin(kind, std::move(input), std::move(other));
+    }
+    if (kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti) {
+      kind = JoinKind::kInner;  // keep the grown tree's columns visible
+    }
+    return RandomJoin(kind, std::move(other), std::move(input));
+  }
+  if (roll < 0.82) return RandomGroupBy(std::move(input));
+  if (roll < 0.90) {
+    LogicalOpPtr other = RandomGet();
+    if (rng_->Bernoulli(0.5)) other = RandomSelect(std::move(other));
+    return RandomUnionAll(std::move(input), std::move(other));
+  }
+  return RandomDistinct(std::move(input));
+}
+
+}  // namespace qtf

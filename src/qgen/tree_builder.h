@@ -1,0 +1,96 @@
+#ifndef QTF_QGEN_TREE_BUILDER_H_
+#define QTF_QGEN_TREE_BUILDER_H_
+
+#include <map>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "logical/ops.h"
+#include "logical/props.h"
+
+namespace qtf {
+
+/// Toggles for the generator's precondition-aware biases. All default on;
+/// the ablation benchmark (bench_ablation_pattern_bias) turns them off to
+/// quantify how much of PATTERN's efficiency comes from biasing the
+/// instantiated arguments towards the functional-dependency shapes rule
+/// preconditions need (key-shaped joins, join columns in the grouping,
+/// left-only projections over joins).
+struct TreeBuilderOptions {
+  /// Prefer equi-join pairs whose right column is a key of the right input.
+  bool bias_key_joins = true;
+  /// Include the join's left equi-columns in GROUP BY column sets.
+  bool bias_groupby_join_cols = true;
+  /// Sometimes group on a key of the input.
+  bool bias_groupby_keys = true;
+  /// Over a join, sometimes project only the left side's columns.
+  bool bias_project_left_only = true;
+};
+
+/// Random building blocks for valid logical query trees, shared by the
+/// RANDOM stochastic generator and the PATTERN-based generator (paper
+/// Section 3). One TreeBuilder is created per query; it owns the query's
+/// ColumnRegistry and tracks base-table column statistics so predicates use
+/// constants from real column domains.
+class TreeBuilder {
+ public:
+  TreeBuilder(const Catalog* catalog, Rng* rng,
+              TreeBuilderOptions options = {});
+  TreeBuilder(const TreeBuilder&) = delete;
+  TreeBuilder& operator=(const TreeBuilder&) = delete;
+
+  const ColumnRegistryPtr& registry() const { return registry_; }
+
+  /// Leaf: Get over a uniformly chosen base table.
+  LogicalOpPtr RandomGet();
+
+  /// Filter with a 1-2 conjunct random predicate over the input's columns.
+  LogicalOpPtr RandomSelect(LogicalOpPtr input);
+
+  /// Pass-through projection to a random non-empty column subset; when the
+  /// input is a join, biased towards keeping only left-side columns (which
+  /// makes join-to-semi-join rewrites reachable).
+  LogicalOpPtr RandomProject(LogicalOpPtr input);
+
+  /// Grouping over 1-3 columns with 1-2 aggregates; biased to include join
+  /// equi-columns / a key column of the input when present (the
+  /// functional-dependency conditions several Group-By rules need).
+  LogicalOpPtr RandomGroupBy(LogicalOpPtr input);
+
+  /// Join of the given kind with a random (mostly equi) predicate; biased
+  /// towards pairs whose right column is a key of the right input.
+  LogicalOpPtr RandomJoin(JoinKind kind, LogicalOpPtr left,
+                          LogicalOpPtr right);
+
+  /// Bag union; the right side is coerced to the left side's positional
+  /// type signature with a projection (padding with typed constants when a
+  /// matching column is missing).
+  LogicalOpPtr RandomUnionAll(LogicalOpPtr left, LogicalOpPtr right);
+
+  LogicalOpPtr RandomDistinct(LogicalOpPtr input);
+
+  /// Grows the tree by one random operator (used for the "add N random
+  /// operators" knob of Section 2.3 and by the RANDOM generator).
+  LogicalOpPtr ApplyRandomOperator(LogicalOpPtr input);
+
+  /// Random predicate over the columns of `input`.
+  ExprPtr RandomPredicate(const LogicalOp& input);
+
+ private:
+  /// Constant literal drawn from the column's domain when known.
+  ExprPtr RandomConstantFor(ColumnId id);
+  ExprPtr RandomConjunct(const std::vector<ColumnId>& cols);
+
+  const Catalog* catalog_;
+  Rng* rng_;
+  TreeBuilderOptions options_;
+  ColumnRegistryPtr registry_;
+  /// Domain info for base-table columns (by the ids this query allocated).
+  std::map<ColumnId, ColumnDef> base_defs_;
+  int agg_counter_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_QGEN_TREE_BUILDER_H_

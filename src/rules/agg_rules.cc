@@ -1,0 +1,261 @@
+#include <algorithm>
+
+#include "rules/exploration_rules.h"
+#include "rules/rule_util.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+/// groupby[G,A](L join[l=r] R) -> project[G,A-ids](groupby[G_L,A](L) join R)
+/// — "eager aggregation" below the join. Valid when (paper Section 1's
+/// motivating example: the grouping must include the joining columns, plus
+/// functional-dependency conditions):
+///   * every predicate column on the L side is a grouping column (so the
+///     left equi-join columns are all in G),
+///   * R is duplicate-free on its equi-join columns (a key of R), so the
+///     join neither multiplies nor splits groups,
+///   * aggregate arguments reference only L's columns.
+class GroupByPushBelowJoinLeft final : public ExplorationRule {
+ public:
+  GroupByPushBelowJoinLeft()
+      : ExplorationRule(
+            "GroupByPushBelowJoinLeft",
+            P::Op(LogicalOpKind::kGroupByAgg,
+                  {P::Join(JoinKind::kInner, P::Any(), P::Any())})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& agg = static_cast<const GroupByAggOp&>(bound);
+    const auto& join = static_cast<const JoinOp&>(*agg.child(0));
+    if (join.predicate() == nullptr) return;
+    const LogicalOpPtr& left = join.child(0);
+    const LogicalOpPtr& right = join.child(1);
+    ColumnSet left_cols, right_cols;
+    for (ColumnId id : left->OutputColumns()) left_cols.insert(id);
+    for (ColumnId id : right->OutputColumns()) right_cols.insert(id);
+    ColumnSet group_set(agg.group_cols().begin(), agg.group_cols().end());
+
+    EquiJoinInfo equi =
+        ExtractEquiJoin(join.predicate(), left_cols, right_cols);
+    if (equi.pairs.empty()) return;
+    // All predicate references to L must be grouping columns.
+    ColumnSet pred_cols = ColumnsOf(*join.predicate());
+    for (ColumnId id : pred_cols) {
+      if (left_cols.count(id) > 0 && group_set.count(id) == 0) return;
+    }
+    // R must be unique on its equi-join columns.
+    LogicalProps right_props = BoundProps(*right);
+    if (!right_props.HasKeyWithin(equi.RightColumns())) return;
+    // Aggregate arguments must come from L.
+    for (const AggregateItem& item : agg.aggregates()) {
+      if (item.call.arg != nullptr &&
+          !ReferencesOnly(*item.call.arg, left_cols)) {
+        return;
+      }
+    }
+
+    std::vector<ColumnId> left_groups;
+    for (ColumnId id : agg.group_cols()) {
+      if (left_cols.count(id) > 0) left_groups.push_back(id);
+    }
+    LogicalOpPtr pushed = std::make_shared<GroupByAggOp>(
+        left, std::move(left_groups), agg.aggregates());
+    LogicalOpPtr new_join = std::make_shared<JoinOp>(
+        JoinKind::kInner, std::move(pushed), right, join.predicate());
+    LogicalProps props = BoundProps(bound);
+    out->push_back(ProjectTo(std::move(new_join), agg.OutputColumns(), props));
+  }
+};
+
+/// groupby[G,A](X) join[l=r] R ->
+///   project[orig](groupby[G u R-cols, A](X join[l=r] R))
+/// — "lazy aggregation" above the join (inverse of the previous rule, same
+/// validity conditions).
+class GroupByPullAboveJoinLeft final : public ExplorationRule {
+ public:
+  GroupByPullAboveJoinLeft()
+      : ExplorationRule(
+            "GroupByPullAboveJoinLeft",
+            P::Join(JoinKind::kInner,
+                    P::Op(LogicalOpKind::kGroupByAgg, {P::Any()}), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& join = static_cast<const JoinOp&>(bound);
+    const auto& agg = static_cast<const GroupByAggOp&>(*join.child(0));
+    const LogicalOpPtr& x = agg.child(0);
+    const LogicalOpPtr& right = join.child(1);
+    if (join.predicate() == nullptr) return;
+    ColumnSet agg_ids;
+    for (const AggregateItem& item : agg.aggregates()) {
+      agg_ids.insert(item.id);
+    }
+    // The join predicate must not touch the aggregate outputs (paper
+    // Section 3.1's example precondition).
+    if (ReferencesAny(*join.predicate(), agg_ids)) return;
+    ColumnSet left_cols, right_cols;
+    for (ColumnId id : agg.OutputColumns()) left_cols.insert(id);
+    for (ColumnId id : right->OutputColumns()) right_cols.insert(id);
+    EquiJoinInfo equi =
+        ExtractEquiJoin(join.predicate(), left_cols, right_cols);
+    if (equi.pairs.empty()) return;
+    LogicalProps right_props = BoundProps(*right);
+    if (!right_props.HasKeyWithin(equi.RightColumns())) return;
+
+    std::vector<ColumnId> new_groups = agg.group_cols();
+    for (ColumnId id : right->OutputColumns()) new_groups.push_back(id);
+    LogicalOpPtr lower_join =
+        std::make_shared<JoinOp>(JoinKind::kInner, x, right, join.predicate());
+    LogicalOpPtr pulled = std::make_shared<GroupByAggOp>(
+        std::move(lower_join), std::move(new_groups), agg.aggregates());
+    LogicalProps props = BoundProps(bound);
+    out->push_back(ProjectTo(std::move(pulled), join.OutputColumns(), props));
+  }
+};
+
+/// groupby[G, no aggregates](X) -> distinct(project[G](X)).
+class GroupByToDistinct final : public ExplorationRule {
+ public:
+  GroupByToDistinct()
+      : ExplorationRule("GroupByToDistinct",
+                        P::Op(LogicalOpKind::kGroupByAgg, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& agg = static_cast<const GroupByAggOp&>(bound);
+    if (!agg.aggregates().empty() || agg.group_cols().empty()) return;
+    std::vector<ColumnId> child_cols = agg.child(0)->OutputColumns();
+    ColumnSet group_set(agg.group_cols().begin(), agg.group_cols().end());
+    if (group_set == ColumnSet(child_cols.begin(), child_cols.end())) {
+      // Grouping on the whole row: no projection needed. (Emitting one
+      // anyway would let DistinctToGroupBy regenerate this rule's input
+      // over the projection, growing an unbounded chain of identity
+      // projections.)
+      out->push_back(std::make_shared<DistinctOp>(agg.child(0)));
+      return;
+    }
+    LogicalProps props = BoundProps(*agg.child(0));
+    LogicalOpPtr projected =
+        ProjectTo(agg.child(0), agg.group_cols(), props);
+    out->push_back(std::make_shared<DistinctOp>(std::move(projected)));
+  }
+};
+
+/// distinct(X) -> groupby[all columns, no aggregates](X).
+class DistinctToGroupBy final : public ExplorationRule {
+ public:
+  DistinctToGroupBy()
+      : ExplorationRule("DistinctToGroupBy",
+                        P::Op(LogicalOpKind::kDistinct, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& distinct = static_cast<const DistinctOp&>(bound);
+    out->push_back(std::make_shared<GroupByAggOp>(
+        distinct.child(0), distinct.child(0)->OutputColumns(),
+        std::vector<AggregateItem>{}));
+  }
+};
+
+/// groupby[G,A](X) -> project[G, per-row aggregates](X) when G contains a
+/// key of X — every group has exactly one row, so aggregates degenerate to
+/// scalar expressions (COUNT(*) -> 1, SUM/MIN/MAX(e) -> e, AVG(e) -> e as
+/// double). COUNT(e) is inexpressible without a conditional, so its
+/// presence blocks the rule; string-typed MIN/MAX args block the arithmetic
+/// identity trick.
+class GroupByOnKeyElimination final : public ExplorationRule {
+ public:
+  GroupByOnKeyElimination()
+      : ExplorationRule("GroupByOnKeyElimination",
+                        P::Op(LogicalOpKind::kGroupByAgg, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& agg = static_cast<const GroupByAggOp&>(bound);
+    if (agg.group_cols().empty()) return;  // scalar agg must keep 1-row shape
+    LogicalProps input_props = BoundProps(*agg.child(0));
+    ColumnSet group_set(agg.group_cols().begin(), agg.group_cols().end());
+    if (!input_props.HasKeyWithin(group_set)) return;
+
+    std::vector<ProjectItem> items;
+    for (ColumnId id : agg.group_cols()) {
+      items.push_back(ProjectItem{Col(id, input_props.TypeOf(id)), id});
+    }
+    for (const AggregateItem& item : agg.aggregates()) {
+      ExprPtr expr;
+      switch (item.call.kind) {
+        case AggKind::kCountStar:
+          expr = LitInt(1);
+          break;
+        case AggKind::kCount:
+          return;  // needs a conditional; not expressible
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (item.call.arg->type() == ValueType::kString ||
+              item.call.arg->type() == ValueType::kBool) {
+            return;
+          }
+          // e + 0 preserves the value (and NULL) while making the item a
+          // computed expression rather than an (id-mismatched) pass-through.
+          expr = Arith(ArithOp::kAdd, item.call.arg, LitInt(0));
+          break;
+        case AggKind::kAvg:
+          if (item.call.arg->type() == ValueType::kString ||
+              item.call.arg->type() == ValueType::kBool) {
+            return;
+          }
+          expr = Arith(ArithOp::kAdd, item.call.arg, LitDouble(0.0));
+          break;
+      }
+      items.push_back(ProjectItem{std::move(expr), item.id});
+    }
+    out->push_back(
+        std::make_shared<ProjectOp>(agg.child(0), std::move(items)));
+  }
+};
+
+/// distinct(X) -> identity-project(X) when X is already duplicate-free
+/// (some key of X is contained in its output).
+class DistinctElimination final : public ExplorationRule {
+ public:
+  DistinctElimination()
+      : ExplorationRule("DistinctElimination",
+                        P::Op(LogicalOpKind::kDistinct, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& distinct = static_cast<const DistinctOp&>(bound);
+    LogicalProps props = BoundProps(*distinct.child(0));
+    if (!props.HasKeyWithin(props.OutputSet())) return;
+    // The memo has no group merging (see DESIGN.md), so emit an identity
+    // projection instead of the bare child group.
+    out->push_back(ProjectTo(distinct.child(0),
+                             distinct.child(0)->OutputColumns(), props));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeGroupByPushBelowJoinLeft() {
+  return std::make_unique<GroupByPushBelowJoinLeft>();
+}
+std::unique_ptr<Rule> MakeGroupByPullAboveJoinLeft() {
+  return std::make_unique<GroupByPullAboveJoinLeft>();
+}
+std::unique_ptr<Rule> MakeGroupByToDistinct() {
+  return std::make_unique<GroupByToDistinct>();
+}
+std::unique_ptr<Rule> MakeDistinctToGroupBy() {
+  return std::make_unique<DistinctToGroupBy>();
+}
+std::unique_ptr<Rule> MakeGroupByOnKeyElimination() {
+  return std::make_unique<GroupByOnKeyElimination>();
+}
+std::unique_ptr<Rule> MakeDistinctElimination() {
+  return std::make_unique<DistinctElimination>();
+}
+
+}  // namespace qtf

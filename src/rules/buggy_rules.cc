@@ -1,0 +1,78 @@
+#include "rules/buggy_rules.h"
+
+#include "rules/rule_util.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+class BuggyLojToJoin final : public ExplorationRule {
+ public:
+  BuggyLojToJoin()
+      : ExplorationRule("BuggyLojToJoin",
+                        P::Join(JoinKind::kLeftOuter, P::Any(), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& loj = static_cast<const JoinOp&>(bound);
+    // BUG: an outer join is not an inner join — null-extended rows vanish.
+    out->push_back(std::make_shared<JoinOp>(JoinKind::kInner, loj.child(0),
+                                            loj.child(1), loj.predicate()));
+  }
+};
+
+class BuggySelectPushBelowGroupBy final : public ExplorationRule {
+ public:
+  BuggySelectPushBelowGroupBy()
+      : ExplorationRule(
+            "BuggySelectPushBelowGroupBy",
+            P::Op(LogicalOpKind::kSelect,
+                  {P::Op(LogicalOpKind::kGroupByAgg, {P::Any()})})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& select = static_cast<const SelectOp&>(bound);
+    const auto& agg = static_cast<const GroupByAggOp&>(*select.child(0));
+    // BUG: pushes only the conjuncts over grouping columns (correct so far)
+    // but *drops the remaining conjuncts* instead of keeping them above.
+    ColumnSet group_cols(agg.group_cols().begin(), agg.group_cols().end());
+    std::vector<ExprPtr> pushable, remaining;
+    SplitPushable(select.predicate(), group_cols, &pushable, &remaining);
+    if (pushable.empty() || remaining.empty()) return;
+    LogicalOpPtr filtered =
+        std::make_shared<SelectOp>(agg.child(0), MakeConjunction(pushable));
+    out->push_back(std::make_shared<GroupByAggOp>(
+        std::move(filtered), agg.group_cols(), agg.aggregates()));
+  }
+};
+
+class BuggyLojCommutativity final : public ExplorationRule {
+ public:
+  BuggyLojCommutativity()
+      : ExplorationRule("BuggyLojCommutativity",
+                        P::Join(JoinKind::kLeftOuter, P::Any(), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& join = static_cast<const JoinOp&>(bound);
+    // BUG: outer joins do not commute — this swaps the preserved side.
+    out->push_back(std::make_shared<JoinOp>(
+        JoinKind::kLeftOuter, join.child(1), join.child(0),
+        join.predicate()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeBuggyLojToJoin() {
+  return std::make_unique<BuggyLojToJoin>();
+}
+std::unique_ptr<Rule> MakeBuggySelectPushBelowGroupBy() {
+  return std::make_unique<BuggySelectPushBelowGroupBy>();
+}
+std::unique_ptr<Rule> MakeBuggyLojCommutativity() {
+  return std::make_unique<BuggyLojCommutativity>();
+}
+
+}  // namespace qtf

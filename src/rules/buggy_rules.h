@@ -1,0 +1,32 @@
+#ifndef QTF_RULES_BUGGY_RULES_H_
+#define QTF_RULES_BUGGY_RULES_H_
+
+#include <memory>
+
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+// Deliberately incorrect rule variants used to demonstrate and test the
+// correctness-validation harness (paper Section 2.3): each miscompiles in a
+// way a real optimizer bug would, so executing Plan(q) vs Plan(q, not r)
+// yields different results for some query.
+
+/// LojToJoin without the NULL-rejection precondition: silently drops the
+/// null-extended rows of the outer join.
+std::unique_ptr<Rule> MakeBuggyLojToJoin();
+
+/// Select-below-GroupBy pushdown that pushes predicates over aggregate
+/// outputs/non-grouping columns by rewriting them onto grouping columns
+/// incorrectly (filters rows instead of groups).
+std::unique_ptr<Rule> MakeBuggySelectPushBelowGroupBy();
+
+/// Commutativity applied to LEFT OUTER joins as if they were inner joins
+/// (swaps the preserved side). Unlike a dropped-predicate bug — whose cross
+/// join is so expensive the optimizer never picks it — the swapped outer
+/// join frequently wins on cost, so the harness can catch it in Plan(q).
+std::unique_ptr<Rule> MakeBuggyLojCommutativity();
+
+}  // namespace qtf
+
+#endif  // QTF_RULES_BUGGY_RULES_H_

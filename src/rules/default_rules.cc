@@ -1,0 +1,57 @@
+#include "rules/default_rules.h"
+
+#include "rules/exploration_rules.h"
+#include "rules/implementation_rules.h"
+
+namespace qtf {
+
+std::unique_ptr<RuleRegistry> MakeDefaultRuleRegistry() {
+  auto registry = std::make_unique<RuleRegistry>();
+
+  // --- 30 logical transformation rules (ids 0..29) ---
+  registry->Register(MakeJoinCommutativity());           // 0
+  registry->Register(MakeJoinAssociativityLeft());       // 1
+  registry->Register(MakeJoinAssociativityRight());      // 2
+  registry->Register(MakeSelectPushBelowJoinLeft());     // 3
+  registry->Register(MakeSelectPushBelowJoinRight());    // 4
+  registry->Register(MakeSelectPushBelowLojLeft());      // 5
+  registry->Register(MakeSelectMerge());                 // 6
+  registry->Register(MakeSelectSplit());                 // 7
+  registry->Register(MakeSelectPushBelowProject());      // 8
+  registry->Register(MakeSelectPushBelowGroupBy());      // 9
+  registry->Register(MakeSelectPushBelowUnionAll());     // 10
+  registry->Register(MakeProjectMerge());                // 11
+  registry->Register(MakeGroupByPushBelowJoinLeft());    // 12
+  registry->Register(MakeGroupByPullAboveJoinLeft());    // 13
+  registry->Register(MakeLojToJoin());                   // 14
+  registry->Register(MakeJoinLojAssocLeft());            // 15
+  registry->Register(MakeLojLojAssocRight());            // 16
+  registry->Register(MakeSemiJoinToJoinDistinct());      // 17
+  registry->Register(MakeJoinToSemiJoin());              // 18
+  registry->Register(MakeAntiToLojNullFilter());         // 19
+  registry->Register(MakeUnionAllCommutativity());       // 20
+  registry->Register(MakeUnionAllAssociativity());       // 21
+  registry->Register(MakeDistinctElimination());         // 22
+  registry->Register(MakeGroupByToDistinct());           // 23
+  registry->Register(MakeDistinctToGroupBy());           // 24
+  registry->Register(MakeGroupByOnKeyElimination());     // 25
+  registry->Register(MakeSelectPushBelowDistinct());     // 26
+  registry->Register(MakeProjectPushBelowUnionAll());    // 27
+  registry->Register(MakeSemiJoinCommuteSelect());       // 28
+  registry->Register(MakeSelectIntoJoin());              // 29
+
+  // --- implementation rules ---
+  registry->Register(MakeGetToScan());
+  registry->Register(MakeSelectToFilter());
+  registry->Register(MakeProjectToCompute());
+  registry->Register(MakeJoinToNlJoin());
+  registry->Register(MakeJoinToHashJoin());
+  registry->Register(MakeGroupByToHashAggregate());
+  registry->Register(MakeGroupByToStreamAggregate());
+  registry->Register(MakeUnionAllToConcat());
+  registry->Register(MakeDistinctToHashDistinct());
+
+  return registry;
+}
+
+}  // namespace qtf

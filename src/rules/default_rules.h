@@ -1,0 +1,21 @@
+#ifndef QTF_RULES_DEFAULT_RULES_H_
+#define QTF_RULES_DEFAULT_RULES_H_
+
+#include <memory>
+
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+/// Builds the optimizer's default rule registry: 30 logical (exploration)
+/// transformation rules — the rule set R targeted by the paper's
+/// experiments — followed by the implementation rules. Exploration rules
+/// occupy the low ids (0..29) in the canonical order listed in DESIGN.md.
+std::unique_ptr<RuleRegistry> MakeDefaultRuleRegistry();
+
+/// Number of logical rules registered first by MakeDefaultRuleRegistry.
+constexpr int kDefaultLogicalRuleCount = 30;
+
+}  // namespace qtf
+
+#endif  // QTF_RULES_DEFAULT_RULES_H_

@@ -1,0 +1,58 @@
+#ifndef QTF_RULES_EXPLORATION_RULES_H_
+#define QTF_RULES_EXPLORATION_RULES_H_
+
+#include <memory>
+
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+// The ~30 logical transformation rules of the optimizer (see DESIGN.md for
+// the semantics and preconditions of each). Factories return fresh rule
+// instances for registration with a RuleRegistry.
+
+// Inner-join reordering (join_rules.cc).
+std::unique_ptr<Rule> MakeJoinCommutativity();
+std::unique_ptr<Rule> MakeJoinAssociativityLeft();
+std::unique_ptr<Rule> MakeJoinAssociativityRight();
+
+// Outer-join rules (join_rules.cc).
+std::unique_ptr<Rule> MakeLojToJoin();
+std::unique_ptr<Rule> MakeJoinLojAssocLeft();
+std::unique_ptr<Rule> MakeLojLojAssocRight();
+
+// Select placement (select_rules.cc).
+std::unique_ptr<Rule> MakeSelectPushBelowJoinLeft();
+std::unique_ptr<Rule> MakeSelectPushBelowJoinRight();
+std::unique_ptr<Rule> MakeSelectPushBelowLojLeft();
+std::unique_ptr<Rule> MakeSelectMerge();
+std::unique_ptr<Rule> MakeSelectSplit();
+std::unique_ptr<Rule> MakeSelectPushBelowProject();
+std::unique_ptr<Rule> MakeSelectPushBelowGroupBy();
+std::unique_ptr<Rule> MakeSelectPushBelowUnionAll();
+std::unique_ptr<Rule> MakeSelectPushBelowDistinct();
+std::unique_ptr<Rule> MakeSelectIntoJoin();
+std::unique_ptr<Rule> MakeProjectMerge();
+
+// Aggregation / distinct rules (agg_rules.cc).
+std::unique_ptr<Rule> MakeGroupByPushBelowJoinLeft();
+std::unique_ptr<Rule> MakeGroupByPullAboveJoinLeft();
+std::unique_ptr<Rule> MakeGroupByToDistinct();
+std::unique_ptr<Rule> MakeDistinctToGroupBy();
+std::unique_ptr<Rule> MakeGroupByOnKeyElimination();
+std::unique_ptr<Rule> MakeDistinctElimination();
+
+// Semi/anti-join rules (semijoin_rules.cc).
+std::unique_ptr<Rule> MakeSemiJoinToJoinDistinct();
+std::unique_ptr<Rule> MakeJoinToSemiJoin();
+std::unique_ptr<Rule> MakeAntiToLojNullFilter();
+std::unique_ptr<Rule> MakeSemiJoinCommuteSelect();
+
+// Union rules (union_rules.cc).
+std::unique_ptr<Rule> MakeUnionAllCommutativity();
+std::unique_ptr<Rule> MakeUnionAllAssociativity();
+std::unique_ptr<Rule> MakeProjectPushBelowUnionAll();
+
+}  // namespace qtf
+
+#endif  // QTF_RULES_EXPLORATION_RULES_H_

@@ -1,0 +1,264 @@
+#include "rules/implementation_rules.h"
+
+#include "logical/props.h"
+#include "rules/rule_util.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+/// Child groups (in order) of a bound single-level expression.
+std::vector<int> ChildGroups(const LogicalOp& bound) {
+  std::vector<int> out;
+  out.reserve(bound.children().size());
+  for (const LogicalOpPtr& child : bound.children()) {
+    QTF_CHECK(child->kind() == LogicalOpKind::kGroupRef);
+    out.push_back(static_cast<const GroupRefOp&>(*child).group_id());
+  }
+  return out;
+}
+
+class GetToScan final : public ImplementationRule {
+ public:
+  GetToScan()
+      : ImplementationRule("GetToScan", P::Op(LogicalOpKind::kGet, {})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& get = static_cast<const GetOp&>(bound);
+    PhysicalAlternative alt;
+    alt.child_groups = {};
+    alt.local_cost =
+        cost_model.TableScan(static_cast<double>(get.table().row_count()));
+    std::vector<ColumnId> columns = get.columns();
+    std::shared_ptr<const TableDef> table_def = get.table_ptr();
+    alt.build = [table_def, columns](const std::vector<PhysicalOpPtr>&) {
+      return std::make_shared<TableScanOp>(table_def, columns);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class SelectToFilter final : public ImplementationRule {
+ public:
+  SelectToFilter()
+      : ImplementationRule("SelectToFilter",
+                           P::Op(LogicalOpKind::kSelect, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& select = static_cast<const SelectOp&>(bound);
+    const auto& input = static_cast<const GroupRefOp&>(*select.child(0));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.Filter(input.props().cardinality);
+    ExprPtr predicate = select.predicate();
+    alt.build = [predicate](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<FilterOp>(children[0], predicate);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class ProjectToCompute final : public ImplementationRule {
+ public:
+  ProjectToCompute()
+      : ImplementationRule("ProjectToCompute",
+                           P::Op(LogicalOpKind::kProject, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& project = static_cast<const ProjectOp&>(bound);
+    const auto& input = static_cast<const GroupRefOp&>(*project.child(0));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.Compute(input.props().cardinality);
+    std::vector<ProjectItem> items = project.items();
+    alt.build = [items](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<ComputeOp>(children[0], items);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class JoinToNlJoin final : public ImplementationRule {
+ public:
+  JoinToNlJoin()
+      : ImplementationRule("JoinToNlJoin",
+                           P::Op(LogicalOpKind::kJoin, {P::Any(), P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& join = static_cast<const JoinOp&>(bound);
+    const auto& left = static_cast<const GroupRefOp&>(*join.child(0));
+    const auto& right = static_cast<const GroupRefOp&>(*join.child(1));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.NlJoin(left.props().cardinality,
+                                       right.props().cardinality);
+    JoinKind kind = join.join_kind();
+    ExprPtr predicate = join.predicate();
+    alt.build = [kind, predicate](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<NlJoinOp>(kind, children[0], children[1],
+                                        predicate);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class JoinToHashJoin final : public ImplementationRule {
+ public:
+  JoinToHashJoin()
+      : ImplementationRule("JoinToHashJoin",
+                           P::Op(LogicalOpKind::kJoin, {P::Any(), P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& join = static_cast<const JoinOp&>(bound);
+    const auto& left = static_cast<const GroupRefOp&>(*join.child(0));
+    const auto& right = static_cast<const GroupRefOp&>(*join.child(1));
+    EquiJoinInfo equi = ExtractEquiJoin(join.predicate(),
+                                        left.props().OutputSet(),
+                                        right.props().OutputSet());
+    if (equi.pairs.empty()) return;
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.HashJoin(left.props().cardinality,
+                                         right.props().cardinality);
+    JoinKind kind = join.join_kind();
+    auto pairs = equi.pairs;
+    ExprPtr residual = MakeConjunction(equi.residual);
+    alt.build = [kind, pairs,
+                 residual](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<HashJoinOp>(kind, children[0], children[1],
+                                          pairs, residual);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class GroupByToHashAggregate final : public ImplementationRule {
+ public:
+  GroupByToHashAggregate()
+      : ImplementationRule("GroupByToHashAggregate",
+                           P::Op(LogicalOpKind::kGroupByAgg, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& agg = static_cast<const GroupByAggOp&>(bound);
+    const auto& input = static_cast<const GroupRefOp&>(*agg.child(0));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.HashAggregate(input.props().cardinality);
+    std::vector<ColumnId> groups = agg.group_cols();
+    std::vector<AggregateItem> aggregates = agg.aggregates();
+    alt.build = [groups,
+                 aggregates](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<HashAggregateOp>(children[0], groups,
+                                               aggregates);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class GroupByToStreamAggregate final : public ImplementationRule {
+ public:
+  GroupByToStreamAggregate()
+      : ImplementationRule("GroupByToStreamAggregate",
+                           P::Op(LogicalOpKind::kGroupByAgg, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& agg = static_cast<const GroupByAggOp&>(bound);
+    const auto& input = static_cast<const GroupRefOp&>(*agg.child(0));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    double rows = input.props().cardinality;
+    // The Sort enforcer below the stream aggregate is part of this
+    // alternative's local cost.
+    alt.local_cost = cost_model.Sort(rows) + cost_model.StreamAggregate(rows);
+    std::vector<ColumnId> groups = agg.group_cols();
+    std::vector<AggregateItem> aggregates = agg.aggregates();
+    alt.build = [groups,
+                 aggregates](const std::vector<PhysicalOpPtr>& children) {
+      PhysicalOpPtr sorted = std::make_shared<SortOp>(children[0], groups);
+      return std::make_shared<StreamAggregateOp>(std::move(sorted), groups,
+                                                 aggregates);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class UnionAllToConcat final : public ImplementationRule {
+ public:
+  UnionAllToConcat()
+      : ImplementationRule(
+            "UnionAllToConcat",
+            P::Op(LogicalOpKind::kUnionAll, {P::Any(), P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& u = static_cast<const UnionAllOp&>(bound);
+    const auto& left = static_cast<const GroupRefOp&>(*u.child(0));
+    const auto& right = static_cast<const GroupRefOp&>(*u.child(1));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.Concat(left.props().cardinality,
+                                       right.props().cardinality);
+    std::vector<ColumnId> output_ids = u.output_ids();
+    alt.build = [output_ids](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<ConcatOp>(children[0], children[1], output_ids);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+class DistinctToHashDistinct final : public ImplementationRule {
+ public:
+  DistinctToHashDistinct()
+      : ImplementationRule("DistinctToHashDistinct",
+                           P::Op(LogicalOpKind::kDistinct, {P::Any()})) {}
+
+  void Apply(const LogicalOp& bound, const CostModel& cost_model,
+             std::vector<PhysicalAlternative>* out) const override {
+    const auto& input = static_cast<const GroupRefOp&>(*bound.child(0));
+    PhysicalAlternative alt;
+    alt.child_groups = ChildGroups(bound);
+    alt.local_cost = cost_model.HashDistinct(input.props().cardinality);
+    alt.build = [](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<HashDistinctOp>(children[0]);
+    };
+    out->push_back(std::move(alt));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeGetToScan() { return std::make_unique<GetToScan>(); }
+std::unique_ptr<Rule> MakeSelectToFilter() {
+  return std::make_unique<SelectToFilter>();
+}
+std::unique_ptr<Rule> MakeProjectToCompute() {
+  return std::make_unique<ProjectToCompute>();
+}
+std::unique_ptr<Rule> MakeJoinToNlJoin() {
+  return std::make_unique<JoinToNlJoin>();
+}
+std::unique_ptr<Rule> MakeJoinToHashJoin() {
+  return std::make_unique<JoinToHashJoin>();
+}
+std::unique_ptr<Rule> MakeGroupByToHashAggregate() {
+  return std::make_unique<GroupByToHashAggregate>();
+}
+std::unique_ptr<Rule> MakeGroupByToStreamAggregate() {
+  return std::make_unique<GroupByToStreamAggregate>();
+}
+std::unique_ptr<Rule> MakeUnionAllToConcat() {
+  return std::make_unique<UnionAllToConcat>();
+}
+std::unique_ptr<Rule> MakeDistinctToHashDistinct() {
+  return std::make_unique<DistinctToHashDistinct>();
+}
+
+}  // namespace qtf

@@ -1,0 +1,28 @@
+#ifndef QTF_RULES_IMPLEMENTATION_RULES_H_
+#define QTF_RULES_IMPLEMENTATION_RULES_H_
+
+#include <memory>
+
+#include "optimizer/rule.h"
+
+namespace qtf {
+
+// Implementation (physical) rules: logical operator -> physical operator
+// alternatives with local costs.
+
+std::unique_ptr<Rule> MakeGetToScan();
+std::unique_ptr<Rule> MakeSelectToFilter();
+std::unique_ptr<Rule> MakeProjectToCompute();
+/// Nested-loops join for every join kind and predicate shape.
+std::unique_ptr<Rule> MakeJoinToNlJoin();
+/// Hash join for every join kind when the predicate has equi-join columns.
+std::unique_ptr<Rule> MakeJoinToHashJoin();
+std::unique_ptr<Rule> MakeGroupByToHashAggregate();
+/// Stream aggregate with a Sort enforcer below.
+std::unique_ptr<Rule> MakeGroupByToStreamAggregate();
+std::unique_ptr<Rule> MakeUnionAllToConcat();
+std::unique_ptr<Rule> MakeDistinctToHashDistinct();
+
+}  // namespace qtf
+
+#endif  // QTF_RULES_IMPLEMENTATION_RULES_H_

@@ -1,0 +1,220 @@
+#include "rules/exploration_rules.h"
+#include "rules/rule_util.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+/// A join B -> B join A. The predicate is untouched: expressions reference
+/// column ids, not positions, so no rebinding is needed.
+class JoinCommutativity final : public ExplorationRule {
+ public:
+  JoinCommutativity()
+      : ExplorationRule("JoinCommutativity",
+                        P::Join(JoinKind::kInner, P::Any(), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& join = static_cast<const JoinOp&>(bound);
+    out->push_back(std::make_shared<JoinOp>(JoinKind::kInner, join.child(1),
+                                            join.child(0), join.predicate()));
+  }
+};
+
+/// Pools the conjuncts of both predicates and redistributes them across the
+/// re-associated join pair (inner joins with conjunctive predicates are
+/// freely reorderable).
+LogicalOpPtr Reassociate(const LogicalOpPtr& a, const LogicalOpPtr& b,
+                         const LogicalOpPtr& c,
+                         const std::vector<ExprPtr>& conjuncts) {
+  // Builds A join (B join C); conjuncts over B u C go inside.
+  ColumnSet bc;
+  for (ColumnId id : b->OutputColumns()) bc.insert(id);
+  for (ColumnId id : c->OutputColumns()) bc.insert(id);
+  std::vector<ExprPtr> inner_conjuncts, outer_conjuncts;
+  for (const ExprPtr& conjunct : conjuncts) {
+    if (ReferencesOnly(*conjunct, bc)) {
+      inner_conjuncts.push_back(conjunct);
+    } else {
+      outer_conjuncts.push_back(conjunct);
+    }
+  }
+  LogicalOpPtr inner = std::make_shared<JoinOp>(
+      JoinKind::kInner, b, c, MakeConjunction(inner_conjuncts));
+  return std::make_shared<JoinOp>(JoinKind::kInner, a, std::move(inner),
+                                  MakeConjunction(outer_conjuncts));
+}
+
+/// (A join B) join C -> A join (B join C).
+class JoinAssociativityLeft final : public ExplorationRule {
+ public:
+  JoinAssociativityLeft()
+      : ExplorationRule(
+            "JoinAssociativityLeft",
+            P::Join(JoinKind::kInner,
+                    P::Join(JoinKind::kInner, P::Any(), P::Any()), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& top = static_cast<const JoinOp&>(bound);
+    const auto& lower = static_cast<const JoinOp&>(*top.child(0));
+    std::vector<ExprPtr> conjuncts = SplitConjuncts(lower.predicate());
+    std::vector<ExprPtr> top_conjuncts = SplitConjuncts(top.predicate());
+    conjuncts.insert(conjuncts.end(), top_conjuncts.begin(),
+                     top_conjuncts.end());
+    out->push_back(Reassociate(lower.child(0), lower.child(1), top.child(1),
+                               conjuncts));
+  }
+};
+
+/// A join (B join C) -> (A join B) join C.
+class JoinAssociativityRight final : public ExplorationRule {
+ public:
+  JoinAssociativityRight()
+      : ExplorationRule(
+            "JoinAssociativityRight",
+            P::Join(JoinKind::kInner, P::Any(),
+                    P::Join(JoinKind::kInner, P::Any(), P::Any()))) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& top = static_cast<const JoinOp&>(bound);
+    const auto& lower = static_cast<const JoinOp&>(*top.child(1));
+    std::vector<ExprPtr> conjuncts = SplitConjuncts(top.predicate());
+    std::vector<ExprPtr> lower_conjuncts = SplitConjuncts(lower.predicate());
+    conjuncts.insert(conjuncts.end(), lower_conjuncts.begin(),
+                     lower_conjuncts.end());
+    const LogicalOpPtr& a = top.child(0);
+    const LogicalOpPtr& b = lower.child(0);
+    const LogicalOpPtr& c = lower.child(1);
+    // Build (A join B) join C: conjuncts over A u B go inside.
+    ColumnSet ab;
+    for (ColumnId id : a->OutputColumns()) ab.insert(id);
+    for (ColumnId id : b->OutputColumns()) ab.insert(id);
+    std::vector<ExprPtr> inner_conjuncts, outer_conjuncts;
+    for (const ExprPtr& conjunct : conjuncts) {
+      if (ReferencesOnly(*conjunct, ab)) {
+        inner_conjuncts.push_back(conjunct);
+      } else {
+        outer_conjuncts.push_back(conjunct);
+      }
+    }
+    LogicalOpPtr inner = std::make_shared<JoinOp>(
+        JoinKind::kInner, a, b, MakeConjunction(inner_conjuncts));
+    out->push_back(std::make_shared<JoinOp>(JoinKind::kInner, std::move(inner),
+                                            c,
+                                            MakeConjunction(outer_conjuncts)));
+  }
+};
+
+/// select[p](A loj[q] B) -> select[p](A join[q] B) when p rejects the
+/// null-extended rows (p is NULL-rejecting on B's columns).
+class LojToJoin final : public ExplorationRule {
+ public:
+  LojToJoin()
+      : ExplorationRule(
+            "LojToJoin",
+            P::Op(LogicalOpKind::kSelect,
+                  {P::Join(JoinKind::kLeftOuter, P::Any(), P::Any())})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& select = static_cast<const SelectOp&>(bound);
+    const auto& loj = static_cast<const JoinOp&>(*select.child(0));
+    ColumnSet right_cols;
+    for (ColumnId id : loj.child(1)->OutputColumns()) right_cols.insert(id);
+    if (!RejectsAllNull(*select.predicate(), right_cols)) return;
+    LogicalOpPtr inner = std::make_shared<JoinOp>(
+        JoinKind::kInner, loj.child(0), loj.child(1), loj.predicate());
+    out->push_back(
+        std::make_shared<SelectOp>(std::move(inner), select.predicate()));
+  }
+};
+
+/// A join[p] (B loj[q] C) -> (A join[p] B) loj[q] C when p references only
+/// A u B (the paper's Section 3 example of join/outer-join associativity).
+class JoinLojAssocLeft final : public ExplorationRule {
+ public:
+  JoinLojAssocLeft()
+      : ExplorationRule(
+            "JoinLojAssocLeft",
+            P::Join(JoinKind::kInner, P::Any(),
+                    P::Join(JoinKind::kLeftOuter, P::Any(), P::Any()))) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& top = static_cast<const JoinOp&>(bound);
+    const auto& loj = static_cast<const JoinOp&>(*top.child(1));
+    const LogicalOpPtr& a = top.child(0);
+    const LogicalOpPtr& b = loj.child(0);
+    const LogicalOpPtr& c = loj.child(1);
+    ColumnSet ab;
+    for (ColumnId id : a->OutputColumns()) ab.insert(id);
+    for (ColumnId id : b->OutputColumns()) ab.insert(id);
+    if (top.predicate() != nullptr &&
+        !ReferencesOnly(*top.predicate(), ab)) {
+      return;
+    }
+    LogicalOpPtr inner =
+        std::make_shared<JoinOp>(JoinKind::kInner, a, b, top.predicate());
+    out->push_back(std::make_shared<JoinOp>(
+        JoinKind::kLeftOuter, std::move(inner), c, loj.predicate()));
+  }
+};
+
+/// (A loj[p] B) loj[q] C -> A loj[p] (B loj[q] C) when q references only
+/// B u C and is NULL-rejecting on B (Galindo-Legaria associativity
+/// condition).
+class LojLojAssocRight final : public ExplorationRule {
+ public:
+  LojLojAssocRight()
+      : ExplorationRule(
+            "LojLojAssocRight",
+            P::Join(JoinKind::kLeftOuter,
+                    P::Join(JoinKind::kLeftOuter, P::Any(), P::Any()),
+                    P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& top = static_cast<const JoinOp&>(bound);
+    const auto& lower = static_cast<const JoinOp&>(*top.child(0));
+    const LogicalOpPtr& a = lower.child(0);
+    const LogicalOpPtr& b = lower.child(1);
+    const LogicalOpPtr& c = top.child(1);
+    if (top.predicate() == nullptr) return;
+    ColumnSet b_cols, bc;
+    for (ColumnId id : b->OutputColumns()) {
+      b_cols.insert(id);
+      bc.insert(id);
+    }
+    for (ColumnId id : c->OutputColumns()) bc.insert(id);
+    if (!ReferencesOnly(*top.predicate(), bc)) return;
+    if (!RejectsAllNull(*top.predicate(), b_cols)) return;
+    LogicalOpPtr inner = std::make_shared<JoinOp>(JoinKind::kLeftOuter, b, c,
+                                                  top.predicate());
+    out->push_back(std::make_shared<JoinOp>(
+        JoinKind::kLeftOuter, a, std::move(inner), lower.predicate()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeJoinCommutativity() {
+  return std::make_unique<JoinCommutativity>();
+}
+std::unique_ptr<Rule> MakeJoinAssociativityLeft() {
+  return std::make_unique<JoinAssociativityLeft>();
+}
+std::unique_ptr<Rule> MakeJoinAssociativityRight() {
+  return std::make_unique<JoinAssociativityRight>();
+}
+std::unique_ptr<Rule> MakeLojToJoin() { return std::make_unique<LojToJoin>(); }
+std::unique_ptr<Rule> MakeJoinLojAssocLeft() {
+  return std::make_unique<JoinLojAssocLeft>();
+}
+std::unique_ptr<Rule> MakeLojLojAssocRight() {
+  return std::make_unique<LojLojAssocRight>();
+}
+
+}  // namespace qtf

@@ -1,0 +1,157 @@
+#include "rules/exploration_rules.h"
+#include "rules/rule_util.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+/// A semijoin[p] B -> project[A-cols](A join[p] B) when B is duplicate-free
+/// on its equi-join columns (each A row matches at most one B row, so the
+/// inner join does not multiply A's rows).
+class SemiJoinToJoinDistinct final : public ExplorationRule {
+ public:
+  SemiJoinToJoinDistinct()
+      : ExplorationRule("SemiJoinToJoinDistinct",
+                        P::Join(JoinKind::kLeftSemi, P::Any(), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& semi = static_cast<const JoinOp&>(bound);
+    if (semi.predicate() == nullptr) return;
+    ColumnSet left_cols, right_cols;
+    for (ColumnId id : semi.child(0)->OutputColumns()) left_cols.insert(id);
+    for (ColumnId id : semi.child(1)->OutputColumns()) right_cols.insert(id);
+    EquiJoinInfo equi =
+        ExtractEquiJoin(semi.predicate(), left_cols, right_cols);
+    if (equi.pairs.empty()) return;
+    LogicalProps right_props = BoundProps(*semi.child(1));
+    if (!right_props.HasKeyWithin(equi.RightColumns())) return;
+
+    LogicalOpPtr join = std::make_shared<JoinOp>(
+        JoinKind::kInner, semi.child(0), semi.child(1), semi.predicate());
+    LogicalProps left_props = BoundProps(*semi.child(0));
+    out->push_back(ProjectTo(std::move(join),
+                             semi.child(0)->OutputColumns(), left_props));
+  }
+};
+
+/// project[A-cols](A join[p] B) -> project[items](A semijoin[p] B) when the
+/// projection keeps only (pass-through) columns of A and B is duplicate-free
+/// on its equi-join columns.
+class JoinToSemiJoin final : public ExplorationRule {
+ public:
+  JoinToSemiJoin()
+      : ExplorationRule(
+            "JoinToSemiJoin",
+            P::Op(LogicalOpKind::kProject,
+                  {P::Join(JoinKind::kInner, P::Any(), P::Any())})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& project = static_cast<const ProjectOp&>(bound);
+    const auto& join = static_cast<const JoinOp&>(*project.child(0));
+    if (join.predicate() == nullptr) return;
+    ColumnSet left_cols, right_cols;
+    for (ColumnId id : join.child(0)->OutputColumns()) left_cols.insert(id);
+    for (ColumnId id : join.child(1)->OutputColumns()) right_cols.insert(id);
+    // All projection items must be pass-through references to A's columns.
+    for (const ProjectItem& item : project.items()) {
+      if (item.expr->kind() != ExprKind::kColumnRef) return;
+      if (left_cols.count(item.id) == 0) return;
+    }
+    EquiJoinInfo equi =
+        ExtractEquiJoin(join.predicate(), left_cols, right_cols);
+    if (equi.pairs.empty()) return;
+    LogicalProps right_props = BoundProps(*join.child(1));
+    if (!right_props.HasKeyWithin(equi.RightColumns())) return;
+
+    LogicalOpPtr semi = std::make_shared<JoinOp>(
+        JoinKind::kLeftSemi, join.child(0), join.child(1), join.predicate());
+    out->push_back(
+        std::make_shared<ProjectOp>(std::move(semi), project.items()));
+  }
+};
+
+/// A antijoin[p] B -> project[A-cols](select[IS NULL(b)](A loj[p] B)) where
+/// b is a provably non-NULL column of B: matched rows carry a non-NULL b,
+/// null-extended (unmatched) rows carry NULL.
+class AntiToLojNullFilter final : public ExplorationRule {
+ public:
+  AntiToLojNullFilter()
+      : ExplorationRule("AntiToLojNullFilter",
+                        P::Join(JoinKind::kLeftAnti, P::Any(), P::Any())) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& anti = static_cast<const JoinOp&>(bound);
+    LogicalProps right_props = BoundProps(*anti.child(1));
+    // Find a non-nullable right column (prefer a key column).
+    ColumnId witness = -1;
+    for (const ColumnSet& key : right_props.keys) {
+      for (ColumnId id : key) {
+        if (right_props.nullable.count(id) == 0) {
+          witness = id;
+          break;
+        }
+      }
+      if (witness >= 0) break;
+    }
+    if (witness < 0) {
+      for (ColumnId id : right_props.output_cols) {
+        if (right_props.nullable.count(id) == 0) {
+          witness = id;
+          break;
+        }
+      }
+    }
+    if (witness < 0) return;
+
+    LogicalOpPtr loj = std::make_shared<JoinOp>(
+        JoinKind::kLeftOuter, anti.child(0), anti.child(1), anti.predicate());
+    LogicalOpPtr filtered = std::make_shared<SelectOp>(
+        std::move(loj), IsNull(Col(witness, right_props.TypeOf(witness))));
+    LogicalProps left_props = BoundProps(*anti.child(0));
+    out->push_back(ProjectTo(std::move(filtered),
+                             anti.child(0)->OutputColumns(), left_props));
+  }
+};
+
+/// select[p](A semijoin B) -> select[p](A) semijoin B. The semi-join's
+/// output is exactly A's columns, so p always applies to A.
+class SemiJoinCommuteSelect final : public ExplorationRule {
+ public:
+  SemiJoinCommuteSelect()
+      : ExplorationRule(
+            "SemiJoinCommuteSelect",
+            P::Op(LogicalOpKind::kSelect,
+                  {P::Join(JoinKind::kLeftSemi, P::Any(), P::Any())})) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    const auto& select = static_cast<const SelectOp&>(bound);
+    const auto& semi = static_cast<const JoinOp&>(*select.child(0));
+    LogicalOpPtr filtered =
+        std::make_shared<SelectOp>(semi.child(0), select.predicate());
+    out->push_back(std::make_shared<JoinOp>(
+        JoinKind::kLeftSemi, std::move(filtered), semi.child(1),
+        semi.predicate()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeSemiJoinToJoinDistinct() {
+  return std::make_unique<SemiJoinToJoinDistinct>();
+}
+std::unique_ptr<Rule> MakeJoinToSemiJoin() {
+  return std::make_unique<JoinToSemiJoin>();
+}
+std::unique_ptr<Rule> MakeAntiToLojNullFilter() {
+  return std::make_unique<AntiToLojNullFilter>();
+}
+std::unique_ptr<Rule> MakeSemiJoinCommuteSelect() {
+  return std::make_unique<SemiJoinCommuteSelect>();
+}
+
+}  // namespace qtf

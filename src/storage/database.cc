@@ -1,0 +1,32 @@
+#include "storage/database.h"
+
+namespace qtf {
+
+Status Database::AddTableData(const std::string& table_name,
+                              std::shared_ptr<TableData> data) {
+  QTF_CHECK(data != nullptr);
+  QTF_ASSIGN_OR_RETURN(std::shared_ptr<const TableDef> def,
+                       catalog_->GetTable(table_name));
+  for (const Row& row : data->rows()) {
+    if (row.size() != def->columns().size()) {
+      return Status::InvalidArgument(
+          "row width mismatch for table " + table_name);
+    }
+  }
+  if (data_.count(table_name) > 0) {
+    return Status::AlreadyExists("data already loaded for " + table_name);
+  }
+  data_[table_name] = std::move(data);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const TableData>> Database::GetTableData(
+    const std::string& table_name) const {
+  auto it = data_.find(table_name);
+  if (it == data_.end()) {
+    return Status::NotFound("no data for table: " + table_name);
+  }
+  return std::shared_ptr<const TableData>(it->second);
+}
+
+}  // namespace qtf

@@ -1,0 +1,55 @@
+#ifndef QTF_STORAGE_DATABASE_H_
+#define QTF_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace qtf {
+
+/// Materialized contents of one base table (row-major). Immutable once
+/// registered with a Database; shared by reference during execution.
+class TableData {
+ public:
+  explicit TableData(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// The fixed test database the framework runs against: schema (Catalog) plus
+/// in-memory table contents. The paper's techniques take such a database as
+/// a given input (Section 2.3).
+class Database {
+ public:
+  Database() : catalog_(std::make_shared<Catalog>()) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* mutable_catalog() { return catalog_.get(); }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Registers data for a table already present in the catalog. Row width
+  /// must match the table's column count.
+  Status AddTableData(const std::string& table_name,
+                      std::shared_ptr<TableData> data);
+
+  Result<std::shared_ptr<const TableData>> GetTableData(
+      const std::string& table_name) const;
+
+ private:
+  std::shared_ptr<Catalog> catalog_;
+  std::map<std::string, std::shared_ptr<TableData>> data_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_STORAGE_DATABASE_H_

@@ -1,0 +1,291 @@
+#include "storage/tpch.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qtf {
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",   "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",  "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",   "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#21", "Brand#22",
+                         "Brand#31", "Brand#32", "Brand#41", "Brand#42"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kStatuses[] = {"F", "O", "P"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+
+ColumnDef IntCol(const std::string& name, int64_t min_v, int64_t max_v,
+                 double distinct, double null_fraction = 0.0) {
+  ColumnDef c;
+  c.name = name;
+  c.type = ValueType::kInt64;
+  c.min_value = min_v;
+  c.max_value = max_v;
+  c.distinct_count = distinct;
+  c.null_fraction = null_fraction;
+  return c;
+}
+
+ColumnDef DoubleCol(const std::string& name, double distinct,
+                    double null_fraction = 0.0) {
+  ColumnDef c;
+  c.name = name;
+  c.type = ValueType::kDouble;
+  c.distinct_count = distinct;
+  c.null_fraction = null_fraction;
+  return c;
+}
+
+ColumnDef StringCol(const std::string& name, double distinct) {
+  ColumnDef c;
+  c.name = name;
+  c.type = ValueType::kString;
+  c.distinct_count = distinct;
+  return c;
+}
+
+/// Applies the column's null fraction; otherwise returns the value.
+Value MaybeNull(Rng* rng, const ColumnDef& col, Value v) {
+  if (col.null_fraction > 0.0 && rng->Bernoulli(col.null_fraction)) {
+    return Value::Null(col.type);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> MakeTpchDatabase(const TpchConfig& config) {
+  QTF_CHECK(config.scale >= 1);
+  const int64_t s = config.scale;
+  const int64_t n_region = 5;
+  const int64_t n_nation = 25;
+  const int64_t n_supplier = 10 * s;
+  const int64_t n_customer = 60 * s;
+  const int64_t n_part = 80 * s;
+  const int64_t n_partsupp = 2 * n_part;
+  const int64_t n_orders = 300 * s;
+  // lineitem rows: 1..4 per order, expected ~2.5x.
+  Rng rng(config.seed);
+
+  auto db = std::make_unique<Database>();
+  Catalog* catalog = db->mutable_catalog();
+
+  // ---- region ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("r_regionkey", 1, n_region, static_cast<double>(n_region)),
+        StringCol("r_name", static_cast<double>(n_region))};
+    auto def = std::make_shared<TableDef>("region", cols, n_region);
+    def->AddKey(KeyDef{{0}});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_region; ++i) {
+      rows.push_back({Value::Int64(i), Value::String(kRegionNames[i - 1])});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("region", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- nation ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("n_nationkey", 1, n_nation, static_cast<double>(n_nation)),
+        StringCol("n_name", static_cast<double>(n_nation)),
+        IntCol("n_regionkey", 1, n_region, static_cast<double>(n_region))};
+    auto def = std::make_shared<TableDef>("nation", cols, n_nation);
+    def->AddKey(KeyDef{{0}});
+    def->AddForeignKey(ForeignKeyDef{2, "region", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_nation; ++i) {
+      rows.push_back({Value::Int64(i), Value::String(kNationNames[i - 1]),
+                      Value::Int64((i - 1) % n_region + 1)});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("nation", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- supplier ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("s_suppkey", 1, n_supplier, static_cast<double>(n_supplier)),
+        StringCol("s_name", static_cast<double>(n_supplier)),
+        IntCol("s_nationkey", 1, n_nation, static_cast<double>(n_nation)),
+        DoubleCol("s_acctbal", static_cast<double>(n_supplier), 0.05)};
+    auto def = std::make_shared<TableDef>("supplier", cols, n_supplier);
+    def->AddKey(KeyDef{{0}});
+    def->AddForeignKey(ForeignKeyDef{2, "nation", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_supplier; ++i) {
+      rows.push_back(
+          {Value::Int64(i),
+           Value::String("Supplier#" + std::to_string(i)),
+           Value::Int64(rng.UniformInt(1, n_nation)),
+           MaybeNull(&rng, cols[3],
+                     Value::Double(rng.UniformDouble(-999.0, 9999.0)))});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("supplier", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- customer ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("c_custkey", 1, n_customer, static_cast<double>(n_customer)),
+        StringCol("c_name", static_cast<double>(n_customer)),
+        IntCol("c_nationkey", 1, n_nation, static_cast<double>(n_nation)),
+        DoubleCol("c_acctbal", static_cast<double>(n_customer), 0.05),
+        StringCol("c_mktsegment", 5.0)};
+    auto def = std::make_shared<TableDef>("customer", cols, n_customer);
+    def->AddKey(KeyDef{{0}});
+    def->AddForeignKey(ForeignKeyDef{2, "nation", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_customer; ++i) {
+      rows.push_back(
+          {Value::Int64(i),
+           Value::String("Customer#" + std::to_string(i)),
+           Value::Int64(rng.UniformInt(1, n_nation)),
+           MaybeNull(&rng, cols[3],
+                     Value::Double(rng.UniformDouble(-999.0, 9999.0))),
+           Value::String(kSegments[rng.PickIndex(5)])});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("customer", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- part ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("p_partkey", 1, n_part, static_cast<double>(n_part)),
+        StringCol("p_name", static_cast<double>(n_part)),
+        StringCol("p_brand", 8.0),
+        IntCol("p_size", 1, 50, 50.0, 0.02),
+        DoubleCol("p_retailprice", static_cast<double>(n_part))};
+    auto def = std::make_shared<TableDef>("part", cols, n_part);
+    def->AddKey(KeyDef{{0}});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_part; ++i) {
+      rows.push_back(
+          {Value::Int64(i), Value::String("Part#" + std::to_string(i)),
+           Value::String(kBrands[rng.PickIndex(8)]),
+           MaybeNull(&rng, cols[3], Value::Int64(rng.UniformInt(1, 50))),
+           Value::Double(900.0 + static_cast<double>(i % 200))});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("part", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- partsupp ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("ps_partkey", 1, n_part, static_cast<double>(n_part)),
+        IntCol("ps_suppkey", 1, n_supplier, static_cast<double>(n_supplier)),
+        IntCol("ps_availqty", 1, 9999, 5000.0),
+        DoubleCol("ps_supplycost", 1000.0)};
+    auto def = std::make_shared<TableDef>("partsupp", cols, n_partsupp);
+    def->AddKey(KeyDef{{0, 1}});
+    def->AddForeignKey(ForeignKeyDef{0, "part", 0});
+    def->AddForeignKey(ForeignKeyDef{1, "supplier", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    // Two suppliers per part, distinct, so (ps_partkey, ps_suppkey) is a key.
+    for (int64_t p = 1; p <= n_part; ++p) {
+      int64_t s1 = rng.UniformInt(1, n_supplier);
+      int64_t s2 = s1 % n_supplier + 1;
+      for (int64_t sk : {s1, s2}) {
+        rows.push_back({Value::Int64(p), Value::Int64(sk),
+                        Value::Int64(rng.UniformInt(1, 9999)),
+                        Value::Double(rng.UniformDouble(1.0, 1000.0))});
+      }
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("partsupp", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- orders ----
+  {
+    std::vector<ColumnDef> cols = {
+        IntCol("o_orderkey", 1, n_orders, static_cast<double>(n_orders)),
+        IntCol("o_custkey", 1, n_customer, static_cast<double>(n_customer)),
+        StringCol("o_orderstatus", 3.0),
+        DoubleCol("o_totalprice", static_cast<double>(n_orders)),
+        IntCol("o_orderdate", 19920101, 19981231, 2000.0),
+        StringCol("o_orderpriority", 5.0)};
+    auto def = std::make_shared<TableDef>("orders", cols, n_orders);
+    def->AddKey(KeyDef{{0}});
+    def->AddForeignKey(ForeignKeyDef{1, "customer", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    std::vector<Row> rows;
+    for (int64_t i = 1; i <= n_orders; ++i) {
+      int64_t year = rng.UniformInt(1992, 1998);
+      int64_t month = rng.UniformInt(1, 12);
+      int64_t day = rng.UniformInt(1, 28);
+      rows.push_back({Value::Int64(i),
+                      Value::Int64(rng.UniformInt(1, n_customer)),
+                      Value::String(kStatuses[rng.PickIndex(3)]),
+                      Value::Double(rng.UniformDouble(900.0, 500000.0)),
+                      Value::Int64(year * 10000 + month * 100 + day),
+                      Value::String(kPriorities[rng.PickIndex(5)])});
+    }
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("orders", std::make_shared<TableData>(rows)));
+  }
+
+  // ---- lineitem ----
+  {
+    std::vector<Row> rows;
+    for (int64_t o = 1; o <= n_orders; ++o) {
+      int64_t n_lines = rng.UniformInt(1, 4);
+      for (int64_t l = 1; l <= n_lines; ++l) {
+        rows.push_back({Value::Int64(o), Value::Int64(l),
+                        Value::Int64(rng.UniformInt(1, n_part)),
+                        Value::Int64(rng.UniformInt(1, n_supplier)),
+                        Value::Double(static_cast<double>(
+                            rng.UniformInt(1, 50))),
+                        Value::Double(rng.UniformDouble(900.0, 100000.0)),
+                        Value::Double(rng.UniformInt(0, 10) / 100.0),
+                        Value::String(kReturnFlags[rng.PickIndex(3)]),
+                        Value::Int64(19920101 +
+                                     rng.UniformInt(0, 60000))});
+      }
+    }
+    const int64_t n_lineitem = static_cast<int64_t>(rows.size());
+    std::vector<ColumnDef> cols = {
+        IntCol("l_orderkey", 1, n_orders, static_cast<double>(n_orders)),
+        IntCol("l_linenumber", 1, 4, 4.0),
+        IntCol("l_partkey", 1, n_part, static_cast<double>(n_part)),
+        IntCol("l_suppkey", 1, n_supplier, static_cast<double>(n_supplier)),
+        DoubleCol("l_quantity", 50.0),
+        DoubleCol("l_extendedprice", static_cast<double>(n_lineitem)),
+        DoubleCol("l_discount", 11.0),
+        StringCol("l_returnflag", 3.0),
+        IntCol("l_shipdate", 19920101, 19981231, 2000.0)};
+    auto def = std::make_shared<TableDef>("lineitem", cols, n_lineitem);
+    def->AddKey(KeyDef{{0, 1}});
+    def->AddForeignKey(ForeignKeyDef{0, "orders", 0});
+    def->AddForeignKey(ForeignKeyDef{2, "part", 0});
+    def->AddForeignKey(ForeignKeyDef{3, "supplier", 0});
+    QTF_RETURN_NOT_OK(catalog->AddTable(def));
+    QTF_RETURN_NOT_OK(
+        db->AddTableData("lineitem", std::make_shared<TableData>(rows)));
+  }
+
+  return db;
+}
+
+}  // namespace qtf

@@ -1,0 +1,78 @@
+#include "testing/correctness.h"
+
+#include <map>
+#include <set>
+
+namespace qtf {
+
+Result<CorrectnessReport> CorrectnessRunner::Run(
+    const TestSuite& suite,
+    const std::vector<std::vector<int>>& assignment) {
+  QTF_CHECK(assignment.size() == suite.targets.size());
+  CorrectnessReport report;
+
+  // Execute Plan(q) once per distinct query in the assignment.
+  std::set<int> used;
+  for (const auto& queries : assignment) {
+    used.insert(queries.begin(), queries.end());
+  }
+  std::map<int, OptimizeResult> base_plans;
+  std::map<int, ResultSet> base_results;
+  for (int q : used) {
+    const TestCase& test_case = suite.queries[static_cast<size_t>(q)];
+    QTF_ASSIGN_OR_RETURN(OptimizeResult optimized,
+                         optimizer_->Optimize(test_case.query));
+    Executor executor(db_, test_case.query.registry.get());
+    QTF_ASSIGN_OR_RETURN(ResultSet result, executor.Execute(*optimized.plan));
+    ++report.plans_executed;
+    base_plans.emplace(q, std::move(optimized));
+    base_results.emplace(q, std::move(result));
+  }
+
+  // Validate every (target, query) edge.
+  for (size_t t = 0; t < assignment.size(); ++t) {
+    OptimizerOptions options;
+    for (RuleId id : suite.targets[t].rules) {
+      options.disabled_rules.insert(id);
+    }
+    for (int q : assignment[t]) {
+      const TestCase& test_case = suite.queries[static_cast<size_t>(q)];
+      QTF_ASSIGN_OR_RETURN(OptimizeResult restricted,
+                           optimizer_->Optimize(test_case.query, options));
+      // Identical plans are guaranteed to produce identical results
+      // (Section 2.3, footnote 1) — skip the execution.
+      if (PhysicalTreeEquals(*restricted.plan, *base_plans.at(q).plan)) {
+        ++report.skipped_identical_plans;
+        continue;
+      }
+      Executor executor(db_, test_case.query.registry.get());
+      QTF_ASSIGN_OR_RETURN(ResultSet result,
+                           executor.Execute(*restricted.plan));
+      ++report.plans_executed;
+      if (!ResultBagEquals(base_results.at(q), result)) {
+        CorrectnessViolation violation;
+        violation.target = static_cast<int>(t);
+        violation.query = q;
+        violation.target_name =
+            suite.targets[t].ToString(optimizer_->rules());
+        violation.sql = test_case.sql;
+        violation.base_rows = base_results.at(q).row_count();
+        violation.restricted_rows = result.row_count();
+        report.violations.push_back(std::move(violation));
+      }
+    }
+  }
+  return report;
+}
+
+Result<bool> IsRuleRelevant(Optimizer* optimizer, const Query& query,
+                            RuleId rule) {
+  QTF_ASSIGN_OR_RETURN(OptimizeResult base, optimizer->Optimize(query));
+  OptimizerOptions options;
+  options.disabled_rules.insert(rule);
+  QTF_ASSIGN_OR_RETURN(OptimizeResult restricted,
+                       optimizer->Optimize(query, options));
+  return !PhysicalTreeEquals(*base.plan, *restricted.plan);
+}
+
+}  // namespace qtf

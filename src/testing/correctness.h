@@ -1,0 +1,68 @@
+#ifndef QTF_TESTING_CORRECTNESS_H_
+#define QTF_TESTING_CORRECTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "qgen/test_suite.h"
+
+namespace qtf {
+
+/// A correctness bug found by the harness: executing Plan(q) and
+/// Plan(q, ¬target) returned different results, implicating the target's
+/// rule(s) (paper Section 2.3).
+struct CorrectnessViolation {
+  int target = -1;
+  int query = -1;
+  std::string target_name;
+  std::string sql;
+  int64_t base_rows = 0;
+  int64_t restricted_rows = 0;
+};
+
+/// Outcome of executing a (possibly compressed) test suite.
+struct CorrectnessReport {
+  /// Plans actually executed (base plans once per distinct query, plus one
+  /// per validated edge whose plan differed).
+  int plans_executed = 0;
+  /// Edge validations skipped because Plan(q) and Plan(q, ¬target) were
+  /// structurally identical (paper Section 2.3, footnote 1).
+  int skipped_identical_plans = 0;
+  std::vector<CorrectnessViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// The Test Suite Execution module of Figure 2: for each query of the
+/// suite's assignment, execute Plan(q) once; for each (target, query) edge,
+/// execute Plan(q, ¬target) and compare result bags.
+class CorrectnessRunner {
+ public:
+  CorrectnessRunner(const Database* db, Optimizer* optimizer)
+      : db_(db), optimizer_(optimizer) {
+    QTF_CHECK(db_ != nullptr && optimizer_ != nullptr);
+  }
+
+  /// Validates `assignment` (per target: query indices into the suite).
+  /// Pass a CompressionSolution's assignment, or suite.per_target for the
+  /// BASELINE mapping.
+  Result<CorrectnessReport> Run(
+      const TestSuite& suite,
+      const std::vector<std::vector<int>>& assignment);
+
+ private:
+  const Database* db_;
+  Optimizer* optimizer_;
+};
+
+/// Section-7 query-generation variant support: a rule is *relevant* for a
+/// query if disabling it changes the optimizer's chosen plan.
+Result<bool> IsRuleRelevant(Optimizer* optimizer, const Query& query,
+                            RuleId rule);
+
+}  // namespace qtf
+
+#endif  // QTF_TESTING_CORRECTNESS_H_

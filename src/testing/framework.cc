@@ -1,0 +1,46 @@
+#include "testing/framework.h"
+
+namespace qtf {
+
+Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
+    const TpchConfig& config, std::unique_ptr<RuleRegistry> registry) {
+  auto framework =
+      std::unique_ptr<RuleTestFramework>(new RuleTestFramework());
+  QTF_ASSIGN_OR_RETURN(framework->db_, MakeTpchDatabase(config));
+  framework->registry_ =
+      registry != nullptr ? std::move(registry) : MakeDefaultRuleRegistry();
+  framework->optimizer_ =
+      std::make_unique<Optimizer>(framework->registry_.get());
+  framework->generator_ = std::make_unique<TargetedQueryGenerator>(
+      &framework->db_->catalog(), framework->optimizer_.get());
+  framework->suite_generator_ = std::make_unique<TestSuiteGenerator>(
+      &framework->db_->catalog(), framework->optimizer_.get());
+  framework->runner_ = std::make_unique<CorrectnessRunner>(
+      framework->db_.get(), framework->optimizer_.get());
+  return framework;
+}
+
+std::vector<RuleTarget> RuleTestFramework::LogicalRulePairs(int n) const {
+  std::vector<RuleId> logical = registry_->ExplorationRuleIds();
+  QTF_CHECK(n <= static_cast<int>(logical.size()));
+  std::vector<RuleTarget> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      pairs.push_back(RuleTarget{{logical[static_cast<size_t>(i)],
+                                  logical[static_cast<size_t>(j)]}});
+    }
+  }
+  return pairs;
+}
+
+std::vector<RuleTarget> RuleTestFramework::LogicalRuleSingletons(int n) const {
+  std::vector<RuleId> logical = registry_->ExplorationRuleIds();
+  QTF_CHECK(n <= static_cast<int>(logical.size()));
+  std::vector<RuleTarget> singletons;
+  for (int i = 0; i < n; ++i) {
+    singletons.push_back(RuleTarget{{logical[static_cast<size_t>(i)]}});
+  }
+  return singletons;
+}
+
+}  // namespace qtf

@@ -1,0 +1,62 @@
+#ifndef QTF_TESTING_FRAMEWORK_H_
+#define QTF_TESTING_FRAMEWORK_H_
+
+#include <memory>
+
+#include "compress/compression.h"
+#include "compress/matching.h"
+#include "qgen/generation.h"
+#include "qgen/test_suite.h"
+#include "rules/default_rules.h"
+#include "storage/tpch.h"
+#include "testing/correctness.h"
+
+namespace qtf {
+
+/// One-stop assembly of the rule-testing framework of Figure 2: the fixed
+/// test database, the rule-based optimizer with its testing extensions,
+/// query generation, test-suite generation/compression and correctness
+/// execution. Examples, tests and benchmarks build on this facade.
+class RuleTestFramework {
+ public:
+  /// Builds the framework over a fresh TPC-H-style database with the
+  /// default rule registry (pass a custom registry to inject rules, e.g.
+  /// buggy variants for harness demos).
+  static Result<std::unique_ptr<RuleTestFramework>> Create(
+      const TpchConfig& config = TpchConfig{},
+      std::unique_ptr<RuleRegistry> registry = nullptr);
+
+  const Database& db() const { return *db_; }
+  const Catalog& catalog() const { return db_->catalog(); }
+  const RuleRegistry& rules() const { return *registry_; }
+  Optimizer* optimizer() { return optimizer_.get(); }
+  TargetedQueryGenerator* generator() { return generator_.get(); }
+  TestSuiteGenerator* suite_generator() { return suite_generator_.get(); }
+  CorrectnessRunner* runner() { return runner_.get(); }
+
+  /// Ids of the logical (exploration) rules — the rule set R the paper's
+  /// experiments target.
+  std::vector<RuleId> LogicalRules() const {
+    return registry_->ExplorationRuleIds();
+  }
+
+  /// All unordered pairs over the first `n` logical rules (nC2 targets).
+  std::vector<RuleTarget> LogicalRulePairs(int n) const;
+
+  /// Singleton targets over the first `n` logical rules.
+  std::vector<RuleTarget> LogicalRuleSingletons(int n) const;
+
+ private:
+  RuleTestFramework() = default;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RuleRegistry> registry_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<TargetedQueryGenerator> generator_;
+  std::unique_ptr<TestSuiteGenerator> suite_generator_;
+  std::unique_ptr<CorrectnessRunner> runner_;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_TESTING_FRAMEWORK_H_

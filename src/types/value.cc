@@ -1,0 +1,109 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace qtf {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsDouble() const {
+  QTF_CHECK(!is_null_);
+  if (type_ == ValueType::kInt64) return static_cast<double>(int64());
+  QTF_CHECK(type_ == ValueType::kDouble)
+      << "AsDouble on " << ValueTypeToString(type_);
+  return dbl();
+}
+
+int Value::Compare(const Value& other) const {
+  QTF_CHECK(type_ == other.type_)
+      << "comparing " << ValueTypeToString(type_) << " with "
+      << ValueTypeToString(other.type_);
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  switch (type_) {
+    case ValueType::kInt64: {
+      int64_t a = int64(), b = other.int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double a = dbl(), b = other.dbl();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString:
+      return str().compare(other.str()) < 0
+                 ? -1
+                 : (str() == other.str() ? 0 : 1);
+    case ValueType::kBool: {
+      int a = boolean() ? 1 : 0, b = other.boolean() ? 1 : 0;
+      return a - b;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble:
+      return FormatDouble(dbl());
+    case ValueType::kString:
+      return SqlQuote(str());
+    case ValueType::kBool:
+      return boolean() ? "TRUE" : "FALSE";
+  }
+  return "NULL";
+}
+
+size_t Value::Hash() const {
+  if (is_null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(int64());
+    case ValueType::kDouble:
+      return std::hash<double>()(dbl());
+    case ValueType::kString:
+      return std::hash<std::string>()(str());
+    case ValueType::kBool:
+      return std::hash<bool>()(boolean());
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 14695981039346656037ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+}  // namespace qtf

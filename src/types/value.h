@@ -1,0 +1,105 @@
+#ifndef QTF_TYPES_VALUE_H_
+#define QTF_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qtf {
+
+/// Column data types supported by the engine. Dates are stored as int64
+/// days-since-epoch at the storage layer, so kInt64 covers them; the enum
+/// keeps the SQL-facing distinction for rendering.
+enum class ValueType {
+  kInt64 = 0,
+  kDouble,
+  kString,
+  kBool,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single (possibly NULL) SQL value. Values are small, copyable and
+/// totally ordered (NULL sorts first, cross-type never happens in well-typed
+/// plans and is checked).
+class Value {
+ public:
+  /// NULL of the given type.
+  static Value Null(ValueType type) { return Value(type); }
+  static Value Int64(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) { return Value(ValueType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(ValueType::kString, std::move(v));
+  }
+  static Value Bool(bool v) { return Value(ValueType::kBool, v); }
+
+  Value() : type_(ValueType::kInt64), is_null_(true) {}
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  int64_t int64() const {
+    QTF_CHECK(!is_null_ && type_ == ValueType::kInt64);
+    return std::get<int64_t>(data_);
+  }
+  double dbl() const {
+    QTF_CHECK(!is_null_ && type_ == ValueType::kDouble);
+    return std::get<double>(data_);
+  }
+  const std::string& str() const {
+    QTF_CHECK(!is_null_ && type_ == ValueType::kString);
+    return std::get<std::string>(data_);
+  }
+  bool boolean() const {
+    QTF_CHECK(!is_null_ && type_ == ValueType::kBool);
+    return std::get<bool>(data_);
+  }
+
+  /// Numeric view: int64 or double as double. Used by arithmetic and
+  /// aggregate evaluation.
+  double AsDouble() const;
+
+  /// Total-order comparison for sorting and result canonicalization:
+  /// NULL < any non-NULL; same-type values compare naturally.
+  /// Requires both values to have the same type.
+  int Compare(const Value& other) const;
+
+  /// SQL literal rendering ("42", "3.5", "'abc'", "NULL", "TRUE").
+  std::string ToSqlLiteral() const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash compatible with Compare()==0 equality.
+  size_t Hash() const;
+
+ private:
+  explicit Value(ValueType type) : type_(type), is_null_(true) {}
+  template <typename T>
+  Value(ValueType type, T v)
+      : type_(type), is_null_(false), data_(std::move(v)) {}
+
+  ValueType type_;
+  bool is_null_;
+  std::variant<int64_t, double, std::string, bool> data_;
+};
+
+/// A tuple of values; the unit of data flow in the executor.
+using Row = std::vector<Value>;
+
+/// Hashes a full row (order-sensitive).
+size_t HashRow(const Row& row);
+
+/// Lexicographic row comparison (used to canonicalize result bags).
+int CompareRows(const Row& a, const Row& b);
+
+}  // namespace qtf
+
+#endif  // QTF_TYPES_VALUE_H_

@@ -1,0 +1,221 @@
+// Test-suite compression (paper Sections 4-5): the paper's Example 1 as a
+// literal unit test, algorithm properties (TOPK factor-2 bound vs the exact
+// solver, monotonicity soundness and savings), and the Section-7 matching
+// variant.
+
+#include <gtest/gtest.h>
+
+#include "compress/matching.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+/// Builds a real (small) suite over the framework so edge costs come from
+/// the actual optimizer.
+class CompressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fw = RuleTestFramework::Create();
+    ASSERT_TRUE(fw.ok());
+    fw_ = std::move(fw).value();
+  }
+
+  TestSuite MakeSuite(int n_rules, int k, uint64_t seed, int extra_ops = 3) {
+    auto targets = fw_->LogicalRuleSingletons(n_rules);
+    GenerationConfig config;
+    config.method = GenerationMethod::kPattern;
+    config.extra_ops = extra_ops;
+    config.seed = seed;
+    auto suite = fw_->suite_generator()->Generate(targets, k, config);
+    EXPECT_TRUE(suite.ok()) << suite.status().ToString();
+    return std::move(suite).value();
+  }
+
+  std::unique_ptr<RuleTestFramework> fw_;
+};
+
+TEST_F(CompressionTest, BaselineMatchesPaperFormula) {
+  TestSuite suite = MakeSuite(4, 2, 1);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto baseline = CompressBaseline(&provider);
+  ASSERT_TRUE(baseline.ok());
+  // Recompute by hand: sum over targets, sum over own queries of
+  // (Cost(q) + Cost(q, not target)).
+  double expected = 0.0;
+  for (size_t t = 0; t < suite.per_target.size(); ++t) {
+    for (int q : suite.per_target[t]) {
+      expected += provider.NodeCost(q) +
+                  provider.EdgeCost(static_cast<int>(t), q).value();
+    }
+  }
+  EXPECT_NEAR(baseline->total_cost, expected, 1e-9);
+}
+
+TEST_F(CompressionTest, AllAlgorithmsSatisfyTheInvariant) {
+  // Every valid solution maps exactly k distinct queries to each target,
+  // each of which exercises the target (condition 1+2 of Section 4.1).
+  const int k = 3;
+  TestSuite suite = MakeSuite(6, k, 2);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  using Solver = Result<CompressionSolution> (*)(EdgeCostProvider*, int);
+  std::vector<Solver> solvers = {
+      [](EdgeCostProvider* p, int kk) { return CompressSetMultiCover(p, kk); },
+      [](EdgeCostProvider* p, int kk) {
+        return CompressTopKIndependent(p, kk, true);
+      }};
+  for (Solver solve : solvers) {
+    auto solution = solve(&provider, k);
+    ASSERT_TRUE(solution.ok());
+    ASSERT_EQ(solution->assignment.size(), suite.targets.size());
+    for (size_t t = 0; t < solution->assignment.size(); ++t) {
+      const auto& queries = solution->assignment[t];
+      EXPECT_EQ(queries.size(), static_cast<size_t>(k));
+      std::set<int> distinct(queries.begin(), queries.end());
+      EXPECT_EQ(distinct.size(), queries.size());
+      for (int q : queries) {
+        for (RuleId id : suite.targets[t].rules) {
+          EXPECT_TRUE(
+              suite.queries[static_cast<size_t>(q)].rule_set.count(id) > 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CompressionTest, CompressedSuitesNeverCostMoreThanBaseline) {
+  const int k = 3;
+  TestSuite suite = MakeSuite(8, k, 3);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto baseline = CompressBaseline(&provider);
+  auto topk = CompressTopKIndependent(&provider, k, false);
+  ASSERT_TRUE(baseline.ok() && topk.ok());
+  EXPECT_LE(topk->total_cost, baseline->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, MonotonicityIsSoundAndSavesCalls) {
+  const int k = 3;
+  TestSuite suite = MakeSuite(8, k, 4);
+  EdgeCostProvider full_provider(fw_->optimizer(), &suite);
+  auto full = CompressTopKIndependent(&full_provider, k, false);
+  ASSERT_TRUE(full.ok());
+
+  EdgeCostProvider lazy_provider(fw_->optimizer(), &suite);
+  auto lazy = CompressTopKIndependent(&lazy_provider, k, true);
+  ASSERT_TRUE(lazy.ok());
+
+  // Sound: identical total cost (paper: "without affecting the actual
+  // quality of the result").
+  EXPECT_NEAR(full->total_cost, lazy->total_cost, 1e-9);
+  // Saves optimizer invocations.
+  EXPECT_LE(lazy->optimizer_calls, full->optimizer_calls);
+}
+
+TEST_F(CompressionTest, TopKWithinFactorTwoOfExact) {
+  const int k = 2;
+  TestSuite suite = MakeSuite(4, k, 5);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto exact = CompressExact(&provider, k);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  auto topk = CompressTopKIndependent(&provider, k, false);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_GE(topk->total_cost, exact->total_cost - 1e-9);
+  EXPECT_LE(topk->total_cost, 2.0 * exact->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, ExactIsNeverWorseThanGreedy) {
+  const int k = 1;
+  TestSuite suite = MakeSuite(5, k, 6);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto exact = CompressExact(&provider, k);
+  ASSERT_TRUE(exact.ok());
+  auto smc = CompressSetMultiCover(&provider, k);
+  ASSERT_TRUE(smc.ok());
+  EXPECT_LE(exact->total_cost, smc->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, SolutionCostSharesNodeCosts) {
+  TestSuite suite = MakeSuite(3, 1, 7);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  // Assign the SAME query to all three targets (it must cover them; pick a
+  // query covering all three if one exists, else skip).
+  int shared = -1;
+  for (size_t q = 0; q < suite.queries.size(); ++q) {
+    bool covers_all = true;
+    for (size_t t = 0; t < suite.targets.size(); ++t) {
+      for (RuleId id : suite.targets[t].rules) {
+        if (suite.queries[q].rule_set.count(id) == 0) covers_all = false;
+      }
+    }
+    if (covers_all) {
+      shared = static_cast<int>(q);
+      break;
+    }
+  }
+  if (shared < 0) GTEST_SKIP() << "no universally covering query";
+  std::vector<std::vector<int>> assignment(suite.targets.size(),
+                                           std::vector<int>{shared});
+  double cost = SolutionCost(&provider, assignment).value();
+  double edges = 0.0;
+  for (size_t t = 0; t < suite.targets.size(); ++t) {
+    edges += provider.EdgeCost(static_cast<int>(t), shared).value();
+  }
+  // Node cost counted once, not three times.
+  EXPECT_NEAR(cost, provider.NodeCost(shared) + edges, 1e-9);
+}
+
+TEST_F(CompressionTest, PairTargetsCompress) {
+  // Rule-pair version of the problem (Section 5.3): same machinery, targets
+  // are pairs; disabling both rules gives the edge cost.
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  std::vector<RuleTarget> pairs = {RuleTarget{{logical[0], logical[3]}},
+                                   RuleTarget{{logical[3], logical[6]}},
+                                   RuleTarget{{logical[0], logical[6]}}};
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.max_trials = 500;
+  config.seed = 8;
+  auto suite = fw_->suite_generator()->Generate(pairs, 2, config);
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+
+  EdgeCostProvider provider(fw_->optimizer(), &*suite);
+  auto baseline = CompressBaseline(&provider);
+  auto topk = CompressTopKIndependent(&provider, 2, true);
+  ASSERT_TRUE(baseline.ok() && topk.ok());
+  EXPECT_LE(topk->total_cost, baseline->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, NoSharingMatchingVariant) {
+  const int k = 2;
+  TestSuite suite = MakeSuite(4, k, 9);
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto matching = CompressNoSharingMatching(&provider, k);
+  ASSERT_TRUE(matching.ok()) << matching.status().ToString();
+
+  // Each target gets k queries; no query is used twice anywhere.
+  std::set<int> used;
+  for (const auto& queries : matching->assignment) {
+    EXPECT_EQ(queries.size(), static_cast<size_t>(k));
+    for (int q : queries) {
+      EXPECT_TRUE(used.insert(q).second) << "query " << q << " shared";
+    }
+  }
+
+  // The shared (TOPK) solution can only be cheaper or equal, since sharing
+  // relaxes the constraint.
+  auto topk = CompressTopKIndependent(&provider, k, false);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_LE(topk->total_cost, matching->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, MatchingInfeasibleWhenQueriesTooFew) {
+  TestSuite suite = MakeSuite(2, 1, 10);
+  // Demand more disjoint queries than exist.
+  EdgeCostProvider provider(fw_->optimizer(), &suite);
+  auto matching = CompressNoSharingMatching(&provider, 5);
+  EXPECT_FALSE(matching.ok());
+}
+
+}  // namespace
+}  // namespace qtf

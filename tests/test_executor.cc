@@ -1,0 +1,341 @@
+// Physical operator semantics on a hand-built mini database, including the
+// NULL edge cases correctness validation depends on (hash vs NL join
+// parity, outer-join null extension, semi/anti with NULL keys, aggregate
+// NULL skipping, DISTINCT/GROUP BY null grouping).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+
+namespace qtf {
+namespace {
+
+/// Two tables:
+///   t(a INT, b INT nullable, s STRING):
+///     (1, 10, x), (2, NULL, y), (3, 30, x), (3, 30, x)
+///   u(k INT, v INT nullable):
+///     (1, 100), (3, NULL), (4, 400)
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ColumnRegistry>();
+    Catalog* catalog = db_.mutable_catalog();
+
+    auto t_def = std::make_shared<TableDef>(
+        "t",
+        std::vector<ColumnDef>{{"a", ValueType::kInt64, 3, 1, 3, 0.0},
+                               {"b", ValueType::kInt64, 3, 10, 30, 0.25},
+                               {"s", ValueType::kString, 2, 0, 0, 0.0}},
+        4);
+    ASSERT_TRUE(catalog->AddTable(t_def).ok());
+    std::vector<Row> t_rows = {
+        {Value::Int64(1), Value::Int64(10), Value::String("x")},
+        {Value::Int64(2), Value::Null(ValueType::kInt64), Value::String("y")},
+        {Value::Int64(3), Value::Int64(30), Value::String("x")},
+        {Value::Int64(3), Value::Int64(30), Value::String("x")}};
+    ASSERT_TRUE(
+        db_.AddTableData("t", std::make_shared<TableData>(t_rows)).ok());
+
+    auto u_def = std::make_shared<TableDef>(
+        "u",
+        std::vector<ColumnDef>{{"k", ValueType::kInt64, 3, 1, 4, 0.0},
+                               {"v", ValueType::kInt64, 3, 100, 400, 0.3}},
+        3);
+    u_def->AddKey(KeyDef{{0}});
+    ASSERT_TRUE(catalog->AddTable(u_def).ok());
+    std::vector<Row> u_rows = {
+        {Value::Int64(1), Value::Int64(100)},
+        {Value::Int64(3), Value::Null(ValueType::kInt64)},
+        {Value::Int64(4), Value::Int64(400)}};
+    ASSERT_TRUE(
+        db_.AddTableData("u", std::make_shared<TableData>(u_rows)).ok());
+
+    // Allocate query-level column ids for both tables.
+    t_a_ = registry_->Allocate("t.a", ValueType::kInt64);
+    t_b_ = registry_->Allocate("t.b", ValueType::kInt64);
+    t_s_ = registry_->Allocate("t.s", ValueType::kString);
+    u_k_ = registry_->Allocate("u.k", ValueType::kInt64);
+    u_v_ = registry_->Allocate("u.v", ValueType::kInt64);
+    t_scan_ = std::make_shared<TableScanOp>(
+        t_def, std::vector<ColumnId>{t_a_, t_b_, t_s_});
+    u_scan_ = std::make_shared<TableScanOp>(
+        u_def, std::vector<ColumnId>{u_k_, u_v_});
+    executor_ = std::make_unique<Executor>(&db_, registry_.get());
+  }
+
+  ResultSet Run(const PhysicalOpPtr& plan) {
+    auto result = executor_->Execute(*plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  Database db_;
+  ColumnRegistryPtr registry_;
+  ColumnId t_a_, t_b_, t_s_, u_k_, u_v_;
+  PhysicalOpPtr t_scan_, u_scan_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, TableScanReturnsAllRows) {
+  ResultSet r = Run(t_scan_);
+  EXPECT_EQ(r.row_count(), 4);
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{t_a_, t_b_, t_s_}));
+}
+
+TEST_F(ExecutorTest, FilterKeepsOnlyTrueRows) {
+  // b > 5: NULL b row is dropped (predicate NULL, not TRUE).
+  auto plan = std::make_shared<FilterOp>(
+      t_scan_, Cmp(CompareOp::kGt, Col(t_b_, ValueType::kInt64), LitInt(5)));
+  EXPECT_EQ(Run(plan).row_count(), 3);
+}
+
+TEST_F(ExecutorTest, ComputeEvaluatesExpressions) {
+  ColumnId doubled = registry_->Allocate("doubled", ValueType::kInt64);
+  auto plan = std::make_shared<ComputeOp>(
+      t_scan_,
+      std::vector<ProjectItem>{
+          {Col(t_a_, ValueType::kInt64), t_a_},
+          {Arith(ArithOp::kMul, Col(t_a_, ValueType::kInt64), LitInt(2)),
+           doubled}});
+  ResultSet r = Run(plan);
+  EXPECT_EQ(r.rows[0][1].int64(), 2 * r.rows[0][0].int64());
+}
+
+TEST_F(ExecutorTest, InnerJoinNlAndHashAgree) {
+  ExprPtr pred =
+      Eq(Col(t_a_, ValueType::kInt64), Col(u_k_, ValueType::kInt64));
+  auto nl =
+      std::make_shared<NlJoinOp>(JoinKind::kInner, t_scan_, u_scan_, pred);
+  auto hash = std::make_shared<HashJoinOp>(
+      JoinKind::kInner, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_a_, u_k_}}, nullptr);
+  ResultSet nl_result = Run(nl);
+  ResultSet hash_result = Run(hash);
+  // a=1 matches k=1; two a=3 rows match k=3 -> 3 rows.
+  EXPECT_EQ(nl_result.row_count(), 3);
+  EXPECT_TRUE(ResultBagEquals(nl_result, hash_result));
+}
+
+TEST_F(ExecutorTest, LeftOuterJoinNullExtends) {
+  ExprPtr pred =
+      Eq(Col(t_a_, ValueType::kInt64), Col(u_k_, ValueType::kInt64));
+  auto loj =
+      std::make_shared<NlJoinOp>(JoinKind::kLeftOuter, t_scan_, u_scan_, pred);
+  ResultSet r = Run(loj);
+  // 4 left rows: a=1 matched, a=2 unmatched (null-extended), a=3 twice.
+  EXPECT_EQ(r.row_count(), 4);
+  int null_extended = 0;
+  for (const Row& row : r.rows) {
+    if (row[3].is_null() && row[4].is_null()) ++null_extended;
+  }
+  EXPECT_EQ(null_extended, 1);
+
+  auto hash_loj = std::make_shared<HashJoinOp>(
+      JoinKind::kLeftOuter, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_a_, u_k_}}, nullptr);
+  EXPECT_TRUE(ResultBagEquals(r, Run(hash_loj)));
+}
+
+TEST_F(ExecutorTest, SemiJoinKeepsDuplicates) {
+  ExprPtr pred =
+      Eq(Col(t_a_, ValueType::kInt64), Col(u_k_, ValueType::kInt64));
+  auto semi =
+      std::make_shared<NlJoinOp>(JoinKind::kLeftSemi, t_scan_, u_scan_, pred);
+  ResultSet r = Run(semi);
+  // a=1 and the two a=3 duplicates pass; output columns = left only.
+  EXPECT_EQ(r.row_count(), 3);
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{t_a_, t_b_, t_s_}));
+  auto hash_semi = std::make_shared<HashJoinOp>(
+      JoinKind::kLeftSemi, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_a_, u_k_}}, nullptr);
+  EXPECT_TRUE(ResultBagEquals(r, Run(hash_semi)));
+}
+
+TEST_F(ExecutorTest, AntiJoinComplementsSemiOnNonNullKeys) {
+  ExprPtr pred =
+      Eq(Col(t_a_, ValueType::kInt64), Col(u_k_, ValueType::kInt64));
+  auto anti =
+      std::make_shared<NlJoinOp>(JoinKind::kLeftAnti, t_scan_, u_scan_, pred);
+  ResultSet r = Run(anti);
+  EXPECT_EQ(r.row_count(), 1);  // only a=2
+  EXPECT_EQ(r.rows[0][0].int64(), 2);
+  auto hash_anti = std::make_shared<HashJoinOp>(
+      JoinKind::kLeftAnti, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_a_, u_k_}}, nullptr);
+  EXPECT_TRUE(ResultBagEquals(r, Run(hash_anti)));
+}
+
+TEST_F(ExecutorTest, NullJoinKeysNeverMatch) {
+  // Join t.b = u.v: NULLs on either side must not match each other.
+  ExprPtr pred =
+      Eq(Col(t_b_, ValueType::kInt64), Col(u_v_, ValueType::kInt64));
+  auto nl =
+      std::make_shared<NlJoinOp>(JoinKind::kInner, t_scan_, u_scan_, pred);
+  auto hash = std::make_shared<HashJoinOp>(
+      JoinKind::kInner, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_b_, u_v_}}, nullptr);
+  ResultSet nl_result = Run(nl);
+  EXPECT_EQ(nl_result.row_count(), 0);
+  EXPECT_TRUE(ResultBagEquals(nl_result, Run(hash)));
+  // Anti join: rows with NULL keys qualify (no TRUE match exists).
+  auto anti = std::make_shared<HashJoinOp>(
+      JoinKind::kLeftAnti, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_b_, u_v_}}, nullptr);
+  EXPECT_EQ(Run(anti).row_count(), 4);
+}
+
+TEST_F(ExecutorTest, HashJoinResidualPredicate) {
+  // t.a = u.k AND u.v > 150 -> only pairs with v > 150 survive; k=3 has
+  // NULL v (residual NULL -> dropped), k=1 has v=100.
+  auto hash = std::make_shared<HashJoinOp>(
+      JoinKind::kInner, t_scan_, u_scan_,
+      std::vector<std::pair<ColumnId, ColumnId>>{{t_a_, u_k_}},
+      Cmp(CompareOp::kGt, Col(u_v_, ValueType::kInt64), LitInt(150)));
+  EXPECT_EQ(Run(hash).row_count(), 0);
+}
+
+TEST_F(ExecutorTest, HashAggregateSkipsNullsAndGroupsNullsTogether) {
+  ColumnId count_star = registry_->Allocate("cs", ValueType::kInt64);
+  ColumnId count_b = registry_->Allocate("cb", ValueType::kInt64);
+  ColumnId sum_b = registry_->Allocate("sb", ValueType::kInt64);
+  std::vector<AggregateItem> aggs = {
+      {AggregateCall{AggKind::kCountStar, nullptr}, count_star},
+      {AggregateCall{AggKind::kCount, Col(t_b_, ValueType::kInt64)}, count_b},
+      {AggregateCall{AggKind::kSum, Col(t_b_, ValueType::kInt64)}, sum_b}};
+  auto agg = std::make_shared<HashAggregateOp>(
+      t_scan_, std::vector<ColumnId>{t_s_}, aggs);
+  ResultSet r = Run(agg);
+  // Groups: s=x (3 rows: b=10,30,30), s=y (1 row: b=NULL).
+  ASSERT_EQ(r.row_count(), 2);
+  for (const Row& row : r.rows) {
+    if (row[0].str() == "x") {
+      EXPECT_EQ(row[1].int64(), 3);
+      EXPECT_EQ(row[2].int64(), 3);
+      EXPECT_EQ(row[3].int64(), 70);
+    } else {
+      EXPECT_EQ(row[1].int64(), 1);
+      EXPECT_EQ(row[2].int64(), 0);       // COUNT(b) skips NULL
+      EXPECT_TRUE(row[3].is_null());      // SUM of no non-NULLs is NULL
+    }
+  }
+}
+
+TEST_F(ExecutorTest, ScalarAggregateOnEmptyInputYieldsOneRow) {
+  auto empty = std::make_shared<FilterOp>(
+      t_scan_, Eq(Col(t_a_, ValueType::kInt64), LitInt(999)));
+  ColumnId cs = registry_->Allocate("cs", ValueType::kInt64);
+  ColumnId mx = registry_->Allocate("mx", ValueType::kInt64);
+  auto agg = std::make_shared<HashAggregateOp>(
+      empty, std::vector<ColumnId>{},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cs},
+          {AggregateCall{AggKind::kMax, Col(t_a_, ValueType::kInt64)}, mx}});
+  ResultSet r = Run(agg);
+  ASSERT_EQ(r.row_count(), 1);
+  EXPECT_EQ(r.rows[0][0].int64(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  auto empty = std::make_shared<FilterOp>(
+      t_scan_, Eq(Col(t_a_, ValueType::kInt64), LitInt(999)));
+  ColumnId cs = registry_->Allocate("cs", ValueType::kInt64);
+  auto agg = std::make_shared<HashAggregateOp>(
+      empty, std::vector<ColumnId>{t_s_},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cs}});
+  EXPECT_EQ(Run(agg).row_count(), 0);
+}
+
+TEST_F(ExecutorTest, StreamAggregateMatchesHashAggregate) {
+  ColumnId cs = registry_->Allocate("cs", ValueType::kInt64);
+  ColumnId avg_b = registry_->Allocate("ab", ValueType::kDouble);
+  std::vector<AggregateItem> aggs = {
+      {AggregateCall{AggKind::kCountStar, nullptr}, cs},
+      {AggregateCall{AggKind::kAvg, Col(t_b_, ValueType::kInt64)}, avg_b}};
+  auto hash = std::make_shared<HashAggregateOp>(
+      t_scan_, std::vector<ColumnId>{t_a_}, aggs);
+  auto sorted =
+      std::make_shared<SortOp>(t_scan_, std::vector<ColumnId>{t_a_});
+  auto stream = std::make_shared<StreamAggregateOp>(
+      sorted, std::vector<ColumnId>{t_a_}, aggs);
+  EXPECT_TRUE(ResultBagEquals(Run(hash), Run(stream)));
+}
+
+TEST_F(ExecutorTest, MinMaxAggregates) {
+  ColumnId mn = registry_->Allocate("mn", ValueType::kInt64);
+  ColumnId mx = registry_->Allocate("mx", ValueType::kInt64);
+  auto agg = std::make_shared<HashAggregateOp>(
+      t_scan_, std::vector<ColumnId>{},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kMin, Col(t_b_, ValueType::kInt64)}, mn},
+          {AggregateCall{AggKind::kMax, Col(t_b_, ValueType::kInt64)}, mx}});
+  ResultSet r = Run(agg);
+  ASSERT_EQ(r.row_count(), 1);
+  EXPECT_EQ(r.rows[0][0].int64(), 10);
+  EXPECT_EQ(r.rows[0][1].int64(), 30);
+}
+
+TEST_F(ExecutorTest, SortOrdersRowsNullFirst) {
+  auto sorted =
+      std::make_shared<SortOp>(t_scan_, std::vector<ColumnId>{t_b_});
+  ResultSet r = Run(sorted);
+  ASSERT_EQ(r.row_count(), 4);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_EQ(r.rows[1][1].int64(), 10);
+}
+
+TEST_F(ExecutorTest, HashDistinctTreatsNullAsEqual) {
+  // DISTINCT over (b) collapses the two (30) duplicates; NULL forms one row.
+  auto project = std::make_shared<ComputeOp>(
+      t_scan_,
+      std::vector<ProjectItem>{{Col(t_b_, ValueType::kInt64), t_b_}});
+  auto distinct = std::make_shared<HashDistinctOp>(project);
+  EXPECT_EQ(Run(distinct).row_count(), 3);  // 10, NULL, 30
+}
+
+TEST_F(ExecutorTest, ConcatAppendsBothSides) {
+  auto left = std::make_shared<ComputeOp>(
+      t_scan_,
+      std::vector<ProjectItem>{{Col(t_a_, ValueType::kInt64), t_a_}});
+  auto right = std::make_shared<ComputeOp>(
+      u_scan_,
+      std::vector<ProjectItem>{{Col(u_k_, ValueType::kInt64), u_k_}});
+  ColumnId out = registry_->Allocate("out", ValueType::kInt64);
+  auto concat = std::make_shared<ConcatOp>(left, right,
+                                           std::vector<ColumnId>{out});
+  ResultSet r = Run(concat);
+  EXPECT_EQ(r.row_count(), 7);
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{out}));
+}
+
+TEST_F(ExecutorTest, RowsProducedCounterIncreases) {
+  int64_t before = executor_->rows_produced();
+  Run(t_scan_);
+  EXPECT_GT(executor_->rows_produced(), before);
+}
+
+TEST_F(ExecutorTest, ResultBagEqualsIgnoresOrder) {
+  ResultSet a = Run(t_scan_);
+  ResultSet b = a;
+  std::reverse(b.rows.begin(), b.rows.end());
+  EXPECT_TRUE(ResultBagEquals(a, b));
+  b.rows.pop_back();
+  EXPECT_FALSE(ResultBagEquals(a, b));
+}
+
+TEST_F(ExecutorTest, ResultBagEqualsToleratesTinyDoubleDrift) {
+  ResultSet a;
+  a.columns = {0};
+  a.rows = {{Value::Double(100.0)}};
+  ResultSet b = a;
+  b.rows[0][0] = Value::Double(100.0 + 1e-12);
+  EXPECT_TRUE(ResultBagEquals(a, b));
+  b.rows[0][0] = Value::Double(100.1);
+  EXPECT_FALSE(ResultBagEquals(a, b));
+}
+
+}  // namespace
+}  // namespace qtf

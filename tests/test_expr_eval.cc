@@ -1,0 +1,203 @@
+// Expression evaluation semantics: SQL three-valued logic, NULL-strict
+// comparisons/arithmetic, IS NULL, division by zero.
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+
+namespace qtf {
+namespace {
+
+// Row layout: c0 int, c1 int, c2 double, c3 string, c4 bool.
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : bindings_({0, 1, 2, 3, 4}) {}
+
+  Value EvalExpr(const ExprPtr& expr, const Row& row) {
+    auto result = Eval(*expr, bindings_, row);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  Row MakeRow(std::optional<int64_t> a, std::optional<int64_t> b) {
+    Row row;
+    row.push_back(a ? Value::Int64(*a) : Value::Null(ValueType::kInt64));
+    row.push_back(b ? Value::Int64(*b) : Value::Null(ValueType::kInt64));
+    row.push_back(Value::Double(1.5));
+    row.push_back(Value::String("abc"));
+    row.push_back(Value::Bool(true));
+    return row;
+  }
+
+  ColumnBindings bindings_;
+  ExprPtr a_ = Col(0, ValueType::kInt64);
+  ExprPtr b_ = Col(1, ValueType::kInt64);
+};
+
+TEST_F(EvalTest, ColumnRefAndConstant) {
+  Row row = MakeRow(7, 8);
+  EXPECT_EQ(EvalExpr(a_, row).int64(), 7);
+  EXPECT_EQ(EvalExpr(LitInt(3), row).int64(), 3);
+  EXPECT_EQ(EvalExpr(LitString("x"), row).str(), "x");
+}
+
+TEST_F(EvalTest, ComparisonOperators) {
+  Row row = MakeRow(2, 3);
+  EXPECT_FALSE(EvalExpr(Eq(a_, b_), row).boolean());
+  EXPECT_TRUE(EvalExpr(Cmp(CompareOp::kNe, a_, b_), row).boolean());
+  EXPECT_TRUE(EvalExpr(Cmp(CompareOp::kLt, a_, b_), row).boolean());
+  EXPECT_TRUE(EvalExpr(Cmp(CompareOp::kLe, a_, b_), row).boolean());
+  EXPECT_FALSE(EvalExpr(Cmp(CompareOp::kGt, a_, b_), row).boolean());
+  EXPECT_FALSE(EvalExpr(Cmp(CompareOp::kGe, a_, b_), row).boolean());
+}
+
+TEST_F(EvalTest, ComparisonWithNullIsNull) {
+  Row row = MakeRow(std::nullopt, 3);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    Value v = EvalExpr(Cmp(op, a_, b_), row);
+    EXPECT_TRUE(v.is_null()) << CompareOpToSql(op);
+    EXPECT_EQ(v.type(), ValueType::kBool);
+  }
+}
+
+TEST_F(EvalTest, MixedIntDoubleComparison) {
+  Row row = MakeRow(1, 0);
+  // c0 (int 1) < c2 (double 1.5)
+  EXPECT_TRUE(
+      EvalExpr(Cmp(CompareOp::kLt, a_, Col(2, ValueType::kDouble)), row)
+          .boolean());
+}
+
+struct KleeneCase {
+  std::optional<bool> left;
+  std::optional<bool> right;
+  std::optional<bool> and_result;
+  std::optional<bool> or_result;
+};
+
+class KleeneLogicTest : public ::testing::TestWithParam<KleeneCase> {};
+
+TEST_P(KleeneLogicTest, AndOrFollowKleene) {
+  const KleeneCase& c = GetParam();
+  // Encode TRUE/FALSE/NULL booleans through comparisons over int columns.
+  Row row;
+  auto encode = [&row](std::optional<bool> b) -> ExprPtr {
+    // value 1 means TRUE (1=1), 0 means FALSE (0=1), null -> NULL.
+    if (!b.has_value()) {
+      row.push_back(Value::Null(ValueType::kInt64));
+    } else {
+      row.push_back(Value::Int64(*b ? 1 : 0));
+    }
+    ColumnId id = static_cast<ColumnId>(row.size() - 1);
+    return Eq(Col(id, ValueType::kInt64), LitInt(1));
+  };
+  ExprPtr left = encode(c.left);
+  ExprPtr right = encode(c.right);
+  ColumnBindings bindings({0, 1});
+
+  Value and_v = Eval(*And(left, right), bindings, row).value();
+  Value or_v = Eval(*Or(left, right), bindings, row).value();
+  if (c.and_result.has_value()) {
+    ASSERT_FALSE(and_v.is_null());
+    EXPECT_EQ(and_v.boolean(), *c.and_result);
+  } else {
+    EXPECT_TRUE(and_v.is_null());
+  }
+  if (c.or_result.has_value()) {
+    ASSERT_FALSE(or_v.is_null());
+    EXPECT_EQ(or_v.boolean(), *c.or_result);
+  } else {
+    EXPECT_TRUE(or_v.is_null());
+  }
+}
+
+constexpr std::optional<bool> T = true, F = false, N = std::nullopt;
+
+INSTANTIATE_TEST_SUITE_P(
+    FullTruthTable, KleeneLogicTest,
+    ::testing::Values(KleeneCase{T, T, T, T}, KleeneCase{T, F, F, T},
+                      KleeneCase{F, T, F, T}, KleeneCase{F, F, F, F},
+                      KleeneCase{T, N, N, T}, KleeneCase{N, T, N, T},
+                      KleeneCase{F, N, F, N}, KleeneCase{N, F, F, N},
+                      KleeneCase{N, N, N, N}));
+
+TEST_F(EvalTest, NotSemantics) {
+  Row row = MakeRow(1, std::nullopt);
+  EXPECT_FALSE(EvalExpr(Not(Eq(a_, LitInt(1))), row).boolean());
+  EXPECT_TRUE(EvalExpr(Not(Eq(a_, LitInt(2))), row).boolean());
+  EXPECT_TRUE(EvalExpr(Not(Eq(b_, LitInt(1))), row).is_null());
+}
+
+TEST_F(EvalTest, IsNullNeverReturnsNull) {
+  Row row = MakeRow(1, std::nullopt);
+  EXPECT_FALSE(EvalExpr(IsNull(a_), row).boolean());
+  EXPECT_TRUE(EvalExpr(IsNull(b_), row).boolean());
+  EXPECT_FALSE(EvalExpr(Not(IsNull(a_)), row).is_null());
+}
+
+TEST_F(EvalTest, IntegerArithmetic) {
+  Row row = MakeRow(10, 3);
+  EXPECT_EQ(EvalExpr(Arith(ArithOp::kAdd, a_, b_), row).int64(), 13);
+  EXPECT_EQ(EvalExpr(Arith(ArithOp::kSub, a_, b_), row).int64(), 7);
+  EXPECT_EQ(EvalExpr(Arith(ArithOp::kMul, a_, b_), row).int64(), 30);
+  EXPECT_EQ(EvalExpr(Arith(ArithOp::kDiv, a_, b_), row).int64(), 3);
+}
+
+TEST_F(EvalTest, DoubleArithmeticWidens) {
+  Row row = MakeRow(10, 0);
+  ExprPtr d = Col(2, ValueType::kDouble);  // 1.5
+  Value v = EvalExpr(Arith(ArithOp::kAdd, a_, d), row);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.dbl(), 11.5);
+}
+
+TEST_F(EvalTest, ArithmeticNullPropagates) {
+  Row row = MakeRow(std::nullopt, 3);
+  EXPECT_TRUE(EvalExpr(Arith(ArithOp::kAdd, a_, b_), row).is_null());
+  EXPECT_TRUE(EvalExpr(Arith(ArithOp::kMul, a_, LitInt(2)), row).is_null());
+}
+
+TEST_F(EvalTest, DivisionByZeroYieldsNull) {
+  Row row = MakeRow(10, 0);
+  EXPECT_TRUE(EvalExpr(Arith(ArithOp::kDiv, a_, b_), row).is_null());
+  EXPECT_TRUE(
+      EvalExpr(Arith(ArithOp::kDiv, LitDouble(1.0), LitDouble(0.0)), row)
+          .is_null());
+}
+
+TEST_F(EvalTest, ShortCircuitAndWithFalseIgnoresNull) {
+  // FALSE AND NULL must be FALSE (not NULL).
+  Row row = MakeRow(std::nullopt, 3);
+  ExprPtr false_expr = Eq(LitInt(0), LitInt(1));
+  ExprPtr null_expr = Eq(a_, LitInt(1));
+  Value v = EvalExpr(And(false_expr, null_expr), row);
+  ASSERT_FALSE(v.is_null());
+  EXPECT_FALSE(v.boolean());
+}
+
+TEST_F(EvalTest, IsTrueHelper) {
+  EXPECT_TRUE(IsTrue(Value::Bool(true)));
+  EXPECT_FALSE(IsTrue(Value::Bool(false)));
+  EXPECT_FALSE(IsTrue(Value::Null(ValueType::kBool)));
+}
+
+TEST(ColumnBindingsTest, PositionsFollowLayout) {
+  ColumnBindings bindings({7, 3, 9});
+  EXPECT_EQ(bindings.PositionOf(7), 0);
+  EXPECT_EQ(bindings.PositionOf(3), 1);
+  EXPECT_EQ(bindings.PositionOf(9), 2);
+  EXPECT_TRUE(bindings.Contains(3));
+  EXPECT_FALSE(bindings.Contains(4));
+}
+
+TEST(ExprToStringTest, RendersSqlish) {
+  ExprPtr e = And(Eq(Col(0, ValueType::kInt64), LitInt(5)),
+                  Not(IsNull(Col(1, ValueType::kString))));
+  EXPECT_EQ(e->ToString(nullptr), "((c0 = 5) AND (NOT (c1 IS NULL)))");
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,101 @@
+// The RuleTestFramework facade plus an end-to-end integration test of the
+// full pipeline: generate -> compress -> execute -> report.
+
+#include <gtest/gtest.h>
+
+#include "compress/matching.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+TEST(FrameworkTest, CreateWiresEverything) {
+  auto fw = RuleTestFramework::Create().value();
+  EXPECT_EQ(fw->catalog().table_count(), 8u);
+  EXPECT_EQ(fw->LogicalRules().size(), 30u);
+  EXPECT_NE(fw->optimizer(), nullptr);
+  EXPECT_NE(fw->generator(), nullptr);
+  EXPECT_NE(fw->suite_generator(), nullptr);
+  EXPECT_NE(fw->runner(), nullptr);
+}
+
+TEST(FrameworkTest, LogicalRuleIdsAreTheLowIds) {
+  auto fw = RuleTestFramework::Create().value();
+  std::vector<RuleId> logical = fw->LogicalRules();
+  for (size_t i = 0; i < logical.size(); ++i) {
+    EXPECT_EQ(logical[i], static_cast<RuleId>(i));
+    EXPECT_EQ(fw->rules().rule(logical[i]).type(), RuleType::kExploration);
+  }
+  EXPECT_EQ(static_cast<size_t>(kDefaultLogicalRuleCount), logical.size());
+}
+
+TEST(FrameworkTest, PairAndSingletonTargetHelpers) {
+  auto fw = RuleTestFramework::Create().value();
+  auto singles = fw->LogicalRuleSingletons(7);
+  EXPECT_EQ(singles.size(), 7u);
+  for (const RuleTarget& t : singles) EXPECT_EQ(t.rules.size(), 1u);
+
+  auto pairs = fw->LogicalRulePairs(7);
+  EXPECT_EQ(pairs.size(), 21u);  // 7C2
+  std::set<std::pair<RuleId, RuleId>> seen;
+  for (const RuleTarget& t : pairs) {
+    ASSERT_EQ(t.rules.size(), 2u);
+    EXPECT_LT(t.rules[0], t.rules[1]);
+    EXPECT_TRUE(seen.insert({t.rules[0], t.rules[1]}).second);
+  }
+}
+
+TEST(FrameworkTest, CustomRegistryIsUsed) {
+  auto registry = MakeDefaultRuleRegistry();
+  int n = registry->size();
+  auto fw =
+      RuleTestFramework::Create(TpchConfig{}, std::move(registry)).value();
+  EXPECT_EQ(fw->rules().size(), n);
+}
+
+TEST(FrameworkTest, TargetToStringNamesRules) {
+  auto fw = RuleTestFramework::Create().value();
+  RuleTarget single{{0}};
+  EXPECT_EQ(single.ToString(fw->rules()), "JoinCommutativity");
+  RuleTarget pair{{0, 6}};
+  EXPECT_EQ(pair.ToString(fw->rules()), "JoinCommutativity+SelectMerge");
+}
+
+TEST(FrameworkIntegrationTest, FullPipelineGenerateCompressExecute) {
+  auto fw = RuleTestFramework::Create().value();
+  const int k = 2;
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.seed = 321;
+  auto suite =
+      fw->suite_generator()->Generate(fw->LogicalRuleSingletons(6), k, config)
+          .value();
+
+  EdgeCostProvider provider(fw->optimizer(), &suite);
+  auto baseline = CompressBaseline(&provider).value();
+  auto smc = CompressSetMultiCover(&provider, k).value();
+  auto topk = CompressTopKIndependent(&provider, k, true).value();
+
+  // The two compressed suites beat or match BASELINE.
+  EXPECT_LE(smc.total_cost, baseline.total_cost + 1e-9);
+  EXPECT_LE(topk.total_cost, baseline.total_cost + 1e-9);
+
+  // Executing each mapping over the correct rule set finds no violations.
+  for (const auto& assignment :
+       {suite.per_target, smc.assignment, topk.assignment}) {
+    auto report = fw->runner()->Run(suite, assignment).value();
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.plans_executed, 0);
+  }
+
+  // The Section-7 matching variant, when feasible, is also violation-free.
+  auto matching = CompressNoSharingMatching(&provider, k);
+  if (matching.ok()) {
+    auto report = fw->runner()->Run(suite, matching->assignment).value();
+    EXPECT_TRUE(report.ok());
+  }
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,202 @@
+// Query generation: RANDOM vs PATTERN coverage, trial efficiency, the
+// extra-operator knob, pair composition, and rule relevance (Section 7).
+
+#include <gtest/gtest.h>
+
+#include "logical/validate.h"
+#include "qgen/generation.h"
+#include "qgen/generators.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+class GenerationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fw = RuleTestFramework::Create();
+    ASSERT_TRUE(fw.ok());
+    fw_ = std::move(fw).value();
+  }
+
+  std::unique_ptr<RuleTestFramework> fw_;
+};
+
+class PerRulePatternGeneration
+    : public GenerationTest,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(PerRulePatternGeneration, PatternFindsQueryQuickly) {
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  RuleId id = logical[static_cast<size_t>(GetParam())];
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.max_trials = 100;
+  config.seed = 31 + static_cast<uint64_t>(id);
+  GenerationOutcome outcome = fw_->generator()->Generate({id}, config);
+  ASSERT_TRUE(outcome.success) << fw_->rules().rule(id).name();
+  EXPECT_LE(outcome.trials, 30) << fw_->rules().rule(id).name();
+  EXPECT_TRUE(outcome.rule_set.count(id) > 0);
+  EXPECT_TRUE(ValidateTree(*outcome.query.root, *outcome.query.registry).ok());
+  EXPECT_FALSE(outcome.sql.empty());
+  EXPECT_GT(outcome.cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThirtyRules, PerRulePatternGeneration,
+                         ::testing::Range(0, 30));
+
+TEST_F(GenerationTest, RandomEventuallyCoversEasyRules) {
+  // RANDOM should find queries for broadly-applicable rules too (with more
+  // trials) — the framework's baseline behaviour.
+  RuleId select_merge = fw_->rules().FindByName("SelectMerge");
+  GenerationConfig config;
+  config.method = GenerationMethod::kRandom;
+  config.max_trials = 500;
+  config.seed = 7;
+  GenerationOutcome outcome =
+      fw_->generator()->Generate({select_merge}, config);
+  EXPECT_TRUE(outcome.success);
+}
+
+TEST_F(GenerationTest, PatternBeatsRandomOnTrialsInAggregate) {
+  // The headline claim of Section 3 at miniature scale: total trials over a
+  // subset of rules.
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  int pattern_total = 0, random_total = 0;
+  for (int i = 0; i < 12; ++i) {
+    GenerationConfig pattern_config;
+    pattern_config.method = GenerationMethod::kPattern;
+    pattern_config.seed = 100 + static_cast<uint64_t>(i);
+    pattern_total +=
+        fw_->generator()
+            ->Generate({logical[static_cast<size_t>(i)]}, pattern_config)
+            .trials;
+    GenerationConfig random_config;
+    random_config.method = GenerationMethod::kRandom;
+    random_config.max_trials = 3000;
+    random_config.seed = 200 + static_cast<uint64_t>(i);
+    random_total +=
+        fw_->generator()
+            ->Generate({logical[static_cast<size_t>(i)]}, random_config)
+            .trials;
+  }
+  EXPECT_LT(pattern_total, random_total);
+}
+
+TEST_F(GenerationTest, ExtraOpsGrowTheQuery) {
+  RuleId id = fw_->rules().FindByName("JoinCommutativity");
+  GenerationConfig small;
+  small.method = GenerationMethod::kPattern;
+  small.seed = 3;
+  GenerationOutcome minimal = fw_->generator()->Generate({id}, small);
+  ASSERT_TRUE(minimal.success);
+
+  GenerationConfig big = small;
+  big.extra_ops = 6;
+  big.seed = 4;
+  // extra_ops draws uniformly; try a few seeds to get a strictly larger
+  // query.
+  bool grew = false;
+  for (uint64_t seed = 4; seed < 12 && !grew; ++seed) {
+    big.seed = seed;
+    GenerationOutcome grown = fw_->generator()->Generate({id}, big);
+    if (grown.success && grown.operator_count > minimal.operator_count) {
+      grew = true;
+    }
+  }
+  EXPECT_TRUE(grew);
+}
+
+TEST_F(GenerationTest, PairGenerationViaComposition) {
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  // JoinCommutativity + SelectPushBelowJoinLeft: a natural pair.
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.max_trials = 300;
+  config.seed = 17;
+  GenerationOutcome outcome =
+      fw_->generator()->Generate({logical[0], logical[3]}, config);
+  ASSERT_TRUE(outcome.success);
+  EXPECT_TRUE(outcome.rule_set.count(logical[0]) > 0);
+  EXPECT_TRUE(outcome.rule_set.count(logical[3]) > 0);
+}
+
+TEST_F(GenerationTest, RelevantQueryGeneration) {
+  // Section 7 variant: the returned query's plan must change when the rule
+  // is turned off.
+  RuleId id = fw_->rules().FindByName("SelectPushBelowJoinRight");
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.max_trials = 500;
+  config.seed = 23;
+  GenerationOutcome outcome = fw_->generator()->GenerateRelevant(id, config);
+  ASSERT_TRUE(outcome.success);
+  auto relevant =
+      IsRuleRelevant(fw_->optimizer(), outcome.query, id);
+  ASSERT_TRUE(relevant.ok());
+  EXPECT_TRUE(*relevant);
+}
+
+TEST_F(GenerationTest, RandomGeneratorProducesValidDiverseQueries) {
+  RandomQueryGenerator generator(&fw_->catalog(), 555);
+  std::set<int> op_counts;
+  for (int i = 0; i < 40; ++i) {
+    Query query = generator.Generate();
+    ASSERT_TRUE(ValidateTree(*query.root, *query.registry).ok())
+        << LogicalTreeToString(*query.root, nullptr);
+    op_counts.insert(CountOps(*query.root));
+  }
+  EXPECT_GT(op_counts.size(), 3u);  // varied sizes
+}
+
+TEST_F(GenerationTest, RandomGeneratorDeterministicPerSeed) {
+  RandomQueryGenerator g1(&fw_->catalog(), 42);
+  RandomQueryGenerator g2(&fw_->catalog(), 42);
+  for (int i = 0; i < 5; ++i) {
+    Query a = g1.Generate();
+    Query b = g2.Generate();
+    EXPECT_TRUE(LogicalTreeEquals(*a.root, *b.root));
+  }
+}
+
+TEST_F(GenerationTest, GenerationFailureReportsTrials) {
+  // An impossible target: a rule id that exists but an absurd trial budget
+  // of 1 for a hard pair.
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  GenerationConfig config;
+  config.method = GenerationMethod::kRandom;
+  config.max_trials = 1;
+  config.seed = 1;
+  GenerationOutcome outcome =
+      fw_->generator()->Generate({logical[16]}, config);  // LojLojAssocRight
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.trials, 1);
+}
+
+TEST_F(GenerationTest, SuiteGeneratorProducesKPerTarget) {
+  auto targets = fw_->LogicalRuleSingletons(5);
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.seed = 60;
+  auto suite = fw_->suite_generator()->Generate(targets, 4, config);
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  EXPECT_EQ(suite->per_target.size(), 5u);
+  EXPECT_EQ(suite->queries.size(), 20u);
+  for (size_t t = 0; t < suite->targets.size(); ++t) {
+    EXPECT_EQ(suite->per_target[t].size(), 4u);
+    for (int q : suite->per_target[t]) {
+      for (RuleId id : suite->targets[t].rules) {
+        EXPECT_TRUE(
+            suite->queries[static_cast<size_t>(q)].rule_set.count(id) > 0);
+      }
+    }
+    // CandidatesFor must at least contain the target's own queries.
+    std::vector<int> candidates =
+        suite->CandidatesFor(static_cast<int>(t));
+    EXPECT_GE(candidates.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace qtf

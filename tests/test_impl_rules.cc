@@ -1,0 +1,213 @@
+// Implementation-rule unit tests: each rule proposes physical alternatives
+// with the right child groups, costs, and constructed operators. Bound
+// expressions are built by inserting trees into a real memo (children
+// become GroupRefs, exactly as the engine sees them).
+
+#include <gtest/gtest.h>
+
+#include "optimizer/memo.h"
+#include "rules/implementation_rules.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class ImplRuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+    memo_ = std::make_unique<Memo>(/*rule_count=*/64);
+    nation_ = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                            registry_.get());
+    region_ = GetOp::Create(db_->catalog().GetTable("region").value(),
+                            registry_.get());
+  }
+
+  /// Inserts `tree` into the memo and returns the root group's (only)
+  /// bound expression.
+  const GroupExpr& Insert(const LogicalOp& tree) {
+    int g = memo_->InsertTree(tree);
+    return *memo_->group(g).exprs[0];
+  }
+
+  std::vector<PhysicalAlternative> Apply(const Rule& rule,
+                                         const GroupExpr& expr) {
+    std::vector<PhysicalAlternative> out;
+    if (!MatchesPattern(*expr.op, *rule.pattern())) return out;
+    static_cast<const ImplementationRule&>(rule).Apply(*expr.op, cost_model_,
+                                                       &out);
+    return out;
+  }
+
+  /// Builds dummy child plans (table scans) matching the bound expression's
+  /// child groups, good enough to exercise the alternative's build().
+  std::vector<PhysicalOpPtr> DummyChildren(const PhysicalAlternative& alt) {
+    std::vector<PhysicalOpPtr> children;
+    for (int g : alt.child_groups) {
+      // Use the group's first logical expression if it is a Get; otherwise
+      // synthesize a scan over nation (layout does not matter for these
+      // structural tests).
+      const GroupExpr& expr = *memo_->group(g).exprs[0];
+      if (expr.op->kind() == LogicalOpKind::kGet) {
+        const auto& get = static_cast<const GetOp&>(*expr.op);
+        children.push_back(
+            std::make_shared<TableScanOp>(get.table_ptr(), get.columns()));
+      } else {
+        children.push_back(
+            std::make_shared<TableScanOp>(nation_->table_ptr(),
+                                          nation_->columns()));
+      }
+    }
+    return children;
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+  std::unique_ptr<Memo> memo_;
+  CostModel cost_model_;
+  std::shared_ptr<const GetOp> nation_, region_;
+};
+
+TEST_F(ImplRuleTest, GetToScanBuildsTableScan) {
+  auto rule = MakeGetToScan();
+  const GroupExpr& expr = Insert(*nation_);
+  auto alts = Apply(*rule, expr);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_TRUE(alts[0].child_groups.empty());
+  EXPECT_GT(alts[0].local_cost, 0.0);
+  PhysicalOpPtr plan = alts[0].build({});
+  ASSERT_EQ(plan->kind(), PhysicalOpKind::kTableScan);
+  EXPECT_EQ(plan->OutputColumns(), nation_->columns());
+}
+
+TEST_F(ImplRuleTest, SelectToFilterKeepsPredicate) {
+  auto rule = MakeSelectToFilter();
+  auto select = std::make_shared<SelectOp>(
+      nation_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  const GroupExpr& expr = Insert(*select);
+  auto alts = Apply(*rule, expr);
+  ASSERT_EQ(alts.size(), 1u);
+  ASSERT_EQ(alts[0].child_groups.size(), 1u);
+  PhysicalOpPtr plan = alts[0].build(DummyChildren(alts[0]));
+  ASSERT_EQ(plan->kind(), PhysicalOpKind::kFilter);
+  EXPECT_TRUE(ExprEquals(*static_cast<const FilterOp&>(*plan).predicate(),
+                         *select->predicate()));
+}
+
+TEST_F(ImplRuleTest, JoinToHashJoinRequiresEquiColumns) {
+  auto rule = MakeJoinToHashJoin();
+  // Equi join: one alternative.
+  auto equi = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Eq(Col(nation_->columns()[2], ValueType::kInt64),
+         Col(region_->columns()[0], ValueType::kInt64)));
+  EXPECT_EQ(Apply(*rule, Insert(*equi)).size(), 1u);
+
+  // Cross join: no hash alternative.
+  auto cross =
+      std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_, nullptr);
+  EXPECT_TRUE(Apply(*rule, Insert(*cross)).empty());
+
+  // Range-only predicate: no hash alternative either.
+  auto range = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Cmp(CompareOp::kLt, Col(nation_->columns()[0], ValueType::kInt64),
+          Col(region_->columns()[0], ValueType::kInt64)));
+  EXPECT_TRUE(Apply(*rule, Insert(*range)).empty());
+}
+
+TEST_F(ImplRuleTest, HashJoinSplitsResidual) {
+  auto rule = MakeJoinToHashJoin();
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      And(Eq(Col(nation_->columns()[2], ValueType::kInt64),
+             Col(region_->columns()[0], ValueType::kInt64)),
+          Cmp(CompareOp::kGt, Col(nation_->columns()[0], ValueType::kInt64),
+              LitInt(5))));
+  auto alts = Apply(*rule, Insert(*join));
+  ASSERT_EQ(alts.size(), 1u);
+  PhysicalOpPtr plan = alts[0].build(DummyChildren(alts[0]));
+  const auto& hash = static_cast<const HashJoinOp&>(*plan);
+  EXPECT_EQ(hash.equi_pairs().size(), 1u);
+  ASSERT_NE(hash.residual(), nullptr);
+  EXPECT_TRUE(ReferencesAny(*hash.residual(), {nation_->columns()[0]}));
+}
+
+TEST_F(ImplRuleTest, NlJoinAlwaysAvailable) {
+  auto rule = MakeJoinToNlJoin();
+  for (JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                        JoinKind::kLeftSemi, JoinKind::kLeftAnti}) {
+    auto join = std::make_shared<JoinOp>(kind, nation_, region_, nullptr);
+    auto alts = Apply(*rule, Insert(*join));
+    ASSERT_EQ(alts.size(), 1u) << JoinKindToString(kind);
+    PhysicalOpPtr plan = alts[0].build(DummyChildren(alts[0]));
+    EXPECT_EQ(static_cast<const NlJoinOp&>(*plan).join_kind(), kind);
+  }
+}
+
+TEST_F(ImplRuleTest, GroupByImplementationsIncludeSortEnforcer) {
+  ColumnId cnt = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      nation_, std::vector<ColumnId>{nation_->columns()[2]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cnt}});
+  const GroupExpr& expr = Insert(*agg);
+
+  auto hash_alts = Apply(*MakeGroupByToHashAggregate(), expr);
+  ASSERT_EQ(hash_alts.size(), 1u);
+  EXPECT_EQ(hash_alts[0].build(DummyChildren(hash_alts[0]))->kind(),
+            PhysicalOpKind::kHashAggregate);
+
+  auto stream_alts = Apply(*MakeGroupByToStreamAggregate(), expr);
+  ASSERT_EQ(stream_alts.size(), 1u);
+  PhysicalOpPtr stream = stream_alts[0].build(DummyChildren(stream_alts[0]));
+  ASSERT_EQ(stream->kind(), PhysicalOpKind::kStreamAggregate);
+  // The Sort enforcer is built below the stream aggregate...
+  EXPECT_EQ(stream->child(0)->kind(), PhysicalOpKind::kSort);
+  // ...and is charged in the alternative's local cost.
+  EXPECT_GT(stream_alts[0].local_cost,
+            cost_model_.StreamAggregate(25.0) - 1e-9);
+}
+
+TEST_F(ImplRuleTest, UnionAndDistinctImplementations) {
+  auto r2 = GetOp::Create(db_->catalog().GetTable("region").value(),
+                          registry_.get());
+  std::vector<ColumnId> out_ids;
+  for (ColumnId id : region_->columns()) {
+    out_ids.push_back(registry_->Allocate("u", registry_->TypeOf(id)));
+  }
+  auto u = std::make_shared<UnionAllOp>(region_, r2, out_ids);
+  auto union_alts = Apply(*MakeUnionAllToConcat(), Insert(*u));
+  ASSERT_EQ(union_alts.size(), 1u);
+  PhysicalOpPtr concat = union_alts[0].build(DummyChildren(union_alts[0]));
+  EXPECT_EQ(concat->kind(), PhysicalOpKind::kConcat);
+  EXPECT_EQ(concat->OutputColumns(), out_ids);
+
+  auto distinct = std::make_shared<DistinctOp>(nation_);
+  auto distinct_alts =
+      Apply(*MakeDistinctToHashDistinct(), Insert(*distinct));
+  ASSERT_EQ(distinct_alts.size(), 1u);
+  EXPECT_EQ(distinct_alts[0].build(DummyChildren(distinct_alts[0]))->kind(),
+            PhysicalOpKind::kHashDistinct);
+}
+
+TEST_F(ImplRuleTest, CostsUseChildCardinalities) {
+  // The same rule applied over a big table must quote a higher cost.
+  auto rule = MakeSelectToFilter();
+  auto lineitem = GetOp::Create(db_->catalog().GetTable("lineitem").value(),
+                                registry_.get());
+  auto small = std::make_shared<SelectOp>(
+      region_, Eq(Col(region_->columns()[0], ValueType::kInt64), LitInt(1)));
+  auto big = std::make_shared<SelectOp>(
+      lineitem,
+      Eq(Col(lineitem->columns()[0], ValueType::kInt64), LitInt(1)));
+  auto small_alts = Apply(*rule, Insert(*small));
+  auto big_alts = Apply(*rule, Insert(*big));
+  ASSERT_EQ(small_alts.size(), 1u);
+  ASSERT_EQ(big_alts.size(), 1u);
+  EXPECT_LT(small_alts[0].local_cost, big_alts[0].local_cost);
+}
+
+}  // namespace
+}  // namespace qtf

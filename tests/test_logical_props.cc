@@ -1,0 +1,230 @@
+// Derived logical properties: keys, cardinality, distinct counts,
+// nullability, column types, and equi-join extraction.
+
+#include <gtest/gtest.h>
+
+#include "logical/props.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class PropsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+  }
+
+  std::shared_ptr<const GetOp> Get(const std::string& name) {
+    return GetOp::Create(db_->catalog().GetTable(name).value(),
+                         registry_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+};
+
+TEST_F(PropsTest, GetPropsFromCatalog) {
+  auto nation = Get("nation");
+  LogicalProps props = DeriveTreeProps(*nation);
+  EXPECT_DOUBLE_EQ(props.cardinality, 25.0);
+  EXPECT_EQ(props.output_cols.size(), 3u);
+  // n_nationkey is the primary key.
+  EXPECT_TRUE(props.HasKeyWithin({nation->columns()[0]}));
+  EXPECT_FALSE(props.HasKeyWithin({nation->columns()[2]}));
+  EXPECT_EQ(props.TypeOf(nation->columns()[1]), ValueType::kString);
+  EXPECT_TRUE(props.nullable.empty());  // no nullable nation columns
+}
+
+TEST_F(PropsTest, NullableColumnsTracked) {
+  auto supplier = Get("supplier");
+  LogicalProps props = DeriveTreeProps(*supplier);
+  // s_acctbal (ordinal 3) has null_fraction > 0.
+  EXPECT_TRUE(props.nullable.count(supplier->columns()[3]) > 0);
+  EXPECT_EQ(props.nullable.count(supplier->columns()[0]), 0u);
+}
+
+TEST_F(PropsTest, SelectScalesCardinalityPreservesKeys) {
+  auto nation = Get("nation");
+  ColumnId key = nation->columns()[0];
+  auto select = std::make_shared<SelectOp>(
+      nation, Eq(Col(key, ValueType::kInt64), LitInt(3)));
+  LogicalProps props = DeriveTreeProps(*select);
+  EXPECT_LT(props.cardinality, 25.0);
+  EXPECT_TRUE(props.HasKeyWithin({key}));
+}
+
+TEST_F(PropsTest, PkFkJoinPreservesLeftKeys) {
+  auto nation = Get("nation");
+  auto region = Get("region");
+  ColumnId n_key = nation->columns()[0];
+  ColumnId n_regionkey = nation->columns()[2];
+  ColumnId r_key = region->columns()[0];
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation, region,
+      Eq(Col(n_regionkey, ValueType::kInt64), Col(r_key, ValueType::kInt64)));
+  LogicalProps props = DeriveTreeProps(*join);
+  // Right side unique on its join column -> nation's key survives.
+  EXPECT_TRUE(props.HasKeyWithin({n_key}));
+  // ~25 rows expected (each nation matches exactly one region).
+  EXPECT_NEAR(props.cardinality, 25.0, 10.0);
+}
+
+TEST_F(PropsTest, LeftOuterJoinMarksRightNullable) {
+  auto nation = Get("nation");
+  auto region = Get("region");
+  auto loj = std::make_shared<JoinOp>(
+      JoinKind::kLeftOuter, nation, region,
+      Eq(Col(nation->columns()[2], ValueType::kInt64),
+         Col(region->columns()[0], ValueType::kInt64)));
+  LogicalProps props = DeriveTreeProps(*loj);
+  for (ColumnId id : region->columns()) {
+    EXPECT_TRUE(props.nullable.count(id) > 0);
+  }
+  EXPECT_GE(props.cardinality, 25.0);
+}
+
+TEST_F(PropsTest, SemiJoinKeepsLeftShape) {
+  auto nation = Get("nation");
+  auto region = Get("region");
+  auto semi = std::make_shared<JoinOp>(
+      JoinKind::kLeftSemi, nation, region,
+      Eq(Col(nation->columns()[2], ValueType::kInt64),
+         Col(region->columns()[0], ValueType::kInt64)));
+  LogicalProps props = DeriveTreeProps(*semi);
+  EXPECT_EQ(props.output_cols.size(), 3u);
+  EXPECT_LE(props.cardinality, 25.0 + 1e-9);
+  EXPECT_TRUE(props.HasKeyWithin({nation->columns()[0]}));
+}
+
+TEST_F(PropsTest, GroupByMakesGroupColsAKey) {
+  auto customer = Get("customer");
+  ColumnId c_nationkey = customer->columns()[2];
+  ColumnId agg_out = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      customer, std::vector<ColumnId>{c_nationkey},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, agg_out}});
+  LogicalProps props = DeriveTreeProps(*agg);
+  EXPECT_TRUE(props.HasKeyWithin({c_nationkey}));
+  EXPECT_LE(props.cardinality, 25.0 + 1e-9);  // at most 25 nations
+  EXPECT_EQ(props.TypeOf(agg_out), ValueType::kInt64);
+  // COUNT(*) is never NULL; group col not nullable.
+  EXPECT_EQ(props.nullable.count(agg_out), 0u);
+}
+
+TEST_F(PropsTest, ScalarAggregateHasCardinalityOne) {
+  auto customer = Get("customer");
+  ColumnId agg_out = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      customer, std::vector<ColumnId>{},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, agg_out}});
+  LogicalProps props = DeriveTreeProps(*agg);
+  EXPECT_DOUBLE_EQ(props.cardinality, 1.0);
+  // The empty set is a key (at most one row), so any set contains it.
+  EXPECT_TRUE(props.HasKeyWithin({}));
+}
+
+TEST_F(PropsTest, SumAggregateIsNullable) {
+  auto customer = Get("customer");
+  ColumnId agg_out = registry_->Allocate("s", ValueType::kDouble);
+  auto agg = std::make_shared<GroupByAggOp>(
+      customer, std::vector<ColumnId>{customer->columns()[2]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kSum,
+                         Col(customer->columns()[3], ValueType::kDouble)},
+           agg_out}});
+  LogicalProps props = DeriveTreeProps(*agg);
+  EXPECT_TRUE(props.nullable.count(agg_out) > 0);
+}
+
+TEST_F(PropsTest, DistinctBoundsCardinalityAndAddsKey) {
+  auto customer = Get("customer");
+  auto project = std::make_shared<ProjectOp>(
+      customer,
+      std::vector<ProjectItem>{
+          {Col(customer->columns()[4], ValueType::kString),
+           customer->columns()[4]}});  // c_mktsegment: 5 distinct
+  auto distinct = std::make_shared<DistinctOp>(project);
+  LogicalProps props = DeriveTreeProps(*distinct);
+  EXPECT_LE(props.cardinality, 5.0 + 1e-9);
+  EXPECT_TRUE(props.HasKeyWithin(props.OutputSet()));
+}
+
+TEST_F(PropsTest, UnionAllSumsCardinalityDropsKeys) {
+  auto r1 = Get("region");
+  auto r2 = Get("region");
+  std::vector<ColumnId> out_ids;
+  for (ColumnId id : r1->columns()) {
+    out_ids.push_back(registry_->Allocate("u", registry_->TypeOf(id)));
+  }
+  auto u = std::make_shared<UnionAllOp>(r1, r2, out_ids);
+  LogicalProps props = DeriveTreeProps(*u);
+  EXPECT_DOUBLE_EQ(props.cardinality, 10.0);
+  EXPECT_TRUE(props.keys.empty());
+}
+
+TEST_F(PropsTest, ProjectDropsKeysWhoseColumnsVanish) {
+  auto nation = Get("nation");
+  auto project = std::make_shared<ProjectOp>(
+      nation, std::vector<ProjectItem>{
+                  {Col(nation->columns()[1], ValueType::kString),
+                   nation->columns()[1]}});
+  LogicalProps props = DeriveTreeProps(*project);
+  EXPECT_FALSE(props.HasKeyWithin(props.OutputSet()));
+}
+
+TEST_F(PropsTest, EquiJoinExtraction) {
+  auto nation = Get("nation");
+  auto region = Get("region");
+  ColumnId n_regionkey = nation->columns()[2];
+  ColumnId r_key = region->columns()[0];
+  ExprPtr pred = And(
+      Eq(Col(n_regionkey, ValueType::kInt64), Col(r_key, ValueType::kInt64)),
+      Cmp(CompareOp::kGt, Col(nation->columns()[0], ValueType::kInt64),
+          LitInt(5)));
+  ColumnSet left(nation->columns().begin(), nation->columns().end());
+  ColumnSet right(region->columns().begin(), region->columns().end());
+  EquiJoinInfo info = ExtractEquiJoin(pred, left, right);
+  ASSERT_EQ(info.pairs.size(), 1u);
+  EXPECT_EQ(info.pairs[0].first, n_regionkey);
+  EXPECT_EQ(info.pairs[0].second, r_key);
+  EXPECT_EQ(info.residual.size(), 1u);
+}
+
+TEST_F(PropsTest, EquiJoinExtractionNormalizesSideOrder) {
+  auto nation = Get("nation");
+  auto region = Get("region");
+  // Written as r_key = n_regionkey (right col first).
+  ExprPtr pred = Eq(Col(region->columns()[0], ValueType::kInt64),
+                    Col(nation->columns()[2], ValueType::kInt64));
+  ColumnSet left(nation->columns().begin(), nation->columns().end());
+  ColumnSet right(region->columns().begin(), region->columns().end());
+  EquiJoinInfo info = ExtractEquiJoin(pred, left, right);
+  ASSERT_EQ(info.pairs.size(), 1u);
+  EXPECT_EQ(info.pairs[0].first, nation->columns()[2]);
+  EXPECT_EQ(info.pairs[0].second, region->columns()[0]);
+}
+
+TEST_F(PropsTest, SelectivityEqualityUsesDistinctCount) {
+  auto customer = Get("customer");
+  LogicalProps props = DeriveTreeProps(*customer);
+  ExprPtr eq = Eq(Col(customer->columns()[2], ValueType::kInt64), LitInt(5));
+  double sel = EstimateSelectivity(*eq, props);
+  EXPECT_NEAR(sel, 1.0 / 25.0, 1e-9);  // 25 distinct nation keys
+}
+
+TEST_F(PropsTest, SelectivityCombinators) {
+  auto customer = Get("customer");
+  LogicalProps props = DeriveTreeProps(*customer);
+  ExprPtr eq = Eq(Col(customer->columns()[2], ValueType::kInt64), LitInt(5));
+  double s = EstimateSelectivity(*eq, props);
+  EXPECT_NEAR(EstimateSelectivity(*And(eq, eq), props), s * s, 1e-12);
+  EXPECT_NEAR(EstimateSelectivity(*Or(eq, eq), props), s + s - s * s, 1e-12);
+  EXPECT_NEAR(EstimateSelectivity(*Not(eq), props), 1.0 - s, 1e-12);
+}
+
+}  // namespace
+}  // namespace qtf

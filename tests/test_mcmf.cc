@@ -1,0 +1,82 @@
+// Min-cost max-flow substrate tests.
+
+#include <gtest/gtest.h>
+
+#include "compress/mcmf.h"
+
+namespace qtf {
+namespace {
+
+TEST(McmfTest, SingleEdge) {
+  MinCostMaxFlow flow(2);
+  int e = flow.AddEdge(0, 1, 5.0, 2.0);
+  auto result = flow.Solve(0, 1);
+  EXPECT_DOUBLE_EQ(result.max_flow, 5.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 10.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(e), 5.0);
+}
+
+TEST(McmfTest, PrefersCheaperParallelPath) {
+  MinCostMaxFlow flow(4);
+  // source 0 -> sink 3 via 1 (cost 1) or 2 (cost 10), capacities 1 each.
+  flow.AddEdge(0, 1, 1.0, 0.0);
+  flow.AddEdge(0, 2, 1.0, 0.0);
+  int cheap = flow.AddEdge(1, 3, 1.0, 1.0);
+  int pricey = flow.AddEdge(2, 3, 1.0, 10.0);
+  auto result = flow.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(result.max_flow, 2.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 11.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(cheap), 1.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(pricey), 1.0);
+}
+
+TEST(McmfTest, RespectsBottleneckCapacity) {
+  MinCostMaxFlow flow(3);
+  flow.AddEdge(0, 1, 10.0, 1.0);
+  flow.AddEdge(1, 2, 3.0, 1.0);
+  auto result = flow.Solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.max_flow, 3.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 6.0);
+}
+
+TEST(McmfTest, DisconnectedGraphHasZeroFlow) {
+  MinCostMaxFlow flow(4);
+  flow.AddEdge(0, 1, 1.0, 1.0);
+  flow.AddEdge(2, 3, 1.0, 1.0);
+  auto result = flow.Solve(0, 3);
+  EXPECT_DOUBLE_EQ(result.max_flow, 0.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+}
+
+TEST(McmfTest, AssignmentProblem) {
+  // 2 workers, 2 jobs; cost matrix [[1, 5], [5, 1]]; optimum = 2.
+  // Nodes: 0 source, 1-2 workers, 3-4 jobs, 5 sink.
+  MinCostMaxFlow flow(6);
+  flow.AddEdge(0, 1, 1.0, 0.0);
+  flow.AddEdge(0, 2, 1.0, 0.0);
+  int w1j1 = flow.AddEdge(1, 3, 1.0, 1.0);
+  flow.AddEdge(1, 4, 1.0, 5.0);
+  flow.AddEdge(2, 3, 1.0, 5.0);
+  int w2j2 = flow.AddEdge(2, 4, 1.0, 1.0);
+  flow.AddEdge(3, 5, 1.0, 0.0);
+  flow.AddEdge(4, 5, 1.0, 0.0);
+  auto result = flow.Solve(0, 5);
+  EXPECT_DOUBLE_EQ(result.max_flow, 2.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(w1j1), 1.0);
+  EXPECT_DOUBLE_EQ(flow.flow_on(w2j2), 1.0);
+}
+
+TEST(McmfTest, ChoosesExpensiveEdgeOnlyWhenForced) {
+  // Max flow requires using both edges even though one is pricey.
+  MinCostMaxFlow flow(3);
+  flow.AddEdge(0, 1, 2.0, 0.0);
+  flow.AddEdge(1, 2, 1.0, 1.0);
+  flow.AddEdge(1, 2, 1.0, 100.0);
+  auto result = flow.Solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.max_flow, 2.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 101.0);
+}
+
+}  // namespace
+}  // namespace qtf

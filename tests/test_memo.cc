@@ -1,0 +1,143 @@
+// Memo structure: insertion, deduplication, group creation, pattern
+// binding.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/memo.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+using P = PatternNode;
+
+class MemoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+    nation_ = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                            registry_.get());
+    region_ = GetOp::Create(db_->catalog().GetTable("region").value(),
+                            registry_.get());
+    memo_ = std::make_unique<Memo>(/*rule_count=*/4);
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+  std::shared_ptr<const GetOp> nation_, region_;
+  std::unique_ptr<Memo> memo_;
+};
+
+TEST_F(MemoTest, InsertTreeCreatesGroupPerOperator) {
+  auto select = std::make_shared<SelectOp>(
+      nation_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  int root = memo_->InsertTree(*select);
+  EXPECT_EQ(memo_->group_count(), 2);
+  EXPECT_EQ(memo_->expr_count(), 2);
+  EXPECT_EQ(memo_->group(root).exprs.size(), 1u);
+}
+
+TEST_F(MemoTest, ReinsertingSameTreeDeduplicates) {
+  auto select = std::make_shared<SelectOp>(
+      nation_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  int a = memo_->InsertTree(*select);
+  int b = memo_->InsertTree(*select);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(memo_->expr_count(), 2);
+}
+
+TEST_F(MemoTest, SharedSubtreesReuseGroups) {
+  auto s1 = std::make_shared<SelectOp>(
+      nation_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  auto s2 = std::make_shared<SelectOp>(
+      nation_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(2)));
+  memo_->InsertTree(*s1);
+  memo_->InsertTree(*s2);
+  // Get(nation) group shared: 3 groups total (get, select1, select2).
+  EXPECT_EQ(memo_->group_count(), 3);
+}
+
+TEST_F(MemoTest, InsertIntoTargetGroupAddsEquivalentExpr) {
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Eq(Col(nation_->columns()[2], ValueType::kInt64),
+         Col(region_->columns()[0], ValueType::kInt64)));
+  int root = memo_->InsertTree(*join);
+  ASSERT_EQ(memo_->group(root).exprs.size(), 1u);
+
+  // Manually add the commuted join to the same group.
+  const GroupExpr& expr = *memo_->group(root).exprs[0];
+  auto commuted = std::make_shared<JoinOp>(
+      JoinKind::kInner, expr.op->children()[1], expr.op->children()[0],
+      join->predicate());
+  auto [group, added] = memo_->Insert(*commuted, root);
+  EXPECT_EQ(group, root);
+  EXPECT_TRUE(added);
+  EXPECT_EQ(memo_->group(root).exprs.size(), 2u);
+
+  // Re-adding is a no-op.
+  auto [group2, added2] = memo_->Insert(*commuted, root);
+  EXPECT_EQ(group2, root);
+  EXPECT_FALSE(added2);
+}
+
+TEST_F(MemoTest, GroupPropsDerivedOnFirstInsert) {
+  int g = memo_->InsertTree(*nation_);
+  EXPECT_DOUBLE_EQ(memo_->group(g).props.cardinality, 25.0);
+}
+
+TEST_F(MemoTest, BindPatternSingleLevel) {
+  auto join = std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_,
+                                       nullptr);
+  int root = memo_->InsertTree(*join);
+  const GroupExpr& expr = *memo_->group(root).exprs[0];
+  auto bindings = memo_->BindPattern(
+      expr, *P::Join(JoinKind::kInner, P::Any(), P::Any()));
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0]->kind(), LogicalOpKind::kJoin);
+  EXPECT_EQ(bindings[0]->child(0)->kind(), LogicalOpKind::kGroupRef);
+}
+
+TEST_F(MemoTest, BindPatternKindMismatchReturnsEmpty) {
+  int g = memo_->InsertTree(*nation_);
+  const GroupExpr& expr = *memo_->group(g).exprs[0];
+  EXPECT_TRUE(
+      memo_->BindPattern(expr, *P::Op(LogicalOpKind::kSelect, {P::Any()}))
+          .empty());
+}
+
+TEST_F(MemoTest, BindPatternTwoLevelEnumeratesChildExprs) {
+  auto join = std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_,
+                                       nullptr);
+  auto select = std::make_shared<SelectOp>(
+      join, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  int root = memo_->InsertTree(*select);
+  int join_group = memo_->group(root).exprs[0]->child_groups[0];
+
+  // Add a second (commuted) join expression to the join group.
+  const GroupExpr& join_expr = *memo_->group(join_group).exprs[0];
+  auto commuted = std::make_shared<JoinOp>(JoinKind::kInner,
+                                           join_expr.op->children()[1],
+                                           join_expr.op->children()[0],
+                                           nullptr);
+  memo_->Insert(*commuted, join_group);
+
+  PatternNodePtr pattern = P::Op(
+      LogicalOpKind::kSelect, {P::Join(JoinKind::kInner, P::Any(), P::Any())});
+  auto bindings =
+      memo_->BindPattern(*memo_->group(root).exprs[0], *pattern);
+  // Both join expressions produce a binding.
+  EXPECT_EQ(bindings.size(), 2u);
+}
+
+TEST_F(MemoTest, GroupRefInsertReturnsItsGroup) {
+  int g = memo_->InsertTree(*nation_);
+  LogicalOpPtr ref = memo_->MakeGroupRef(g);
+  auto [group, added] = memo_->Insert(*ref, -1);
+  EXPECT_EQ(group, g);
+  EXPECT_FALSE(added);
+}
+
+}  // namespace
+}  // namespace qtf

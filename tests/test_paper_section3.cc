@@ -1,0 +1,137 @@
+// The paper's Section 3 walkthrough as tests: the rule-dependency example
+// "R Join (S LOJ T)" — join/outer-join associativity unlocks join
+// commutativity on the freshly created (R Join S) — and the Group-By
+// pull-up example with its "join predicate must not reference the aggregate
+// results" precondition.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+class PaperSection3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fw = RuleTestFramework::Create();
+    ASSERT_TRUE(fw.ok());
+    fw_ = std::move(fw).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+  }
+
+  std::shared_ptr<const GetOp> Get(const std::string& name) {
+    return GetOp::Create(fw_->catalog().GetTable(name).value(),
+                         registry_.get());
+  }
+
+  std::unique_ptr<RuleTestFramework> fw_;
+  ColumnRegistryPtr registry_;
+};
+
+TEST_F(PaperSection3Test, JoinLojDependencyExample) {
+  // R Join (S LOJ T) with the join predicate between R and S:
+  //   R = customer, S = nation, T = region.
+  auto customer = Get("customer");
+  auto nation = Get("nation");
+  auto region = Get("region");
+  auto loj = std::make_shared<JoinOp>(
+      JoinKind::kLeftOuter, nation, region,
+      Eq(Col(nation->columns()[2], ValueType::kInt64),
+         Col(region->columns()[0], ValueType::kInt64)));
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, customer, loj,
+      Eq(Col(customer->columns()[2], ValueType::kInt64),
+         Col(nation->columns()[0], ValueType::kInt64)));
+  Query query{join, registry_};
+
+  auto result = fw_->optimizer()->Optimize(query);
+  ASSERT_TRUE(result.ok());
+  RuleId assoc = fw_->rules().FindByName("JoinLojAssocLeft");
+  RuleId commute = fw_->rules().FindByName("JoinCommutativity");
+  // The associativity rule fires (pred is between R and S)...
+  EXPECT_TRUE(result->exercised_rules.count(assoc) > 0);
+  // ...and commutativity then applies to the (R Join S) it created.
+  EXPECT_TRUE(result->exercised_rules.count(commute) > 0);
+
+  // The dependency: with the associativity rule disabled, the query still
+  // plans, but the inner join (R Join S) never materializes.
+  OptimizerOptions options;
+  options.disabled_rules.insert(assoc);
+  auto restricted = fw_->optimizer()->Optimize(query, options);
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_GE(restricted->cost, result->cost - 1e-9);
+
+  // And the rewrite is semantically sound end to end.
+  Executor executor(&fw_->db(), registry_.get());
+  auto base_rows = executor.Execute(*result->plan);
+  auto restricted_rows = executor.Execute(*restricted->plan);
+  ASSERT_TRUE(base_rows.ok() && restricted_rows.ok());
+  EXPECT_TRUE(ResultBagEquals(*base_rows, *restricted_rows));
+}
+
+TEST_F(PaperSection3Test, GroupByPullUpBlockedByAggregateReference) {
+  // Section 3.1's example precondition: the Group-By pull-up must not fire
+  // when the join predicate references the aggregate results.
+  auto customer = Get("customer");
+  auto nation = Get("nation");
+  ColumnId cnt = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      customer, std::vector<ColumnId>{customer->columns()[2]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cnt}});
+
+  RuleId pull = fw_->rules().FindByName("GroupByPullAboveJoinLeft");
+
+  // Join on the grouping column: the rule fires.
+  auto on_group = std::make_shared<JoinOp>(
+      JoinKind::kInner, agg, nation,
+      Eq(Col(customer->columns()[2], ValueType::kInt64),
+         Col(nation->columns()[0], ValueType::kInt64)));
+  auto good = fw_->optimizer()->Optimize(Query{on_group, registry_});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->exercised_rules.count(pull) > 0);
+
+  // Join on the COUNT(*) output: the rule must not fire.
+  auto on_agg = std::make_shared<JoinOp>(
+      JoinKind::kInner, agg, nation,
+      Eq(Col(cnt, ValueType::kInt64),
+         Col(nation->columns()[0], ValueType::kInt64)));
+  auto blocked = fw_->optimizer()->Optimize(Query{on_agg, registry_});
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked->exercised_rules.count(pull), 0u);
+}
+
+TEST_F(PaperSection3Test, PatternIsNecessaryButNotSufficient) {
+  // A query whose tree *contains* the GroupByPushBelowJoinLeft pattern but
+  // violates its precondition: the pattern matches, the rule is bound, but
+  // the substitution produces nothing — exactly the necessary-vs-sufficient
+  // distinction of Section 3.1.
+  auto customer = Get("customer");
+  auto orders = Get("orders");
+  ColumnId cnt = registry_->Allocate("cnt2", ValueType::kInt64);
+  // orders is NOT unique on o_custkey, so the eager-aggregation rule's
+  // FD precondition fails.
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, customer, orders,
+      Eq(Col(customer->columns()[0], ValueType::kInt64),
+         Col(orders->columns()[1], ValueType::kInt64)));
+  auto agg = std::make_shared<GroupByAggOp>(
+      join, std::vector<ColumnId>{customer->columns()[0]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cnt}});
+  Query query{agg, registry_};
+
+  RuleId push = fw_->rules().FindByName("GroupByPushBelowJoinLeft");
+  const Rule& rule = fw_->rules().rule(push);
+  // Necessary condition holds: the tree contains the rule's pattern.
+  EXPECT_TRUE(ContainsPattern(*query.root, *rule.pattern()));
+  // But it is not sufficient: the rule is never exercised.
+  auto result = fw_->optimizer()->Optimize(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exercised_rules.count(push), 0u);
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,141 @@
+// End-to-end smoke test: TPC-H database -> logical query -> optimizer ->
+// physical plan -> executor, with rule tracking and rule disabling.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "logical/query.h"
+#include "logical/validate.h"
+#include "optimizer/optimizer.h"
+#include "rules/default_rules.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeTpchDatabase(TpchConfig{});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    registry_ = MakeDefaultRuleRegistry();
+    optimizer_ = std::make_unique<Optimizer>(registry_.get());
+  }
+
+  /// select n_name, r_name from nation join region
+  /// on n_regionkey = r_regionkey where r_name = 'ASIA'
+  /// Exercised rules that can be individually disabled while keeping the
+  /// query plannable: the logical (exploration) rules. Disabling a
+  /// sole-implementation rule (e.g. GetToScan) correctly yields "no plan".
+  std::vector<RuleId> ExercisedLogicalRules(const OptimizeResult& result) {
+    std::vector<RuleId> out;
+    for (RuleId id : result.exercised_rules) {
+      if (registry_->rule(id).type() == RuleType::kExploration) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+
+  Query MakeNationRegionQuery() {
+    auto registry = std::make_shared<ColumnRegistry>();
+    auto nation = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                                registry.get());
+    auto region = GetOp::Create(db_->catalog().GetTable("region").value(),
+                                registry.get());
+    ColumnId n_regionkey = nation->columns()[2];
+    ColumnId r_regionkey = region->columns()[0];
+    ColumnId r_name = region->columns()[1];
+    LogicalOpPtr join = std::make_shared<JoinOp>(
+        JoinKind::kInner, nation, region,
+        Eq(Col(n_regionkey, ValueType::kInt64),
+           Col(r_regionkey, ValueType::kInt64)));
+    LogicalOpPtr select = std::make_shared<SelectOp>(
+        join, Eq(Col(r_name, ValueType::kString), LitString("ASIA")));
+    return Query{select, registry};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RuleRegistry> registry_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+TEST_F(SmokeTest, OptimizeAndExecute) {
+  Query query = MakeNationRegionQuery();
+  ASSERT_TRUE(ValidateTree(*query.root, *query.registry).ok());
+
+  auto result = optimizer_->Optimize(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->cost, 0.0);
+  EXPECT_FALSE(result->exercised_rules.empty());
+  ASSERT_NE(result->plan, nullptr);
+
+  Executor executor(db_.get(), query.registry.get());
+  auto rows = executor.Execute(*result->plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // 5 nations per region in the generated data (25 nations round-robin
+  // over 5 regions).
+  EXPECT_EQ(rows->row_count(), 5);
+}
+
+TEST_F(SmokeTest, DisablingRulesNeverLowersCost) {
+  Query query = MakeNationRegionQuery();
+  auto base = optimizer_->Optimize(query);
+  ASSERT_TRUE(base.ok());
+
+  for (RuleId id : ExercisedLogicalRules(*base)) {
+    OptimizerOptions options;
+    options.disabled_rules.insert(id);
+    auto restricted = optimizer_->Optimize(query, options);
+    ASSERT_TRUE(restricted.ok())
+        << "disabling " << registry_->rule(id).name() << ": "
+        << restricted.status().ToString();
+    EXPECT_GE(restricted->cost, base->cost - 1e-9)
+        << "disabling " << registry_->rule(id).name() << " lowered the cost";
+  }
+}
+
+TEST_F(SmokeTest, DisabledRulesAreNotExercised) {
+  Query query = MakeNationRegionQuery();
+  auto base = optimizer_->Optimize(query);
+  ASSERT_TRUE(base.ok());
+  for (RuleId id : ExercisedLogicalRules(*base)) {
+    OptimizerOptions options;
+    options.disabled_rules.insert(id);
+    auto restricted = optimizer_->Optimize(query, options);
+    ASSERT_TRUE(restricted.ok());
+    EXPECT_EQ(restricted->exercised_rules.count(id), 0u);
+  }
+}
+
+TEST_F(SmokeTest, ResultsIdenticalWithEachRuleDisabled) {
+  Query query = MakeNationRegionQuery();
+  auto base = optimizer_->Optimize(query);
+  ASSERT_TRUE(base.ok());
+  Executor executor(db_.get(), query.registry.get());
+  auto base_rows = executor.Execute(*base->plan);
+  ASSERT_TRUE(base_rows.ok());
+
+  for (RuleId id : ExercisedLogicalRules(*base)) {
+    OptimizerOptions options;
+    options.disabled_rules.insert(id);
+    auto restricted = optimizer_->Optimize(query, options);
+    ASSERT_TRUE(restricted.ok());
+    auto rows = executor.Execute(*restricted->plan);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_TRUE(ResultBagEquals(*base_rows, *rows))
+        << "results differ with rule " << registry_->rule(id).name()
+        << " disabled";
+  }
+}
+
+TEST_F(SmokeTest, InvocationCounterIncrements) {
+  Query query = MakeNationRegionQuery();
+  int64_t before = optimizer_->invocation_count();
+  ASSERT_TRUE(optimizer_->Optimize(query).ok());
+  EXPECT_EQ(optimizer_->invocation_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,136 @@
+// SQL generation ([9]-style Generate SQL module): structural checks on the
+// rendered text for every operator kind.
+
+#include <gtest/gtest.h>
+
+#include "qgen/generators.h"
+#include "qgen/sqlgen.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class SqlGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+    region_ = GetOp::Create(db_->catalog().GetTable("region").value(),
+                            registry_.get());
+    nation_ = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                            registry_.get());
+  }
+
+  std::string Sql(LogicalOpPtr root) {
+    return GenerateSql(Query{std::move(root), registry_});
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+  std::shared_ptr<const GetOp> region_, nation_;
+};
+
+TEST_F(SqlGenTest, GetRendersSelectFrom) {
+  std::string sql = Sql(region_);
+  EXPECT_NE(sql.find("FROM region"), std::string::npos);
+  EXPECT_NE(sql.find("r_regionkey AS c"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, SelectRendersWhere) {
+  auto select = std::make_shared<SelectOp>(
+      region_, Eq(Col(region_->columns()[1], ValueType::kString),
+                  LitString("ASIA")));
+  std::string sql = Sql(select);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+  EXPECT_NE(sql.find("'ASIA'"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, InnerJoinRendersOnClause) {
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Eq(Col(nation_->columns()[2], ValueType::kInt64),
+         Col(region_->columns()[0], ValueType::kInt64)));
+  std::string sql = Sql(join);
+  EXPECT_NE(sql.find("INNER JOIN"), std::string::npos);
+  EXPECT_NE(sql.find(" ON "), std::string::npos);
+}
+
+TEST_F(SqlGenTest, CrossJoinRendersTrivialPredicate) {
+  auto join =
+      std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_, nullptr);
+  EXPECT_NE(Sql(join).find("(1 = 1)"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, OuterSemiAntiJoins) {
+  ExprPtr pred = Eq(Col(nation_->columns()[2], ValueType::kInt64),
+                    Col(region_->columns()[0], ValueType::kInt64));
+  auto loj =
+      std::make_shared<JoinOp>(JoinKind::kLeftOuter, nation_, region_, pred);
+  EXPECT_NE(Sql(loj).find("LEFT OUTER JOIN"), std::string::npos);
+  auto semi =
+      std::make_shared<JoinOp>(JoinKind::kLeftSemi, nation_, region_, pred);
+  EXPECT_NE(Sql(semi).find("WHERE EXISTS"), std::string::npos);
+  auto anti =
+      std::make_shared<JoinOp>(JoinKind::kLeftAnti, nation_, region_, pred);
+  EXPECT_NE(Sql(anti).find("NOT EXISTS"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, GroupByRendersAggregates) {
+  ColumnId cnt = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      nation_, std::vector<ColumnId>{nation_->columns()[2]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cnt}});
+  std::string sql = Sql(agg);
+  EXPECT_NE(sql.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(sql.find("COUNT(*)"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, ScalarAggregateHasNoGroupBy) {
+  ColumnId cnt = registry_->Allocate("cnt", ValueType::kInt64);
+  auto agg = std::make_shared<GroupByAggOp>(
+      nation_, std::vector<ColumnId>{},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kCountStar, nullptr}, cnt}});
+  EXPECT_EQ(Sql(agg).find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, UnionAllAndDistinct) {
+  auto r2 = GetOp::Create(db_->catalog().GetTable("region").value(),
+                          registry_.get());
+  std::vector<ColumnId> out_ids;
+  for (ColumnId id : region_->columns()) {
+    out_ids.push_back(registry_->Allocate("u", registry_->TypeOf(id)));
+  }
+  auto u = std::make_shared<UnionAllOp>(region_, r2, out_ids);
+  EXPECT_NE(Sql(u).find("UNION ALL"), std::string::npos);
+  auto d = std::make_shared<DistinctOp>(region_);
+  EXPECT_NE(Sql(d).find("SELECT DISTINCT"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, ProjectRendersExpressions) {
+  ColumnId expr_id = registry_->Allocate("e", ValueType::kInt64);
+  auto project = std::make_shared<ProjectOp>(
+      region_,
+      std::vector<ProjectItem>{
+          {Col(region_->columns()[0], ValueType::kInt64),
+           region_->columns()[0]},
+          {Arith(ArithOp::kMul, Col(region_->columns()[0], ValueType::kInt64),
+                 LitInt(3)),
+           expr_id}});
+  std::string sql = Sql(project);
+  EXPECT_NE(sql.find("* 3"), std::string::npos);
+}
+
+TEST_F(SqlGenTest, EveryGeneratedQueryRendersNonEmpty) {
+  RandomQueryGenerator generator(&db_->catalog(), 13);
+  for (int i = 0; i < 25; ++i) {
+    Query query = generator.Generate();
+    std::string sql = GenerateSql(query);
+    EXPECT_GT(sql.size(), 20u);
+    EXPECT_EQ(sql.find("GroupRef"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qtf

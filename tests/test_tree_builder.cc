@@ -1,0 +1,165 @@
+// TreeBuilder: every random building block yields valid trees with the
+// documented shapes/biases.
+
+#include <gtest/gtest.h>
+
+#include "logical/validate.h"
+#include "qgen/tree_builder.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class TreeBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    rng_ = std::make_unique<Rng>(321);
+    builder_ = std::make_unique<TreeBuilder>(&db_->catalog(), rng_.get());
+  }
+
+  void ExpectValid(const LogicalOpPtr& tree) {
+    Status status = ValidateTree(*tree, *builder_->registry());
+    EXPECT_TRUE(status.ok()) << status.ToString() << "\n"
+                             << LogicalTreeToString(*tree, nullptr);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<TreeBuilder> builder_;
+};
+
+TEST_F(TreeBuilderTest, RandomGetIsValidLeaf) {
+  for (int i = 0; i < 10; ++i) {
+    LogicalOpPtr get = builder_->RandomGet();
+    EXPECT_EQ(get->kind(), LogicalOpKind::kGet);
+    ExpectValid(get);
+  }
+}
+
+TEST_F(TreeBuilderTest, RandomSelectProducesBooleanPredicates) {
+  for (int i = 0; i < 20; ++i) {
+    LogicalOpPtr select = builder_->RandomSelect(builder_->RandomGet());
+    ASSERT_EQ(select->kind(), LogicalOpKind::kSelect);
+    EXPECT_EQ(static_cast<const SelectOp&>(*select).predicate()->type(),
+              ValueType::kBool);
+    ExpectValid(select);
+  }
+}
+
+TEST_F(TreeBuilderTest, RandomProjectKeepsAtLeastOneColumn) {
+  for (int i = 0; i < 20; ++i) {
+    LogicalOpPtr project = builder_->RandomProject(builder_->RandomGet());
+    EXPECT_GE(project->OutputColumns().size(), 1u);
+    ExpectValid(project);
+  }
+}
+
+TEST_F(TreeBuilderTest, RandomJoinsOfAllKindsValidate) {
+  for (JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                        JoinKind::kLeftSemi, JoinKind::kLeftAnti}) {
+    for (int i = 0; i < 8; ++i) {
+      LogicalOpPtr join = builder_->RandomJoin(kind, builder_->RandomGet(),
+                                               builder_->RandomGet());
+      ASSERT_EQ(join->kind(), LogicalOpKind::kJoin);
+      EXPECT_EQ(static_cast<const JoinOp&>(*join).join_kind(), kind);
+      ExpectValid(join);
+    }
+  }
+}
+
+TEST_F(TreeBuilderTest, RandomGroupByValidatesAndHasGroupsOrAggs) {
+  for (int i = 0; i < 20; ++i) {
+    LogicalOpPtr agg = builder_->RandomGroupBy(builder_->RandomGet());
+    const auto& groupby = static_cast<const GroupByAggOp&>(*agg);
+    EXPECT_TRUE(!groupby.group_cols().empty() ||
+                !groupby.aggregates().empty());
+    ExpectValid(agg);
+  }
+}
+
+TEST_F(TreeBuilderTest, GroupByOverJoinIncludesJoinColumnsSometimes) {
+  int biased = 0;
+  for (int i = 0; i < 30; ++i) {
+    LogicalOpPtr join = builder_->RandomJoin(
+        JoinKind::kInner, builder_->RandomGet(), builder_->RandomGet());
+    const auto& join_op = static_cast<const JoinOp&>(*join);
+    if (join_op.predicate() == nullptr) continue;
+    ColumnSet left_cols, right_cols;
+    for (ColumnId id : join_op.child(0)->OutputColumns())
+      left_cols.insert(id);
+    for (ColumnId id : join_op.child(1)->OutputColumns())
+      right_cols.insert(id);
+    EquiJoinInfo equi =
+        ExtractEquiJoin(join_op.predicate(), left_cols, right_cols);
+    if (equi.pairs.empty()) continue;
+
+    LogicalOpPtr agg = builder_->RandomGroupBy(join);
+    const auto& groupby = static_cast<const GroupByAggOp&>(*agg);
+    ColumnSet groups(groupby.group_cols().begin(),
+                     groupby.group_cols().end());
+    bool includes_all = true;
+    for (const auto& [l, r] : equi.pairs) {
+      if (groups.count(l) == 0) includes_all = false;
+    }
+    if (includes_all) ++biased;
+    ExpectValid(agg);
+  }
+  EXPECT_GT(biased, 5);  // the documented 0.7 bias must be visible
+}
+
+TEST_F(TreeBuilderTest, RandomUnionAllCoercesMismatchedSides) {
+  for (int i = 0; i < 20; ++i) {
+    LogicalOpPtr u = builder_->RandomUnionAll(builder_->RandomGet(),
+                                              builder_->RandomGet());
+    ASSERT_EQ(u->kind(), LogicalOpKind::kUnionAll);
+    ExpectValid(u);
+  }
+}
+
+TEST_F(TreeBuilderTest, ApplyRandomOperatorGrowsValidTrees) {
+  LogicalOpPtr tree = builder_->RandomGet();
+  for (int i = 0; i < 30; ++i) {
+    tree = builder_->ApplyRandomOperator(std::move(tree));
+    ExpectValid(tree);
+  }
+  EXPECT_GE(CountOps(*tree), 30);
+}
+
+TEST_F(TreeBuilderTest, PredicateConstantsComeFromColumnDomains) {
+  // Integer equality predicates against base columns should frequently use
+  // in-domain constants (the generator reads catalog min/max).
+  int in_domain = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    LogicalOpPtr get = builder_->RandomGet();
+    const auto& get_op = static_cast<const GetOp&>(*get);
+    ExprPtr pred = builder_->RandomPredicate(*get);
+    for (const ExprPtr& conjunct : SplitConjuncts(pred)) {
+      if (conjunct->kind() != ExprKind::kComparison) continue;
+      const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+      if (cmp.left()->kind() != ExprKind::kColumnRef ||
+          cmp.right()->kind() != ExprKind::kConstant) {
+        continue;
+      }
+      const Value& v = static_cast<const ConstantExpr&>(*cmp.right()).value();
+      if (v.is_null() || v.type() != ValueType::kInt64) continue;
+      ColumnId id = static_cast<const ColumnRefExpr&>(*cmp.left()).id();
+      for (size_t c = 0; c < get_op.columns().size(); ++c) {
+        if (get_op.columns()[c] != id) continue;
+        const ColumnDef& def = get_op.table().columns()[c];
+        if (def.max_value > def.min_value) {
+          ++total;
+          if (v.int64() >= def.min_value && v.int64() <= def.max_value) {
+            ++in_domain;
+          }
+        }
+      }
+    }
+  }
+  if (total > 0) {
+    EXPECT_GT(static_cast<double>(in_domain) / total, 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,132 @@
+// Tree validation: the invariants every optimizer input and rule output
+// must satisfy.
+
+#include <gtest/gtest.h>
+
+#include "logical/validate.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+    region_ = GetOp::Create(db_->catalog().GetTable("region").value(),
+                            registry_.get());
+    nation_ = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                            registry_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+  std::shared_ptr<const GetOp> region_, nation_;
+};
+
+TEST_F(ValidateTest, ValidSelect) {
+  auto select = std::make_shared<SelectOp>(
+      region_, Eq(Col(region_->columns()[0], ValueType::kInt64), LitInt(1)));
+  EXPECT_TRUE(ValidateTree(*select, *registry_).ok());
+}
+
+TEST_F(ValidateTest, SelectReferencingForeignColumnFails) {
+  // Predicate uses a nation column over a region input.
+  auto select = std::make_shared<SelectOp>(
+      region_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  EXPECT_FALSE(ValidateTree(*select, *registry_).ok());
+}
+
+TEST_F(ValidateTest, NonBooleanPredicateFails) {
+  auto select = std::make_shared<SelectOp>(
+      region_, Arith(ArithOp::kAdd,
+                     Col(region_->columns()[0], ValueType::kInt64),
+                     LitInt(1)));
+  EXPECT_FALSE(ValidateTree(*select, *registry_).ok());
+}
+
+TEST_F(ValidateTest, ProjectPassThroughMustKeepId) {
+  ColumnId key = region_->columns()[0];
+  ColumnId wrong = registry_->Allocate("wrong", ValueType::kInt64);
+  auto bad = std::make_shared<ProjectOp>(
+      region_,
+      std::vector<ProjectItem>{{Col(key, ValueType::kInt64), wrong}});
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+  auto good = std::make_shared<ProjectOp>(
+      region_, std::vector<ProjectItem>{{Col(key, ValueType::kInt64), key}});
+  EXPECT_TRUE(ValidateTree(*good, *registry_).ok());
+}
+
+TEST_F(ValidateTest, ComputedProjectItemMustUseFreshId) {
+  ColumnId key = region_->columns()[0];
+  auto bad = std::make_shared<ProjectOp>(
+      region_,
+      std::vector<ProjectItem>{
+          {Arith(ArithOp::kAdd, Col(key, ValueType::kInt64), LitInt(1)),
+           key}});  // reuses the input id
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+}
+
+TEST_F(ValidateTest, GroupingColumnMustComeFromInput) {
+  ColumnId foreign = nation_->columns()[0];
+  auto bad = std::make_shared<GroupByAggOp>(
+      region_, std::vector<ColumnId>{foreign}, std::vector<AggregateItem>{});
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+}
+
+TEST_F(ValidateTest, AggregateWithoutArgMustBeCountStar) {
+  ColumnId out = registry_->Allocate("bad_sum", ValueType::kInt64);
+  auto bad = std::make_shared<GroupByAggOp>(
+      region_, std::vector<ColumnId>{region_->columns()[0]},
+      std::vector<AggregateItem>{
+          {AggregateCall{AggKind::kSum, nullptr}, out}});
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+}
+
+TEST_F(ValidateTest, UnionAllArityMismatchFails) {
+  std::vector<ColumnId> out_ids;
+  for (ColumnId id : region_->columns()) {
+    out_ids.push_back(registry_->Allocate("u", registry_->TypeOf(id)));
+  }
+  auto bad = std::make_shared<UnionAllOp>(region_, nation_, out_ids);
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+}
+
+TEST_F(ValidateTest, UnionAllTypeMismatchFails) {
+  // region: (int, string); build a 2-column int,int right side.
+  auto ints = std::make_shared<ProjectOp>(
+      nation_,
+      std::vector<ProjectItem>{
+          {Col(nation_->columns()[0], ValueType::kInt64),
+           nation_->columns()[0]},
+          {Col(nation_->columns()[2], ValueType::kInt64),
+           nation_->columns()[2]}});
+  std::vector<ColumnId> out_ids = {
+      registry_->Allocate("u0", ValueType::kInt64),
+      registry_->Allocate("u1", ValueType::kString)};
+  auto bad = std::make_shared<UnionAllOp>(region_, ints, out_ids);
+  EXPECT_FALSE(ValidateTree(*bad, *registry_).ok());
+}
+
+TEST_F(ValidateTest, ValidJoinAndDeepTree) {
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Eq(Col(nation_->columns()[2], ValueType::kInt64),
+         Col(region_->columns()[0], ValueType::kInt64)));
+  auto select = std::make_shared<SelectOp>(
+      join, Eq(Col(region_->columns()[1], ValueType::kString),
+               LitString("ASIA")));
+  auto distinct = std::make_shared<DistinctOp>(select);
+  EXPECT_TRUE(ValidateTree(*distinct, *registry_).ok());
+}
+
+TEST_F(ValidateTest, ErrorsSurfaceFromDeepInTree) {
+  auto bad_select = std::make_shared<SelectOp>(
+      region_, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  auto distinct = std::make_shared<DistinctOp>(bad_select);
+  EXPECT_FALSE(ValidateTree(*distinct, *registry_).ok());
+}
+
+}  // namespace
+}  // namespace qtf

@@ -1,0 +1,116 @@
+// Unit tests for the typed value system (types/value.h).
+
+#include <gtest/gtest.h>
+
+#include "types/value.h"
+
+namespace qtf {
+namespace {
+
+TEST(ValueTest, ConstructionAndAccessors) {
+  EXPECT_EQ(Value::Int64(42).int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value::String("abc").str(), "abc");
+  EXPECT_TRUE(Value::Bool(true).boolean());
+  EXPECT_FALSE(Value::Int64(1).is_null());
+  EXPECT_TRUE(Value::Null(ValueType::kString).is_null());
+  EXPECT_EQ(Value::Null(ValueType::kString).type(), ValueType::kString);
+}
+
+TEST(ValueTest, DefaultIsNullInt) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value::Int64(7).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Double(1.25).AsDouble(), 1.25);
+}
+
+TEST(ValueTest, CompareIntegers) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(5).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(3)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+  EXPECT_GT(Value::String("z").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, CompareBooleans) {
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+  EXPECT_EQ(Value::Bool(true).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(ValueType::kInt64).Compare(Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Int64(0).Compare(Value::Null(ValueType::kInt64)), 0);
+  EXPECT_EQ(Value::Null(ValueType::kInt64).Compare(
+                Value::Null(ValueType::kInt64)),
+            0);
+}
+
+TEST(ValueTest, SqlLiterals) {
+  EXPECT_EQ(Value::Int64(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value::String("O'Brien").ToSqlLiteral(), "'O''Brien'");
+  EXPECT_EQ(Value::Null(ValueType::kDouble).ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToSqlLiteral(), "TRUE");
+  EXPECT_EQ(Value::Double(2.5).ToSqlLiteral(), "2.5");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(10).Hash(), Value::Int64(10).Hash());
+  EXPECT_EQ(Value::String("q").Hash(), Value::String("q").Hash());
+  EXPECT_EQ(Value::Null(ValueType::kInt64).Hash(),
+            Value::Null(ValueType::kString).Hash());
+}
+
+TEST(RowTest, HashRowOrderSensitive) {
+  Row a = {Value::Int64(1), Value::Int64(2)};
+  Row b = {Value::Int64(2), Value::Int64(1)};
+  Row c = {Value::Int64(1), Value::Int64(2)};
+  EXPECT_EQ(HashRow(a), HashRow(c));
+  EXPECT_NE(HashRow(a), HashRow(b));
+}
+
+TEST(RowTest, CompareRowsLexicographic) {
+  Row a = {Value::Int64(1), Value::String("x")};
+  Row b = {Value::Int64(1), Value::String("y")};
+  Row c = {Value::Int64(2), Value::String("a")};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_LT(CompareRows(b, c), 0);
+  EXPECT_EQ(CompareRows(a, a), 0);
+}
+
+TEST(RowTest, CompareRowsPrefixShorterFirst) {
+  Row a = {Value::Int64(1)};
+  Row b = {Value::Int64(1), Value::Int64(0)};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_GT(CompareRows(b, a), 0);
+}
+
+TEST(RowTest, NullGroupsTogetherInRows) {
+  // SQL GROUP BY / DISTINCT treat NULLs as equal; row equality must agree.
+  Row a = {Value::Null(ValueType::kInt64)};
+  Row b = {Value::Null(ValueType::kInt64)};
+  EXPECT_EQ(CompareRows(a, b), 0);
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+class ValueTypeNames : public ::testing::TestWithParam<ValueType> {};
+
+TEST_P(ValueTypeNames, HasName) {
+  EXPECT_STRNE(ValueTypeToString(GetParam()), "UNKNOWN");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ValueTypeNames,
+                         ::testing::Values(ValueType::kInt64,
+                                           ValueType::kDouble,
+                                           ValueType::kString,
+                                           ValueType::kBool));
+
+}  // namespace
+}  // namespace qtf
