@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_compression_pairs.dir/bench_fig12_compression_pairs.cc.o"
+  "CMakeFiles/bench_fig12_compression_pairs.dir/bench_fig12_compression_pairs.cc.o.d"
+  "bench_fig12_compression_pairs"
+  "bench_fig12_compression_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_compression_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

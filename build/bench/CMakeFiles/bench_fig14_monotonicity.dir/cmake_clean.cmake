@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_monotonicity.dir/bench_fig14_monotonicity.cc.o"
+  "CMakeFiles/bench_fig14_monotonicity.dir/bench_fig14_monotonicity.cc.o.d"
+  "bench_fig14_monotonicity"
+  "bench_fig14_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_pair_generation.dir/bench_fig9_pair_generation.cc.o"
+  "CMakeFiles/bench_fig9_pair_generation.dir/bench_fig9_pair_generation.cc.o.d"
+  "bench_fig9_pair_generation"
+  "bench_fig9_pair_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pair_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

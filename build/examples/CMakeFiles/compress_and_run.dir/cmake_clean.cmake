@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_and_run.dir/compress_and_run.cpp.o"
+  "CMakeFiles/compress_and_run.dir/compress_and_run.cpp.o.d"
+  "compress_and_run"
+  "compress_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relevance_report.dir/relevance_report.cpp.o"
+  "CMakeFiles/relevance_report.dir/relevance_report.cpp.o.d"
+  "relevance_report"
+  "relevance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relevance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

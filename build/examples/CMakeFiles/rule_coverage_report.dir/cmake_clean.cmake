@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_coverage_report.dir/rule_coverage_report.cpp.o"
+  "CMakeFiles/rule_coverage_report.dir/rule_coverage_report.cpp.o.d"
+  "rule_coverage_report"
+  "rule_coverage_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_coverage_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("catalog")
+subdirs("storage")
+subdirs("expr")
+subdirs("logical")
+subdirs("exec")
+subdirs("pattern")
+subdirs("optimizer")
+subdirs("rules")
+subdirs("qgen")
+subdirs("compress")
+subdirs("testing")

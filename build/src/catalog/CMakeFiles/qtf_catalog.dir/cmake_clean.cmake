@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_catalog.dir/catalog.cc.o"
+  "CMakeFiles/qtf_catalog.dir/catalog.cc.o.d"
+  "libqtf_catalog.a"
+  "libqtf_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_common.dir/status.cc.o"
+  "CMakeFiles/qtf_common.dir/status.cc.o.d"
+  "CMakeFiles/qtf_common.dir/str_util.cc.o"
+  "CMakeFiles/qtf_common.dir/str_util.cc.o.d"
+  "libqtf_common.a"
+  "libqtf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqtf_common.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_compress.dir/compression.cc.o"
+  "CMakeFiles/qtf_compress.dir/compression.cc.o.d"
+  "CMakeFiles/qtf_compress.dir/edge_costs.cc.o"
+  "CMakeFiles/qtf_compress.dir/edge_costs.cc.o.d"
+  "CMakeFiles/qtf_compress.dir/matching.cc.o"
+  "CMakeFiles/qtf_compress.dir/matching.cc.o.d"
+  "CMakeFiles/qtf_compress.dir/mcmf.cc.o"
+  "CMakeFiles/qtf_compress.dir/mcmf.cc.o.d"
+  "libqtf_compress.a"
+  "libqtf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/qtf_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/qtf_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/physical.cc" "src/exec/CMakeFiles/qtf_exec.dir/physical.cc.o" "gcc" "src/exec/CMakeFiles/qtf_exec.dir/physical.cc.o.d"
+  "/root/repo/src/exec/result_set.cc" "src/exec/CMakeFiles/qtf_exec.dir/result_set.cc.o" "gcc" "src/exec/CMakeFiles/qtf_exec.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logical/CMakeFiles/qtf_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qtf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qtf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_exec.dir/executor.cc.o"
+  "CMakeFiles/qtf_exec.dir/executor.cc.o.d"
+  "CMakeFiles/qtf_exec.dir/physical.cc.o"
+  "CMakeFiles/qtf_exec.dir/physical.cc.o.d"
+  "CMakeFiles/qtf_exec.dir/result_set.cc.o"
+  "CMakeFiles/qtf_exec.dir/result_set.cc.o.d"
+  "libqtf_exec.a"
+  "libqtf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

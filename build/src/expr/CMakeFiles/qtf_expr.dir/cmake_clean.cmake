@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_expr.dir/aggregate.cc.o"
+  "CMakeFiles/qtf_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/qtf_expr.dir/analysis.cc.o"
+  "CMakeFiles/qtf_expr.dir/analysis.cc.o.d"
+  "CMakeFiles/qtf_expr.dir/eval.cc.o"
+  "CMakeFiles/qtf_expr.dir/eval.cc.o.d"
+  "CMakeFiles/qtf_expr.dir/expr.cc.o"
+  "CMakeFiles/qtf_expr.dir/expr.cc.o.d"
+  "libqtf_expr.a"
+  "libqtf_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_logical.dir/ops.cc.o"
+  "CMakeFiles/qtf_logical.dir/ops.cc.o.d"
+  "CMakeFiles/qtf_logical.dir/props.cc.o"
+  "CMakeFiles/qtf_logical.dir/props.cc.o.d"
+  "CMakeFiles/qtf_logical.dir/validate.cc.o"
+  "CMakeFiles/qtf_logical.dir/validate.cc.o.d"
+  "libqtf_logical.a"
+  "libqtf_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

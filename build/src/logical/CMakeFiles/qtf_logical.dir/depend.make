@@ -1,0 +1,2 @@
+# Empty dependencies file for qtf_logical.
+# This may be replaced when dependencies are built.

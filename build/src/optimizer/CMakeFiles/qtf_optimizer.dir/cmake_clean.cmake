@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/qtf_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/qtf_optimizer.dir/memo.cc.o"
+  "CMakeFiles/qtf_optimizer.dir/memo.cc.o.d"
+  "CMakeFiles/qtf_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/qtf_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/qtf_optimizer.dir/rule.cc.o"
+  "CMakeFiles/qtf_optimizer.dir/rule.cc.o.d"
+  "libqtf_optimizer.a"
+  "libqtf_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

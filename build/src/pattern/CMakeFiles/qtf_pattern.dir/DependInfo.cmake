@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/pattern.cc" "src/pattern/CMakeFiles/qtf_pattern.dir/pattern.cc.o" "gcc" "src/pattern/CMakeFiles/qtf_pattern.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logical/CMakeFiles/qtf_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qtf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_pattern.dir/pattern.cc.o"
+  "CMakeFiles/qtf_pattern.dir/pattern.cc.o.d"
+  "libqtf_pattern.a"
+  "libqtf_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

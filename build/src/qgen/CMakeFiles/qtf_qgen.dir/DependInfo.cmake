@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qgen/generation.cc" "src/qgen/CMakeFiles/qtf_qgen.dir/generation.cc.o" "gcc" "src/qgen/CMakeFiles/qtf_qgen.dir/generation.cc.o.d"
+  "/root/repo/src/qgen/generators.cc" "src/qgen/CMakeFiles/qtf_qgen.dir/generators.cc.o" "gcc" "src/qgen/CMakeFiles/qtf_qgen.dir/generators.cc.o.d"
+  "/root/repo/src/qgen/sqlgen.cc" "src/qgen/CMakeFiles/qtf_qgen.dir/sqlgen.cc.o" "gcc" "src/qgen/CMakeFiles/qtf_qgen.dir/sqlgen.cc.o.d"
+  "/root/repo/src/qgen/test_suite.cc" "src/qgen/CMakeFiles/qtf_qgen.dir/test_suite.cc.o" "gcc" "src/qgen/CMakeFiles/qtf_qgen.dir/test_suite.cc.o.d"
+  "/root/repo/src/qgen/tree_builder.cc" "src/qgen/CMakeFiles/qtf_qgen.dir/tree_builder.cc.o" "gcc" "src/qgen/CMakeFiles/qtf_qgen.dir/tree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/qtf_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/qtf_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/qtf_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qtf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/qtf_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qtf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qtf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_qgen.dir/generation.cc.o"
+  "CMakeFiles/qtf_qgen.dir/generation.cc.o.d"
+  "CMakeFiles/qtf_qgen.dir/generators.cc.o"
+  "CMakeFiles/qtf_qgen.dir/generators.cc.o.d"
+  "CMakeFiles/qtf_qgen.dir/sqlgen.cc.o"
+  "CMakeFiles/qtf_qgen.dir/sqlgen.cc.o.d"
+  "CMakeFiles/qtf_qgen.dir/test_suite.cc.o"
+  "CMakeFiles/qtf_qgen.dir/test_suite.cc.o.d"
+  "CMakeFiles/qtf_qgen.dir/tree_builder.cc.o"
+  "CMakeFiles/qtf_qgen.dir/tree_builder.cc.o.d"
+  "libqtf_qgen.a"
+  "libqtf_qgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_qgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

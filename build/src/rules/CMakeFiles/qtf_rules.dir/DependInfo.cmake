@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/agg_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/agg_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/agg_rules.cc.o.d"
+  "/root/repo/src/rules/buggy_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/buggy_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/buggy_rules.cc.o.d"
+  "/root/repo/src/rules/default_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/default_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/default_rules.cc.o.d"
+  "/root/repo/src/rules/implementation_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/implementation_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/implementation_rules.cc.o.d"
+  "/root/repo/src/rules/join_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/join_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/join_rules.cc.o.d"
+  "/root/repo/src/rules/rule_util.cc" "src/rules/CMakeFiles/qtf_rules.dir/rule_util.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/rule_util.cc.o.d"
+  "/root/repo/src/rules/select_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/select_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/select_rules.cc.o.d"
+  "/root/repo/src/rules/semijoin_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/semijoin_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/semijoin_rules.cc.o.d"
+  "/root/repo/src/rules/union_rules.cc" "src/rules/CMakeFiles/qtf_rules.dir/union_rules.cc.o" "gcc" "src/rules/CMakeFiles/qtf_rules.dir/union_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/qtf_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/qtf_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qtf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/qtf_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qtf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qtf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

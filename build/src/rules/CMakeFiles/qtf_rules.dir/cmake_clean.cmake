@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_rules.dir/agg_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/agg_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/buggy_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/buggy_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/default_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/default_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/implementation_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/implementation_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/join_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/join_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/rule_util.cc.o"
+  "CMakeFiles/qtf_rules.dir/rule_util.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/select_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/select_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/semijoin_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/semijoin_rules.cc.o.d"
+  "CMakeFiles/qtf_rules.dir/union_rules.cc.o"
+  "CMakeFiles/qtf_rules.dir/union_rules.cc.o.d"
+  "libqtf_rules.a"
+  "libqtf_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_storage.dir/database.cc.o"
+  "CMakeFiles/qtf_storage.dir/database.cc.o.d"
+  "CMakeFiles/qtf_storage.dir/tpch.cc.o"
+  "CMakeFiles/qtf_storage.dir/tpch.cc.o.d"
+  "libqtf_storage.a"
+  "libqtf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_testing.dir/correctness.cc.o"
+  "CMakeFiles/qtf_testing.dir/correctness.cc.o.d"
+  "CMakeFiles/qtf_testing.dir/framework.cc.o"
+  "CMakeFiles/qtf_testing.dir/framework.cc.o.d"
+  "libqtf_testing.a"
+  "libqtf_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

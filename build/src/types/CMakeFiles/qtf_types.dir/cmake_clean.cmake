@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtf_types.dir/value.cc.o"
+  "CMakeFiles/qtf_types.dir/value.cc.o.d"
+  "libqtf_types.a"
+  "libqtf_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtf_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_storage.dir/test_catalog_storage.cc.o"
+  "CMakeFiles/test_catalog_storage.dir/test_catalog_storage.cc.o.d"
+  "test_catalog_storage"
+  "test_catalog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

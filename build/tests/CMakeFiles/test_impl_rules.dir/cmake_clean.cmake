@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impl_rules.dir/test_impl_rules.cc.o"
+  "CMakeFiles/test_impl_rules.dir/test_impl_rules.cc.o.d"
+  "test_impl_rules"
+  "test_impl_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impl_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logical_props.dir/test_logical_props.cc.o"
+  "CMakeFiles/test_logical_props.dir/test_logical_props.cc.o.d"
+  "test_logical_props"
+  "test_logical_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logical_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

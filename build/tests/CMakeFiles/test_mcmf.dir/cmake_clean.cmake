@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcmf.dir/test_mcmf.cc.o"
+  "CMakeFiles/test_mcmf.dir/test_mcmf.cc.o.d"
+  "test_mcmf"
+  "test_mcmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

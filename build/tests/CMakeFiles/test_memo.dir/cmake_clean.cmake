@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memo.dir/test_memo.cc.o"
+  "CMakeFiles/test_memo.dir/test_memo.cc.o.d"
+  "test_memo"
+  "test_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_example1.dir/test_paper_example1.cc.o"
+  "CMakeFiles/test_paper_example1.dir/test_paper_example1.cc.o.d"
+  "test_paper_example1"
+  "test_paper_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_section3.dir/test_paper_section3.cc.o"
+  "CMakeFiles/test_paper_section3.dir/test_paper_section3.cc.o.d"
+  "test_paper_section3"
+  "test_paper_section3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_section3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical.dir/test_physical.cc.o"
+  "CMakeFiles/test_physical.dir/test_physical.cc.o.d"
+  "test_physical"
+  "test_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules_correctness.dir/test_rules_correctness.cc.o"
+  "CMakeFiles/test_rules_correctness.dir/test_rules_correctness.cc.o.d"
+  "test_rules_correctness"
+  "test_rules_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rules_unit.cc" "tests/CMakeFiles/test_rules_unit.dir/test_rules_unit.cc.o" "gcc" "tests/CMakeFiles/test_rules_unit.dir/test_rules_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/qtf_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/qtf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgen/CMakeFiles/qtf_qgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/qtf_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/qtf_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qtf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/qtf_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/qtf_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qtf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qtf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qtf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qtf_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qtf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

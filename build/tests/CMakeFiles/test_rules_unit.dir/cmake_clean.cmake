@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules_unit.dir/test_rules_unit.cc.o"
+  "CMakeFiles/test_rules_unit.dir/test_rules_unit.cc.o.d"
+  "test_rules_unit"
+  "test_rules_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sqlgen.dir/test_sqlgen.cc.o"
+  "CMakeFiles/test_sqlgen.dir/test_sqlgen.cc.o.d"
+  "test_sqlgen"
+  "test_sqlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sqlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_builder.dir/test_tree_builder.cc.o"
+  "CMakeFiles/test_tree_builder.dir/test_tree_builder.cc.o.d"
+  "test_tree_builder"
+  "test_tree_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
