@@ -1,0 +1,134 @@
+// Parallel edge-cost construction (thread-pool fan-out) and plan-cache
+// reuse. Not a paper figure: this measures the concurrency + caching layer
+// of docs/parallelism.md on the hottest loop the paper's experiments time
+// — the Cost(q, ¬target) bipartite-graph construction behind Figures
+// 11-14.
+//
+// Phase 1 detaches the plan cache and runs the monotonicity-pruned TOPK
+// pair-graph build at 1/2/4/8 threads, checking every run against the
+// serial baseline bit-for-bit (same assignment, same total cost, same
+// optimizer_calls()). Phase 2 re-runs the same construction against a cold
+// then warm plan cache, reporting hit rates — the cross-experiment reuse
+// lever that works even on one core.
+
+#include <chrono>
+#include <thread>
+
+#include "bench/compression_experiment.h"
+#include "common/thread_pool.h"
+#include "optimizer/plan_cache.h"
+
+namespace qtf {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Run {
+  CompressionSolution solution;
+  double seconds = 0.0;
+};
+
+/// One full pair-graph edge-cost construction (TOPK with monotonicity
+/// pruning) over a fresh provider, optionally fanned across `pool`.
+Run BuildPairGraph(RuleTestFramework* fw, const TestSuite& suite, int k,
+                   ThreadPool* pool) {
+  EdgeCostProvider provider(fw->optimizer(), &suite);
+  provider.set_thread_pool(pool);
+  double start = Now();
+  auto solution = CompressTopKIndependent(&provider, k, true);
+  QTF_CHECK(solution.ok()) << solution.status().ToString();
+  return Run{std::move(solution).value(), Now() - start};
+}
+
+bool SameSolution(const CompressionSolution& a, const CompressionSolution& b) {
+  return a.assignment == b.assignment && a.total_cost == b.total_cost &&
+         a.optimizer_calls == b.optimizer_calls;
+}
+
+int RunBench() {
+  auto fw = bench::MakeFramework();
+  bench::Banner("Parallel scaling: edge-cost construction + plan cache",
+                "TOPK pair-graph build; identical outputs at every thread "
+                "count; plan-cache reuse across repeated experiments.");
+
+  const int n = bench::FullScale() ? 10 : 6;
+  const int k = bench::FullScale() ? 10 : 5;
+  auto suite = bench::MakeCompressionSuite(
+      fw.get(), fw->LogicalRulePairs(n), k, 52000 + static_cast<uint64_t>(n));
+  if (!suite) return 1;
+
+  std::printf("hardware_concurrency: %u (speedup saturates at the core "
+              "count)\n\n",
+              std::thread::hardware_concurrency());
+
+  // ---- Phase 1: thread scaling, plan cache detached -------------------
+  PlanCache* shared_cache = fw->plan_cache();
+  fw->optimizer()->set_plan_cache(nullptr);
+
+  Run serial = BuildPairGraph(fw.get(), *suite, k, nullptr);
+  std::printf("%8s %10s %9s %12s %10s\n", "threads", "seconds", "speedup",
+              "opt-calls", "identical");
+  std::printf("%8s %10.3f %9s %12ld %10s\n", "serial", serial.seconds, "1.0x",
+              static_cast<long>(serial.solution.optimizer_calls), "-");
+
+  double speedup_at_4 = 0.0;
+  bool all_identical = true;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    Run run = BuildPairGraph(fw.get(), *suite, k, &pool);
+    bool identical = SameSolution(run.solution, serial.solution);
+    all_identical = all_identical && identical;
+    double speedup = serial.seconds / run.seconds;
+    if (threads == 4) speedup_at_4 = speedup;
+    std::printf("%8d %10.3f %8.2fx %12ld %10s\n", threads, run.seconds,
+                speedup, static_cast<long>(run.solution.optimizer_calls),
+                identical ? "yes" : "NO");
+  }
+
+  // ---- Phase 2: plan-cache reuse across experiments -------------------
+  PlanCache cache;
+  fw->optimizer()->set_plan_cache(&cache);
+  Run cold = BuildPairGraph(fw.get(), *suite, k, nullptr);
+  double cold_hit_rate = cache.hit_rate();
+  Run warm = BuildPairGraph(fw.get(), *suite, k, nullptr);
+  std::printf("\nplan cache (fresh providers, serial):\n");
+  std::printf("  cold run: %.3fs, hit rate %.0f%%\n", cold.seconds,
+              100.0 * cold_hit_rate);
+  std::printf("  warm run: %.3fs, hit rate %.0f%% overall, speedup %.1fx, "
+              "identical %s\n",
+              warm.seconds, 100.0 * cache.hit_rate(),
+              cold.seconds / warm.seconds,
+              SameSolution(warm.solution, cold.solution) ? "yes" : "NO");
+  std::printf("  entries %zu, hits %ld, misses %ld, evictions %ld\n",
+              cache.size(), static_cast<long>(cache.hits()),
+              static_cast<long>(cache.misses()),
+              static_cast<long>(cache.evictions()));
+
+  // The framework-wide cache also saw suite generation: report the reuse
+  // suite generation left behind for later phases in the same process.
+  std::printf("  framework cache after generation: hits %ld, misses %ld "
+              "(hit rate %.0f%%)\n",
+              static_cast<long>(shared_cache->hits()),
+              static_cast<long>(shared_cache->misses()),
+              100.0 * shared_cache->hit_rate());
+  fw->optimizer()->set_plan_cache(shared_cache);
+
+  // Machine-readable summary, one JSON object per line like a bench log.
+  std::printf("\n{\"bench\":\"parallel_scaling\",\"n\":%d,\"k\":%d,"
+              "\"hardware_concurrency\":%u,\"serial_seconds\":%.4f,"
+              "\"speedup_4t\":%.2f,\"identical\":%s,"
+              "\"warm_cache_speedup\":%.2f,\"warm_hit_rate\":%.3f}\n",
+              n, k, std::thread::hardware_concurrency(), serial.seconds,
+              speedup_at_4, all_identical ? "true" : "false",
+              cold.seconds / warm.seconds, cache.hit_rate());
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qtf
+
+int main() { return qtf::RunBench(); }

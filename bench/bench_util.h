@@ -3,8 +3,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "testing/framework.h"
 
 namespace qtf {
@@ -16,6 +18,23 @@ namespace bench {
 inline bool FullScale() {
   const char* env = std::getenv("QTF_BENCH_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+/// QTF_BENCH_THREADS=N fans edge-cost construction (and pair generation)
+/// across an N-worker pool; default 1 = serial. Results are identical at
+/// any thread count (see docs/parallelism.md).
+inline int BenchThreads() {
+  const char* env = std::getenv("QTF_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  int n = std::atoi(env);
+  return n > 1 ? n : 1;
+}
+
+/// Pool for BenchThreads(), or nullptr when serial.
+inline std::unique_ptr<ThreadPool> MakeBenchPool() {
+  int threads = BenchThreads();
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
 }
 
 inline std::unique_ptr<RuleTestFramework> MakeFramework() {

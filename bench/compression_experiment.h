@@ -36,11 +36,15 @@ struct CompressionRow {
 };
 
 /// Runs BASELINE / SMC / TOPK over one suite. Costs are optimizer-estimated
-/// totals for executing the compressed suite (paper Section 6.2.2).
+/// totals for executing the compressed suite (paper Section 6.2.2). With a
+/// pool, edge-cost construction fans out across its workers; the computed
+/// row is identical either way.
 inline std::optional<CompressionRow> RunCompression(RuleTestFramework* fw,
                                                     const TestSuite& suite,
-                                                    int k) {
+                                                    int k,
+                                                    ThreadPool* pool = nullptr) {
   EdgeCostProvider provider(fw->optimizer(), &suite);
+  provider.set_thread_pool(pool);
   auto baseline = CompressBaseline(&provider);
   auto smc = CompressSetMultiCover(&provider, k);
   auto topk = CompressTopKIndependent(&provider, k, true);

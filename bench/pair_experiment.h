@@ -2,6 +2,7 @@
 #define QTF_BENCH_PAIR_EXPERIMENT_H_
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "qgen/generation.h"
 
 namespace qtf {
@@ -23,36 +24,52 @@ struct PairExperimentResult {
 
 inline PairExperimentResult RunPairExperiment(RuleTestFramework* fw,
                                               int n_rules, int random_cap,
-                                              int pattern_cap) {
+                                              int pattern_cap,
+                                              ThreadPool* pool = nullptr) {
   PairExperimentResult result;
   result.n_rules = n_rules;
   std::vector<RuleTarget> pairs = fw->LogicalRulePairs(n_rules);
   result.n_pairs = static_cast<int>(pairs.size());
-  uint64_t seed = 0;
-  for (const RuleTarget& pair : pairs) {
-    GenerationConfig random_config;
-    random_config.method = GenerationMethod::kRandom;
-    random_config.max_trials = random_cap;
-    random_config.seed = 40000 + seed;
-    GenerationOutcome random =
-        fw->generator()->Generate(pair.rules, random_config);
-    result.random_trials += random.trials;
-    result.random_seconds += random.seconds;
-    if (!random.success) ++result.random_failures;
 
-    GenerationConfig pattern_config;
-    pattern_config.method = GenerationMethod::kPattern;
-    pattern_config.max_trials = pattern_cap;
-    pattern_config.seed = 80000 + seed;
-    GenerationOutcome pattern =
-        fw->generator()->Generate(pair.rules, pattern_config);
-    result.pattern_trials += pattern.trials;
-    result.pattern_seconds += pattern.seconds;
-    if (!pattern.success) ++result.pattern_failures;
-    if (pattern.success && pattern.trials > result.pattern_max_trials) {
-      result.pattern_max_trials = pattern.trials;
+  // Every pair is generated independently with its own seed, so pairs fan
+  // out across the pool; per-pair trial counts are identical at any thread
+  // count (only wall-clock changes), and the index-ordered reduction below
+  // keeps the aggregates deterministic too.
+  struct PairOutcome {
+    GenerationOutcome random;
+    GenerationOutcome pattern;
+  };
+  std::vector<PairOutcome> outcomes = ParallelFor(
+      pool, result.n_pairs, [&](int i) {
+        const RuleTarget& pair = pairs[static_cast<size_t>(i)];
+        const uint64_t seed = static_cast<uint64_t>(i);
+        PairOutcome out;
+        GenerationConfig random_config;
+        random_config.method = GenerationMethod::kRandom;
+        random_config.max_trials = random_cap;
+        random_config.seed = 40000 + seed;
+        out.random = fw->generator()->Generate(pair.rules, random_config);
+
+        GenerationConfig pattern_config;
+        pattern_config.method = GenerationMethod::kPattern;
+        pattern_config.max_trials = pattern_cap;
+        pattern_config.seed = 80000 + seed;
+        out.pattern = fw->generator()->Generate(pair.rules, pattern_config);
+        return out;
+      });
+
+  for (const PairOutcome& out : outcomes) {
+    result.random_trials += out.random.trials;
+    result.random_seconds += out.random.seconds;
+    if (!out.random.success) ++result.random_failures;
+
+    result.pattern_trials += out.pattern.trials;
+    result.pattern_seconds += out.pattern.seconds;
+    if (!out.pattern.success) ++result.pattern_failures;
+    if (out.pattern.success &&
+        out.pattern.trials > result.pattern_max_trials) {
+      result.pattern_max_trials = out.pattern.trials;
     }
-    ++seed;
   }
   return result;
 }

@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+namespace qtf {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  QTF_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
+  QTF_CHECK(queue_capacity_ >= 1) << "queue capacity must be positive";
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || shutting_down_;
+    });
+    QTF_CHECK(!shutting_down_) << "Submit() after Shutdown()";
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();  // a packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace qtf

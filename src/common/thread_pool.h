@@ -1,0 +1,103 @@
+#ifndef QTF_COMMON_THREAD_POOL_H_
+#define QTF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qtf {
+
+/// Fixed-size thread pool with a bounded FIFO queue. The bound gives
+/// backpressure: Submit() blocks (rather than buffering unboundedly) when
+/// the queue is full. Shutdown() — also run by the destructor — stops
+/// accepting work, drains everything already queued, and joins the workers.
+///
+/// Tasks report results and exceptions through the returned std::future.
+/// Tasks must not Submit() to their own pool and block on the result: with
+/// every worker waiting on a queued subtask there is no thread left to run
+/// it. Fan out from the coordinating (non-worker) thread instead.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result. Blocks while the
+  /// queue is full; CHECK-fails after Shutdown().
+  template <typename Fn>
+  auto Submit(Fn&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Idempotent: drains the queue, joins all workers.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) and returns their results in index order —
+/// deterministic regardless of which worker finishes first. With a null
+/// pool, a single-worker pool, or n <= 1 everything runs inline on the
+/// caller. Exceptions from fn propagate to the caller (the lowest-index
+/// one wins); all tasks are waited for either way, so fn may safely
+/// capture locals by reference.
+template <typename Fn>
+auto ParallelFor(ThreadPool* pool, int n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<std::decay_t<Fn>, int>> {
+  using R = std::invoke_result_t<std::decay_t<Fn>, int>;
+  std::vector<R> results;
+  if (n <= 0) return results;
+  results.reserve(static_cast<size_t>(n));
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { return fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_THREAD_POOL_H_

@@ -7,8 +7,28 @@
 
 namespace qtf {
 
+namespace {
+
+/// Flattens an assignment into its (target, query) edge list, the frontier
+/// a cost computation is about to consume.
+std::vector<std::pair<int, int>> AssignmentEdges(
+    const std::vector<std::vector<int>>& assignment) {
+  std::vector<std::pair<int, int>> edges;
+  for (size_t t = 0; t < assignment.size(); ++t) {
+    for (int q : assignment[t]) {
+      edges.emplace_back(static_cast<int>(t), q);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
 Result<double> SolutionCost(EdgeCostProvider* provider,
                             const std::vector<std::vector<int>>& assignment) {
+  // Warm the cache in parallel (no-op without a pool); the serial loop
+  // below then only sums, in a thread-count-independent order.
+  QTF_RETURN_NOT_OK(provider->Prefetch(AssignmentEdges(assignment)));
   std::set<int> used_queries;
   double total = 0.0;
   for (size_t t = 0; t < assignment.size(); ++t) {
@@ -28,6 +48,7 @@ Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider) {
   CompressionSolution solution;
   solution.assignment = suite.per_target;
   int64_t calls_before = provider->optimizer_calls();
+  QTF_RETURN_NOT_OK(provider->Prefetch(AssignmentEdges(suite.per_target)));
   // BASELINE pays every query's Plan(q) per target (no sharing).
   double total = 0.0;
   for (size_t t = 0; t < suite.per_target.size(); ++t) {
@@ -124,44 +145,75 @@ Result<CompressionSolution> CompressTopKIndependent(
   CompressionSolution solution;
   solution.assignment.resize(static_cast<size_t>(n_targets));
 
+  // Candidate lists (sorted up front so the prefetch wave below sees the
+  // same scan order the per-target loop consumes).
+  std::vector<std::vector<int>> candidates(static_cast<size_t>(n_targets));
   for (int t = 0; t < n_targets; ++t) {
-    std::vector<int> candidates = suite.CandidatesFor(t);
-    if (static_cast<int>(candidates.size()) < k) {
+    std::vector<int>& cands = candidates[static_cast<size_t>(t)];
+    cands = suite.CandidatesFor(t);
+    if (static_cast<int>(cands.size()) < k) {
       return Status::Internal("target " + std::to_string(t) +
                               " has fewer than k candidate queries");
     }
-    // (edge cost, query) max-heap of the current k best edges.
-    std::priority_queue<std::pair<double, int>> best;
-
     if (exploit_monotonicity) {
-      // Scan in increasing node-cost order; since
-      // Cost(q) <= Cost(q, ¬target), once the k-th best edge cost is below
-      // the next node cost no later candidate can improve the set.
-      std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      // Increasing node-cost order; since Cost(q) <= Cost(q, ¬target),
+      // once the k-th best edge cost is below the next node cost no later
+      // candidate can improve the set.
+      std::sort(cands.begin(), cands.end(), [&](int a, int b) {
         return provider->NodeCost(a) < provider->NodeCost(b);
       });
-      for (int q : candidates) {
-        if (static_cast<int>(best.size()) == k &&
-            provider->NodeCost(q) >= best.top().first) {
-          break;
-        }
-        QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
-        best.emplace(edge, q);
-        if (static_cast<int>(best.size()) > k) best.pop();
-      }
-    } else {
-      for (int q : candidates) {
-        QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
-        best.emplace(edge, q);
-        if (static_cast<int>(best.size()) > k) best.pop();
+    }
+  }
+
+  // Prefetch the frontier every scan is guaranteed to consume: the full
+  // candidate edge set for the exhaustive scan, and only the first k edges
+  // per target under monotonicity — the pruned scan always pays those
+  // (the heap must fill before the stopping rule can fire) and anything
+  // beyond them might be skipped, so prefetching more would break the
+  // "identical optimizer_calls()" guarantee.
+  {
+    std::vector<std::pair<int, int>> wave;
+    for (int t = 0; t < n_targets; ++t) {
+      const std::vector<int>& cands = candidates[static_cast<size_t>(t)];
+      const size_t prefix =
+          exploit_monotonicity ? static_cast<size_t>(k) : cands.size();
+      for (size_t i = 0; i < prefix && i < cands.size(); ++i) {
+        wave.emplace_back(t, cands[i]);
       }
     }
-    auto& assigned = solution.assignment[static_cast<size_t>(t)];
+    QTF_RETURN_NOT_OK(provider->Prefetch(wave));
+  }
+
+  // Each target's scan is an independent task; within one target the scan
+  // stays sequential because the pruning decision for candidate i+1 needs
+  // the edge cost of candidate i.
+  auto scan_target = [&](int t) -> Result<std::vector<int>> {
+    // (edge cost, query) max-heap of the current k best edges.
+    std::priority_queue<std::pair<double, int>> best;
+    for (int q : candidates[static_cast<size_t>(t)]) {
+      if (exploit_monotonicity && static_cast<int>(best.size()) == k &&
+          provider->NodeCost(q) >= best.top().first) {
+        break;
+      }
+      QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
+      best.emplace(edge, q);
+      if (static_cast<int>(best.size()) > k) best.pop();
+    }
+    std::vector<int> assigned;
+    assigned.reserve(best.size());
     while (!best.empty()) {
       assigned.push_back(best.top().second);
       best.pop();
     }
     std::sort(assigned.begin(), assigned.end());
+    return assigned;
+  };
+
+  std::vector<Result<std::vector<int>>> per_target =
+      ParallelFor(provider->thread_pool(), n_targets, scan_target);
+  for (int t = 0; t < n_targets; ++t) {
+    QTF_ASSIGN_OR_RETURN(solution.assignment[static_cast<size_t>(t)],
+                         std::move(per_target[static_cast<size_t>(t)]));
   }
 
   QTF_ASSIGN_OR_RETURN(solution.total_cost,

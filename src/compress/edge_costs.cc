@@ -1,23 +1,60 @@
 #include "compress/edge_costs.h"
 
+#include <unordered_set>
+
 namespace qtf {
 
 Result<double> EdgeCostProvider::EdgeCost(int target, int q) {
-  auto key = std::make_pair(target, q);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  const auto key = std::make_pair(target, q);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
   OptimizerOptions options;
   for (RuleId id : suite_->targets[static_cast<size_t>(target)].rules) {
     options.disabled_rules.insert(id);
   }
-  ++optimizer_calls_;
+  optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
   QTF_ASSIGN_OR_RETURN(
       OptimizeResult result,
       optimizer_->Optimize(suite_->queries[static_cast<size_t>(q)].query,
                            options));
-  cache_[key] = result.cost;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(key, result.cost);
   return result.cost;
+}
+
+Status EdgeCostProvider::Prefetch(
+    const std::vector<std::pair<int, int>>& edges) {
+  if (pool_ == nullptr || pool_->num_threads() <= 1) return Status::OK();
+
+  // Dedupe and drop already-cached edges so every submitted task is
+  // exactly one optimizer invocation the serial path would also make.
+  std::vector<std::pair<int, int>> todo;
+  todo.reserve(edges.size());
+  {
+    std::unordered_set<std::pair<int, int>, EdgeKeyHash> seen;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& edge : edges) {
+      if (cache_.count(edge) > 0) continue;
+      if (!seen.insert(edge).second) continue;
+      todo.push_back(edge);
+    }
+  }
+  if (todo.empty()) return Status::OK();
+
+  std::vector<Status> statuses = ParallelFor(
+      pool_, static_cast<int>(todo.size()), [this, &todo](int i) {
+        const auto& edge = todo[static_cast<size_t>(i)];
+        return this->EdgeCost(edge.first, edge.second).status();
+      });
+  for (const Status& status : statuses) {
+    QTF_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
 }
 
 }  // namespace qtf

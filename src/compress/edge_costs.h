@@ -1,19 +1,47 @@
 #ifndef QTF_COMPRESS_EDGE_COSTS_H_
 #define QTF_COMPRESS_EDGE_COSTS_H_
 
-#include <map>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
 #include "qgen/test_suite.h"
 
 namespace qtf {
 
+/// Hash for (target, query) edge keys: packs both 32-bit ints into one
+/// word and applies the splitmix64 finalizer, so neighbouring indices
+/// spread across buckets.
+struct EdgeKeyHash {
+  size_t operator()(const std::pair<int, int>& key) const {
+    uint64_t x =
+        (static_cast<uint64_t>(static_cast<uint32_t>(key.first)) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(key.second));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
 /// Lazily computes and caches the bipartite graph's costs (paper Section
 /// 4.1): node costs Cost(q) and edge costs Cost(q, ¬target). Every cache
 /// miss is one optimizer invocation — the quantity the monotonicity
 /// optimization (Section 5.3.1, Figure 14) saves.
+///
+/// Concurrency: attach a ThreadPool (set_thread_pool) and the compression
+/// algorithms fan independent edge computations across it — Prefetch()
+/// batches a frontier of edges, and CompressTopKIndependent runs whole
+/// per-target scans as tasks. The cache is mutex-protected and the
+/// invocation counter atomic, so results and optimizer_calls() are
+/// identical to the serial path (concurrent in-tree callers always request
+/// distinct keys; see docs/parallelism.md).
 class EdgeCostProvider {
  public:
   EdgeCostProvider(Optimizer* optimizer, const TestSuite* suite)
@@ -24,6 +52,12 @@ class EdgeCostProvider {
   EdgeCostProvider(const EdgeCostProvider&) = delete;
   EdgeCostProvider& operator=(const EdgeCostProvider&) = delete;
 
+  /// Optional worker pool for Prefetch() and the parallel compression
+  /// paths. Borrowed, not owned; nullptr (the default) keeps everything
+  /// serial.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   /// Cost(q) with all rules enabled. Taken from the suite's recorded
   /// optimization (no extra optimizer call). Virtual so tests can fake the
   /// cost structure (e.g. the paper's Example 1).
@@ -32,11 +66,23 @@ class EdgeCostProvider {
   }
 
   /// Cost(q, ¬target): optimizes q with the target's rules disabled.
-  /// Cached per (target, query).
+  /// Cached per (target, query). Thread-safe for distinct keys; concurrent
+  /// calls for the same uncached key would both count an optimizer
+  /// invocation (use Prefetch, which dedupes, for batches).
   virtual Result<double> EdgeCost(int target, int q);
 
+  /// Batch API: computes and caches every listed (target, query) edge,
+  /// fanning the misses across the thread pool. Duplicates and
+  /// already-cached edges are skipped, so optimizer_calls() advances
+  /// exactly as a serial scan of the same edges would. Without a pool this
+  /// is a no-op (the caller's serial loop computes lazily as before).
+  /// Implemented on top of the virtual EdgeCost, so fakes stay consistent.
+  Status Prefetch(const std::vector<std::pair<int, int>>& edges);
+
   /// Optimizer invocations spent on edge costs so far.
-  int64_t optimizer_calls() const { return optimizer_calls_; }
+  int64_t optimizer_calls() const {
+    return optimizer_calls_.load(std::memory_order_relaxed);
+  }
 
   const TestSuite& suite() const { return *suite_; }
 
@@ -50,8 +96,10 @@ class EdgeCostProvider {
  private:
   Optimizer* optimizer_;
   const TestSuite* suite_;
-  std::map<std::pair<int, int>, double> cache_;
-  int64_t optimizer_calls_ = 0;
+  ThreadPool* pool_ = nullptr;
+  mutable std::mutex mu_;  // guards cache_
+  std::unordered_map<std::pair<int, int>, double, EdgeKeyHash> cache_;
+  std::atomic<int64_t> optimizer_calls_{0};
 };
 
 }  // namespace qtf

@@ -361,4 +361,26 @@ int CountOps(const LogicalOp& root) {
   return count;
 }
 
+namespace {
+
+/// splitmix64 finalizer — strong 64-bit mixing for fingerprint combining.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t TreeFingerprint(const LogicalOp& root) {
+  uint64_t h = Mix64((static_cast<uint64_t>(root.kind()) << 32) ^
+                     static_cast<uint64_t>(root.children().size()));
+  h = Mix64(h ^ static_cast<uint64_t>(root.LocalHash()));
+  for (const LogicalOpPtr& child : root.children()) {
+    h = Mix64(h * 0x100000001b3ULL ^ TreeFingerprint(*child));
+  }
+  return h;
+}
+
 }  // namespace qtf

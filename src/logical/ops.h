@@ -1,6 +1,7 @@
 #ifndef QTF_LOGICAL_OPS_H_
 #define QTF_LOGICAL_OPS_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -336,6 +337,13 @@ bool LogicalTreeEquals(const LogicalOp& a, const LogicalOp& b);
 
 /// Number of operator nodes in the tree.
 int CountOps(const LogicalOp& root);
+
+/// Stable 64-bit structural fingerprint of a logical tree: trees that are
+/// LogicalTreeEquals share a fingerprint, and the value depends only on
+/// the tree (kind, arguments, child order) — not on allocation addresses —
+/// so it is stable across repeated constructions within a process. Used as
+/// the plan-cache hash key (collisions are resolved by deep equality).
+uint64_t TreeFingerprint(const LogicalOp& root);
 
 }  // namespace qtf
 

@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <optional>
 
 #include "logical/validate.h"
 #include "optimizer/memo.h"
+#include "optimizer/plan_cache.h"
 
 namespace qtf {
 namespace {
@@ -221,10 +223,21 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
   if (!query.valid()) {
     return Status::InvalidArgument("query has no root or registry");
   }
-  ++invocation_count_;
+  invocation_count_.fetch_add(1, std::memory_order_relaxed);
   QTF_RETURN_NOT_OK(ValidateTree(*query.root, *query.registry));
+  PlanCache* cache =
+      options.plan_cache != nullptr ? options.plan_cache : plan_cache_;
+  if (cache != nullptr) {
+    std::optional<OptimizeResult> hit =
+        cache->Lookup(query, options.disabled_rules);
+    if (hit.has_value()) return *std::move(hit);
+  }
   SearchEngine engine(*rules_, cost_model_, options);
-  return engine.Run(query);
+  Result<OptimizeResult> result = engine.Run(query);
+  if (cache != nullptr && result.ok()) {
+    cache->Insert(query, options.disabled_rules, result.value());
+  }
+  return result;
 }
 
 }  // namespace qtf

@@ -1,6 +1,8 @@
 #ifndef QTF_OPTIMIZER_OPTIMIZER_H_
 #define QTF_OPTIMIZER_OPTIMIZER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -12,6 +14,8 @@
 
 namespace qtf {
 
+class PlanCache;
+
 /// A set of rule ids — RuleSet(q) in the paper's notation.
 using RuleIdSet = std::set<RuleId>;
 
@@ -22,6 +26,9 @@ using RuleIdSet = std::set<RuleId>;
 /// and the monotonicity pruning rely on).
 struct OptimizerOptions {
   RuleIdSet disabled_rules;
+  /// When set, overrides the optimizer-level plan cache for this
+  /// invocation (see Optimizer::set_plan_cache). Borrowed, not owned.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Result of optimizing one query.
@@ -40,6 +47,12 @@ struct OptimizeResult {
 /// The transformation-based query optimizer (paper Section 2.1) with the
 /// two testing extensions of Section 2.3: RuleSet tracking and rule
 /// disabling.
+///
+/// Optimize() is thread-safe: each invocation searches its own
+/// stack-allocated memo, the registry and cost model are read-only, the
+/// invocation counter is atomic and the plan cache locks internally. This
+/// is what lets EdgeCostProvider fan independent Cost(q, ¬R) invocations
+/// across a ThreadPool (see docs/parallelism.md).
 class Optimizer {
  public:
   /// `rules` and `cost_model` must outlive the optimizer.
@@ -63,14 +76,25 @@ class Optimizer {
   const RuleRegistry& rules() const { return *rules_; }
   const CostModel& cost_model() const { return cost_model_; }
 
+  /// Default plan cache consulted by every Optimize() call whose options
+  /// don't carry their own (nullptr disables caching). Borrowed; the cache
+  /// must outlive the optimizer's use of it. A cache hit still counts as an
+  /// invocation — only the search is skipped — so invocation-count-based
+  /// experiments (Figure 14) are unaffected by caching.
+  void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+  PlanCache* plan_cache() const { return plan_cache_; }
+
   /// Number of Optimize() calls made so far. The monotonicity experiment
   /// (paper Section 5.3.1 / Figure 14) counts optimizer invocations saved.
-  int64_t invocation_count() const { return invocation_count_; }
+  int64_t invocation_count() const {
+    return invocation_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   const RuleRegistry* rules_;
   CostModel cost_model_;
-  int64_t invocation_count_ = 0;
+  PlanCache* plan_cache_ = nullptr;
+  std::atomic<int64_t> invocation_count_{0};
 };
 
 }  // namespace qtf

@@ -1,0 +1,116 @@
+#include "optimizer/plan_cache.h"
+
+namespace qtf {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  QTF_CHECK(capacity_ >= 1) << "plan cache capacity must be positive";
+}
+
+uint64_t PlanCache::KeyHash(const LogicalOp& root,
+                            const RuleIdSet& disabled_rules) {
+  uint64_t h = TreeFingerprint(root);
+  // RuleIdSet is ordered, so this fold is canonical for the set.
+  for (RuleId id : disabled_rules) {
+    h = Mix64(h * 0x100000001b3ULL ^ static_cast<uint64_t>(id));
+  }
+  return h;
+}
+
+PlanCache::EntryList::iterator PlanCache::FindLocked(
+    uint64_t key_hash, const LogicalOp& root,
+    const RuleIdSet& disabled_rules) {
+  auto [begin, end] = index_.equal_range(key_hash);
+  for (auto it = begin; it != end; ++it) {
+    Entry& entry = *it->second;
+    if (entry.disabled_rules == disabled_rules &&
+        LogicalTreeEquals(*entry.root, root)) {
+      return it->second;
+    }
+  }
+  return lru_.end();
+}
+
+std::optional<OptimizeResult> PlanCache::Lookup(
+    const Query& query, const RuleIdSet& disabled_rules) {
+  const uint64_t key_hash = KeyHash(*query.root, disabled_rules);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key_hash, *query.root, disabled_rules);
+  if (it == lru_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it);  // refresh recency
+  return it->result;
+}
+
+void PlanCache::Insert(const Query& query, const RuleIdSet& disabled_rules,
+                       const OptimizeResult& result) {
+  const uint64_t key_hash = KeyHash(*query.root, disabled_rules);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(key_hash, *query.root, disabled_rules) != lru_.end()) {
+    return;  // concurrent miss/compute of the same key; keep the first
+  }
+  while (lru_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    auto [begin, end] = index_.equal_range(victim.key_hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == std::prev(lru_.end())) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key_hash, query.root, disabled_rules, result});
+  index_.emplace(key_hash, lru_.begin());
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+double PlanCache::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+}
+
+}  // namespace qtf

@@ -1,0 +1,82 @@
+#ifndef QTF_OPTIMIZER_PLAN_CACHE_H_
+#define QTF_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "optimizer/optimizer.h"
+
+namespace qtf {
+
+/// Thread-safe LRU cache of OptimizeResults, keyed by (canonical
+/// logical-tree fingerprint, disabled-rule set). Suite generation and
+/// compression both optimize the same queries — with and without rules
+/// disabled — many times across experiments; attaching one cache to the
+/// optimizer (Optimizer::set_plan_cache) lets them share that work.
+///
+/// Keying: the hash key mixes TreeFingerprint(query root) with the ordered
+/// disabled-rule ids; hash collisions are resolved by comparing the
+/// disabled set and the stored tree with LogicalTreeEquals, so a hit is
+/// exact, never probabilistic. Entries keep the keyed tree alive via
+/// shared_ptr.
+///
+/// All operations lock one internal mutex; the cache is safe to share
+/// between concurrent Optimize() calls (the parallel edge-cost path).
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 4096);
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached result for (query, disabled_rules) and counts a
+  /// hit (refreshing LRU recency), or nullopt and counts a miss.
+  std::optional<OptimizeResult> Lookup(const Query& query,
+                                       const RuleIdSet& disabled_rules);
+
+  /// Caches `result` under (query, disabled_rules), evicting the least
+  /// recently used entry when full. Re-inserting an existing key is a
+  /// no-op (first write wins; results are deterministic anyway).
+  void Insert(const Query& query, const RuleIdSet& disabled_rules,
+              const OptimizeResult& result);
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  /// hits / (hits + misses); 0 when never consulted.
+  double hit_rate() const;
+
+ private:
+  struct Entry {
+    uint64_t key_hash = 0;
+    LogicalOpPtr root;  // keeps the fingerprinted tree alive
+    RuleIdSet disabled_rules;
+    OptimizeResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  static uint64_t KeyHash(const LogicalOp& root,
+                          const RuleIdSet& disabled_rules);
+
+  /// Locates the exact entry for (hash, root, disabled) or lru_.end().
+  EntryList::iterator FindLocked(uint64_t key_hash, const LogicalOp& root,
+                                 const RuleIdSet& disabled_rules);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_multimap<uint64_t, EntryList::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_OPTIMIZER_PLAN_CACHE_H_

@@ -11,6 +11,8 @@ Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
       registry != nullptr ? std::move(registry) : MakeDefaultRuleRegistry();
   framework->optimizer_ =
       std::make_unique<Optimizer>(framework->registry_.get());
+  framework->plan_cache_ = std::make_unique<PlanCache>();
+  framework->optimizer_->set_plan_cache(framework->plan_cache_.get());
   framework->generator_ = std::make_unique<TargetedQueryGenerator>(
       &framework->db_->catalog(), framework->optimizer_.get());
   framework->suite_generator_ = std::make_unique<TestSuiteGenerator>(

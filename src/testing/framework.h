@@ -5,6 +5,7 @@
 
 #include "compress/compression.h"
 #include "compress/matching.h"
+#include "optimizer/plan_cache.h"
 #include "qgen/generation.h"
 #include "qgen/test_suite.h"
 #include "rules/default_rules.h"
@@ -30,6 +31,10 @@ class RuleTestFramework {
   const Catalog& catalog() const { return db_->catalog(); }
   const RuleRegistry& rules() const { return *registry_; }
   Optimizer* optimizer() { return optimizer_.get(); }
+  /// Process-wide plan cache shared by suite generation, compression and
+  /// correctness runs (attached to the optimizer at Create time). Detach
+  /// with optimizer()->set_plan_cache(nullptr) to benchmark cold searches.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
   TargetedQueryGenerator* generator() { return generator_.get(); }
   TestSuiteGenerator* suite_generator() { return suite_generator_.get(); }
   CorrectnessRunner* runner() { return runner_.get(); }
@@ -51,6 +56,7 @@ class RuleTestFramework {
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<RuleRegistry> registry_;
+  std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<TargetedQueryGenerator> generator_;
   std::unique_ptr<TestSuiteGenerator> suite_generator_;

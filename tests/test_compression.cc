@@ -3,8 +3,11 @@
 // solver, monotonicity soundness and savings), and the Section-7 matching
 // variant.
 
+#include <functional>
+
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "compress/matching.h"
 #include "testing/framework.h"
 
@@ -184,6 +187,80 @@ TEST_F(CompressionTest, PairTargetsCompress) {
   auto topk = CompressTopKIndependent(&provider, 2, true);
   ASSERT_TRUE(baseline.ok() && topk.ok());
   EXPECT_LE(topk->total_cost, baseline->total_cost + 1e-9);
+}
+
+TEST_F(CompressionTest, ParallelMatchesSerialBitForBit) {
+  // The thread-pool edge-cost path (docs/parallelism.md) must be a pure
+  // wall-clock optimization: at every thread count, every algorithm
+  // returns the same assignment, the same total cost to the last bit, and
+  // the same optimizer_calls() — including under monotonicity pruning,
+  // where prefetching an edge the serial scan would skip would show up
+  // here as an optimizer_calls mismatch.
+  const int k = 3;
+  TestSuite suite = MakeSuite(6, k, 11);
+
+  using Solver =
+      std::function<Result<CompressionSolution>(EdgeCostProvider*)>;
+  std::vector<std::pair<const char*, Solver>> solvers = {
+      {"baseline", [](EdgeCostProvider* p) { return CompressBaseline(p); }},
+      {"smc",
+       [&](EdgeCostProvider* p) { return CompressSetMultiCover(p, k); }},
+      {"topk-full",
+       [&](EdgeCostProvider* p) {
+         return CompressTopKIndependent(p, k, false);
+       }},
+      {"topk-pruned", [&](EdgeCostProvider* p) {
+         return CompressTopKIndependent(p, k, true);
+       }}};
+
+  for (const auto& [name, solve] : solvers) {
+    EdgeCostProvider serial(fw_->optimizer(), &suite);
+    auto want = solve(&serial);
+    ASSERT_TRUE(want.ok()) << name;
+
+    for (int threads : {2, 4}) {
+      ThreadPool pool(threads);
+      EdgeCostProvider parallel(fw_->optimizer(), &suite);
+      parallel.set_thread_pool(&pool);
+      auto got = solve(&parallel);
+      ASSERT_TRUE(got.ok()) << name << " @ " << threads;
+      EXPECT_EQ(got->assignment, want->assignment)
+          << name << " @ " << threads;
+      EXPECT_EQ(got->total_cost, want->total_cost)  // exact, not NEAR
+          << name << " @ " << threads;
+      EXPECT_EQ(got->optimizer_calls, want->optimizer_calls)
+          << name << " @ " << threads;
+    }
+  }
+}
+
+TEST_F(CompressionTest, ParallelPairTargetsMatchSerial) {
+  // Same determinism contract on pair targets, where pruning interacts
+  // with larger disabled sets.
+  std::vector<RuleId> logical = fw_->LogicalRules();
+  std::vector<RuleTarget> pairs = {RuleTarget{{logical[0], logical[3]}},
+                                   RuleTarget{{logical[3], logical[6]}},
+                                   RuleTarget{{logical[0], logical[6]}}};
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.max_trials = 500;
+  config.seed = 12;
+  auto suite = fw_->suite_generator()->Generate(pairs, 2, config);
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+
+  EdgeCostProvider serial(fw_->optimizer(), &*suite);
+  auto want = CompressTopKIndependent(&serial, 2, true);
+  ASSERT_TRUE(want.ok());
+
+  ThreadPool pool(4);
+  EdgeCostProvider parallel(fw_->optimizer(), &*suite);
+  parallel.set_thread_pool(&pool);
+  auto got = CompressTopKIndependent(&parallel, 2, true);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->assignment, want->assignment);
+  EXPECT_EQ(got->total_cost, want->total_cost);
+  EXPECT_EQ(got->optimizer_calls, want->optimizer_calls);
 }
 
 TEST_F(CompressionTest, NoSharingMatchingVariant) {

@@ -1,0 +1,107 @@
+// The concurrency substrate of docs/parallelism.md: submit/shutdown
+// semantics, exception propagation through futures, and ParallelFor's
+// deterministic result ordering.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qtf {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i, &executed] {
+      executed.fetch_add(1);
+      return i;
+    }));
+  }
+  int sum = 0;
+  for (auto& future : futures) sum += future.get();
+  EXPECT_EQ(executed.load(), 100);
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+    pool.Shutdown();  // must run everything already queued
+    EXPECT_EQ(executed.load(), 50);
+    pool.Shutdown();  // idempotent
+  }
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, TinyQueueCapacityStillCompletesEverything) {
+  // Backpressure path: Submit blocks until a worker frees a slot.
+  ThreadPool pool(2, /*queue_capacity=*/2);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&executed] { executed.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ParallelFor, DeterministicResultOrdering) {
+  ThreadPool pool(4);
+  std::vector<int> results =
+      ParallelFor(&pool, 200, [](int i) { return i * i; });
+  ASSERT_EQ(results.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+}
+
+TEST(ParallelFor, RunsInlineWithoutPool) {
+  std::vector<int> results = ParallelFor(nullptr, 5, [](int i) { return i + 1; });
+  EXPECT_EQ(results, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(ParallelFor(nullptr, 0, [](int i) { return i; }).empty());
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsAndAllTasksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    ParallelFor(&pool, 20, [&executed](int i) -> int {
+      executed.fetch_add(1);
+      if (i == 3) throw std::runtime_error("index 3");
+      if (i == 11) throw std::logic_error("index 11");
+      return i;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+  // Every task ran (nothing abandoned mid-queue while unwinding).
+  EXPECT_EQ(executed.load(), 20);
+}
+
+}  // namespace
+}  // namespace qtf
