@@ -9,7 +9,6 @@ namespace {
 
 int Run() {
   auto fw = bench::MakeFramework();
-  auto pool = bench::MakeBenchPool();
   bench::Banner("Figure 10: rule-pair query generation (time)",
                 "Total generation seconds over all nC2 pairs.");
 
@@ -21,7 +20,8 @@ int Run() {
               "PATTERN(s)", "ratio");
   for (int n : sizes) {
     bench::PairExperimentResult r =
-        bench::RunPairExperiment(fw.get(), n, random_cap, 300, pool.get());
+        bench::RunPairExperiment(fw.get(), n, random_cap, 300,
+                                 fw->thread_pool());
     std::printf("%6d %7d %11.2f%s %11.2f%s %8.1fx\n", r.n_rules, r.n_pairs,
                 r.random_seconds, r.random_failures > 0 ? "!" : " ",
                 r.pattern_seconds, r.pattern_failures > 0 ? "!" : " ",

@@ -11,7 +11,6 @@ namespace {
 
 int Run() {
   auto fw = bench::MakeFramework();
-  auto pool = bench::MakeBenchPool();
   bench::Banner(
       "Figure 11: test-suite compression, singleton rules (k=10)",
       "Total optimizer-estimated cost of executing the suite (lower wins).");
@@ -28,7 +27,7 @@ int Run() {
         fw.get(), fw->LogicalRuleSingletons(n), k,
         9000 + static_cast<uint64_t>(n));
     if (!suite) continue;
-    auto row = bench::RunCompression(fw.get(), *suite, k, pool.get());
+    auto row = bench::RunCompression(fw.get(), *suite, k, fw->thread_pool());
     if (!row) continue;
     std::printf("%6d %14.0f %14.0f %14.0f %10.1fx %10.1fx\n", n,
                 row->baseline, row->smc, row->topk,

@@ -11,7 +11,6 @@ namespace {
 
 int Run() {
   auto fw = bench::MakeFramework();
-  auto pool = bench::MakeBenchPool();
   bench::Banner("Figure 12: test-suite compression, rule pairs (k=10)",
                 "Total estimated cost over all nC2 pair targets.");
 
@@ -26,7 +25,7 @@ int Run() {
         fw.get(), fw->LogicalRulePairs(n), k,
         17000 + static_cast<uint64_t>(n));
     if (!suite) continue;
-    auto row = bench::RunCompression(fw.get(), *suite, k, pool.get());
+    auto row = bench::RunCompression(fw.get(), *suite, k, fw->thread_pool());
     if (!row) continue;
     std::printf("%6d %7d %14.0f %14.0f %14.0f %9.2fx\n", n,
                 n * (n - 1) / 2, row->baseline, row->smc, row->topk,

@@ -10,7 +10,6 @@ namespace {
 
 int Run() {
   auto fw = bench::MakeFramework();
-  auto pool = bench::MakeBenchPool();
   bench::Banner("Figure 13: varying the test suite size k (rule pairs)",
                 "Total estimated cost as k grows; n fixed.");
 
@@ -25,7 +24,7 @@ int Run() {
         fw.get(), fw->LogicalRulePairs(n), k,
         23000 + static_cast<uint64_t>(k));
     if (!suite) continue;
-    auto row = bench::RunCompression(fw.get(), *suite, k, pool.get());
+    auto row = bench::RunCompression(fw.get(), *suite, k, fw->thread_pool());
     if (!row) continue;
     std::printf("%6d %14.0f %14.0f %14.0f %9.2fx\n", k, row->baseline,
                 row->smc, row->topk, row->smc / row->topk);

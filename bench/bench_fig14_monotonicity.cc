@@ -27,24 +27,38 @@ int Run() {
     if (!suite) continue;
 
     // Fresh providers so invocation counts are not cross-contaminated by
-    // the shared edge-cost cache.
+    // the shared edge-cost cache. The registry snapshots around each run
+    // report the same deltas through the metrics pipeline.
+    obs::MetricsSnapshot before_full = fw->metrics()->Snapshot();
     EdgeCostProvider full_provider(fw->optimizer(), &*suite);
     auto full = CompressTopKIndependent(&full_provider, k, false);
+    obs::MetricsSnapshot before_pruned = fw->metrics()->Snapshot();
     EdgeCostProvider pruned_provider(fw->optimizer(), &*suite);
     auto pruned = CompressTopKIndependent(&pruned_provider, k, true);
+    obs::MetricsSnapshot after = fw->metrics()->Snapshot();
     if (!full.ok() || !pruned.ok()) {
       std::printf("compression failed\n");
       continue;
     }
+    const int64_t full_calls = bench::CounterDelta(
+        before_full, before_pruned, "qtf.edge_cost.optimizer_calls");
+    const int64_t pruned_calls = bench::CounterDelta(
+        before_pruned, after, "qtf.edge_cost.optimizer_calls");
+    QTF_CHECK(full_calls == full->optimizer_calls &&
+              pruned_calls == pruned->optimizer_calls)
+        << "registry deltas disagree with per-provider accounting";
     std::printf("%6d %7d %12ld %12ld %8.1fx %12s\n", n, n * (n - 1) / 2,
-                static_cast<long>(full->optimizer_calls),
-                static_cast<long>(pruned->optimizer_calls),
-                static_cast<double>(full->optimizer_calls) /
-                    static_cast<double>(std::max<int64_t>(
-                        pruned->optimizer_calls, 1)),
+                static_cast<long>(full_calls),
+                static_cast<long>(pruned_calls),
+                static_cast<double>(full_calls) /
+                    static_cast<double>(std::max<int64_t>(pruned_calls, 1)),
                 std::abs(full->total_cost - pruned->total_cost) < 1e-6
                     ? "yes"
                     : "NO");
+    std::printf("       edges pruned by monotonicity (registry): %ld\n",
+                static_cast<long>(bench::CounterDelta(
+                    before_pruned, after,
+                    "qtf.compress.monotonicity_pruned")));
   }
   std::printf("\npaper: 6x-9x fewer optimizer calls, identical solutions\n");
   return 0;

@@ -16,9 +16,11 @@ int Run() {
                 "Trials per rule, RANDOM vs PATTERN (lower is better).");
 
   std::printf("%-28s %10s %10s\n", "rule", "RANDOM", "PATTERN");
-  int random_total = 0, pattern_total = 0;
   int random_failures = 0;
   const int random_cap = bench::FullScale() ? 5000 : 1500;
+  // Totals come from the metrics registry (qtf.qgen.trials.*), not a
+  // hand-kept sum — the snapshot delta over the loop is the same number.
+  obs::MetricsSnapshot before = fw->metrics()->Snapshot();
 
   for (RuleId id : fw->LogicalRules()) {
     GenerationConfig random_config;
@@ -37,11 +39,14 @@ int Run() {
     std::printf("%-28s %9d%s %9d%s\n", fw->rules().rule(id).name().c_str(),
                 random.trials, random.success ? " " : "!",
                 pattern.trials, pattern.success ? " " : "!");
-    random_total += random.trials;
-    pattern_total += pattern.trials;
     if (!random.success) ++random_failures;
   }
-  std::printf("%-28s %10d %10d\n", "TOTAL", random_total, pattern_total);
+  obs::MetricsSnapshot after = fw->metrics()->Snapshot();
+  std::printf("%-28s %10ld %10ld\n", "TOTAL",
+              static_cast<long>(bench::CounterDelta(
+                  before, after, "qtf.qgen.trials.random")),
+              static_cast<long>(bench::CounterDelta(
+                  before, after, "qtf.qgen.trials.pattern")));
   if (random_failures > 0) {
     std::printf("(%d rule(s) not found by RANDOM within %d trials;"
                 " their caps are included in the total)\n",

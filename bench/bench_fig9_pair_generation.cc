@@ -10,7 +10,6 @@ namespace {
 
 int Run() {
   auto fw = bench::MakeFramework();
-  auto pool = bench::MakeBenchPool();
   bench::Banner("Figure 9: rule-pair query generation (trials)",
                 "Total trials over all nC2 pairs, RANDOM vs PATTERN.");
 
@@ -22,7 +21,8 @@ int Run() {
               "ratio");
   for (int n : sizes) {
     bench::PairExperimentResult r =
-        bench::RunPairExperiment(fw.get(), n, random_cap, 300, pool.get());
+        bench::RunPairExperiment(fw.get(), n, random_cap, 300,
+                                 fw->thread_pool());
     std::printf("%6d %7d %11ld%s %11ld%s %8.1fx\n", r.n_rules, r.n_pairs,
                 static_cast<long>(r.random_trials),
                 r.random_failures > 0 ? "!" : " ",

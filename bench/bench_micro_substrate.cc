@@ -1,12 +1,20 @@
 // Micro-benchmarks of the substrate (google-benchmark): optimizer latency,
-// executor throughput, query generation rate, memo insertion, and the
-// min-cost-flow solver. Not a paper figure — these quantify the framework
-// itself.
+// executor throughput, query generation rate, memo insertion, the
+// min-cost-flow solver, and the observability primitives. Not a paper
+// figure — these quantify the framework itself.
+//
+// With QTF_METRICS_JSON=<path> set, the run additionally dumps the bench
+// optimizer's metrics snapshot as JSON after the benchmarks finish (the CI
+// metrics smoke step consumes this).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "compress/mcmf.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "optimizer/memo.h"
 #include "optimizer/optimizer.h"
 #include "qgen/generators.h"
@@ -158,7 +166,70 @@ void BM_TpchGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TpchGeneration);
 
+// ---- Observability primitives (the "<=5% overhead" budget) -------------
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram;
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram.Observe(value);
+    value *= 1.0000001;  // walk the buckets a little
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.counter("qtf.bench.lookup");
+  for (auto _ : state) {
+    obs::Counter* counter = registry.counter("qtf.bench.lookup");
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ObsRegistryLookup);
+
+void BM_ObsSnapshot(benchmark::State& state) {
+  Env& env = GetEnv();  // a registry populated by the optimizer benches
+  for (auto _ : state) {
+    obs::MetricsSnapshot snapshot = env.optimizer->metrics()->Snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_ObsSnapshot);
+
 }  // namespace
+
+/// BENCHMARK_MAIN() plus the QTF_METRICS_JSON snapshot export. Lives in
+/// namespace qtf so it can reach the anonymous-namespace Env.
+int MicroBenchMain(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("QTF_METRICS_JSON")) {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write QTF_METRICS_JSON=%s\n", path);
+      return 1;
+    }
+    std::string json = GetEnv().optimizer->metrics()->Snapshot().ToJson();
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+    std::fprintf(stderr, "metrics snapshot written to %s\n", path);
+  }
+  return 0;
+}
+
 }  // namespace qtf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return qtf::MicroBenchMain(argc, argv); }

@@ -11,6 +11,7 @@
 // then warm plan cache, reporting hit rates — the cross-experiment reuse
 // lever that works even on one core.
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -65,57 +66,66 @@ int RunBench() {
               "count)\n\n",
               std::thread::hardware_concurrency());
 
-  // ---- Phase 1: thread scaling, plan cache detached -------------------
-  PlanCache* shared_cache = fw->plan_cache();
-  fw->optimizer()->set_plan_cache(nullptr);
-
-  Run serial = BuildPairGraph(fw.get(), *suite, k, nullptr);
-  std::printf("%8s %10s %9s %12s %10s\n", "threads", "seconds", "speedup",
-              "opt-calls", "identical");
-  std::printf("%8s %10.3f %9s %12ld %10s\n", "serial", serial.seconds, "1.0x",
-              static_cast<long>(serial.solution.optimizer_calls), "-");
-
+  // Both phases run inside a PlanCacheDetachGuard: the framework's shared
+  // cache is detached for the cold measurements and restored when the
+  // guard leaves scope, even on early returns.
   double speedup_at_4 = 0.0;
   bool all_identical = true;
-  for (int threads : {1, 2, 4, 8}) {
-    ThreadPool pool(threads);
-    Run run = BuildPairGraph(fw.get(), *suite, k, &pool);
-    bool identical = SameSolution(run.solution, serial.solution);
-    all_identical = all_identical && identical;
-    double speedup = serial.seconds / run.seconds;
-    if (threads == 4) speedup_at_4 = speedup;
-    std::printf("%8d %10.3f %8.2fx %12ld %10s\n", threads, run.seconds,
-                speedup, static_cast<long>(run.solution.optimizer_calls),
-                identical ? "yes" : "NO");
-  }
-
-  // ---- Phase 2: plan-cache reuse across experiments -------------------
+  Run serial, cold, warm;
   PlanCache cache;
-  fw->optimizer()->set_plan_cache(&cache);
-  Run cold = BuildPairGraph(fw.get(), *suite, k, nullptr);
-  double cold_hit_rate = cache.hit_rate();
-  Run warm = BuildPairGraph(fw.get(), *suite, k, nullptr);
-  std::printf("\nplan cache (fresh providers, serial):\n");
-  std::printf("  cold run: %.3fs, hit rate %.0f%%\n", cold.seconds,
-              100.0 * cold_hit_rate);
-  std::printf("  warm run: %.3fs, hit rate %.0f%% overall, speedup %.1fx, "
-              "identical %s\n",
-              warm.seconds, 100.0 * cache.hit_rate(),
-              cold.seconds / warm.seconds,
-              SameSolution(warm.solution, cold.solution) ? "yes" : "NO");
-  std::printf("  entries %zu, hits %ld, misses %ld, evictions %ld\n",
-              cache.size(), static_cast<long>(cache.hits()),
-              static_cast<long>(cache.misses()),
-              static_cast<long>(cache.evictions()));
+  {
+    PlanCacheDetachGuard detach(fw->optimizer());
 
-  // The framework-wide cache also saw suite generation: report the reuse
-  // suite generation left behind for later phases in the same process.
-  std::printf("  framework cache after generation: hits %ld, misses %ld "
-              "(hit rate %.0f%%)\n",
-              static_cast<long>(shared_cache->hits()),
-              static_cast<long>(shared_cache->misses()),
-              100.0 * shared_cache->hit_rate());
-  fw->optimizer()->set_plan_cache(shared_cache);
+    // ---- Phase 1: thread scaling, plan cache detached -----------------
+    serial = BuildPairGraph(fw.get(), *suite, k, nullptr);
+    std::printf("%8s %10s %9s %12s %10s\n", "threads", "seconds", "speedup",
+                "opt-calls", "identical");
+    std::printf("%8s %10.3f %9s %12ld %10s\n", "serial", serial.seconds,
+                "1.0x", static_cast<long>(serial.solution.optimizer_calls),
+                "-");
+
+    for (int threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      Run run = BuildPairGraph(fw.get(), *suite, k, &pool);
+      bool identical = SameSolution(run.solution, serial.solution);
+      all_identical = all_identical && identical;
+      double speedup = serial.seconds / run.seconds;
+      if (threads == 4) speedup_at_4 = speedup;
+      std::printf("%8d %10.3f %8.2fx %12ld %10s\n", threads, run.seconds,
+                  speedup, static_cast<long>(run.solution.optimizer_calls),
+                  identical ? "yes" : "NO");
+    }
+
+    // ---- Phase 2: plan-cache reuse across experiments -----------------
+    fw->optimizer()->set_plan_cache(&cache);
+    cold = BuildPairGraph(fw.get(), *suite, k, nullptr);
+    double cold_hit_rate = cache.hit_rate();
+    warm = BuildPairGraph(fw.get(), *suite, k, nullptr);
+    std::printf("\nplan cache (fresh providers, serial):\n");
+    std::printf("  cold run: %.3fs, hit rate %.0f%%\n", cold.seconds,
+                100.0 * cold_hit_rate);
+    std::printf("  warm run: %.3fs, hit rate %.0f%% overall, speedup %.1fx, "
+                "identical %s\n",
+                warm.seconds, 100.0 * cache.hit_rate(),
+                cold.seconds / warm.seconds,
+                SameSolution(warm.solution, cold.solution) ? "yes" : "NO");
+    std::printf("  entries %zu, hits %ld, misses %ld, evictions %ld\n",
+                cache.size(), static_cast<long>(cache.hits()),
+                static_cast<long>(cache.misses()),
+                static_cast<long>(cache.evictions()));
+
+    // The framework-wide cache also saw suite generation: report the reuse
+    // suite generation left behind, straight from the metrics registry.
+    obs::MetricsSnapshot snapshot = fw->metrics()->Snapshot();
+    const int64_t fw_hits = snapshot.CounterValue("qtf.plan_cache.hits");
+    const int64_t fw_misses = snapshot.CounterValue("qtf.plan_cache.misses");
+    std::printf("  framework cache after generation: hits %ld, misses %ld "
+                "(hit rate %.0f%%)\n",
+                static_cast<long>(fw_hits), static_cast<long>(fw_misses),
+                100.0 * static_cast<double>(fw_hits) /
+                    static_cast<double>(std::max<int64_t>(
+                        fw_hits + fw_misses, 1)));
+  }  // guard restores the framework's shared cache here
 
   // Machine-readable summary, one JSON object per line like a bench log.
   std::printf("\n{\"bench\":\"parallel_scaling\",\"n\":%d,\"k\":%d,"

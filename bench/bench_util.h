@@ -22,7 +22,9 @@ inline bool FullScale() {
 
 /// QTF_BENCH_THREADS=N fans edge-cost construction (and pair generation)
 /// across an N-worker pool; default 1 = serial. Results are identical at
-/// any thread count (see docs/parallelism.md).
+/// any thread count (see docs/parallelism.md). Only the bench drivers read
+/// this env var; the framework itself is configured through
+/// RuleTestFramework::Options::threads.
 inline int BenchThreads() {
   const char* env = std::getenv("QTF_BENCH_THREADS");
   if (env == nullptr) return 1;
@@ -30,17 +32,22 @@ inline int BenchThreads() {
   return n > 1 ? n : 1;
 }
 
-/// Pool for BenchThreads(), or nullptr when serial.
-inline std::unique_ptr<ThreadPool> MakeBenchPool() {
-  int threads = BenchThreads();
-  if (threads <= 1) return nullptr;
-  return std::make_unique<ThreadPool>(threads);
-}
-
+/// Framework at bench configuration: BenchThreads() workers (its
+/// thread_pool() replaces the old MakeBenchPool()).
 inline std::unique_ptr<RuleTestFramework> MakeFramework() {
-  auto fw = RuleTestFramework::Create();
+  RuleTestFramework::Options options;
+  options.threads = BenchThreads();
+  auto fw = RuleTestFramework::Create(std::move(options));
   QTF_CHECK(fw.ok()) << fw.status().ToString();
   return std::move(fw).value();
+}
+
+/// Growth of a registry counter between two snapshots — how benches report
+/// per-phase accounting (e.g. optimizer calls spent on one figure's rows).
+inline int64_t CounterDelta(const obs::MetricsSnapshot& before,
+                            const obs::MetricsSnapshot& after,
+                            const std::string& name) {
+  return after.CounterValue(name) - before.CounterValue(name);
 }
 
 /// Prints the standard experiment banner.

@@ -6,8 +6,7 @@
 
 #include <cstdio>
 
-#include "rules/buggy_rules.h"
-#include "testing/framework.h"
+#include "qtf.h"
 
 using namespace qtf;
 

@@ -5,8 +5,7 @@
 
 #include <cstdio>
 
-#include "compress/matching.h"
-#include "testing/framework.h"
+#include "qtf.h"
 
 using namespace qtf;
 

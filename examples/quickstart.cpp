@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "exec/executor.h"
-#include "qgen/sqlgen.h"
-#include "testing/framework.h"
+#include "qtf.h"
 
 using namespace qtf;
 
@@ -65,5 +63,10 @@ int main() {
   ResultSet restricted_rows = executor.Execute(*restricted.plan).value();
   std::printf("\nresults identical: %s\n",
               ResultBagEquals(rows, restricted_rows) ? "yes" : "NO (BUG!)");
+
+  // 6. Everything above was metered: dump the framework's metrics registry
+  // as JSON (see docs/observability.md for the catalog).
+  std::printf("\nmetrics snapshot:\n%s\n",
+              fw->metrics()->Snapshot().ToJson().c_str());
   return 0;
 }

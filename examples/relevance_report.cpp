@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "testing/framework.h"
+#include "qtf.h"
 
 using namespace qtf;
 

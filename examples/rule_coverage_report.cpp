@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "qgen/generation.h"
-#include "qgen/sqlgen.h"
-#include "testing/framework.h"
+#include "qtf.h"
 
 using namespace qtf;
 

@@ -5,6 +5,8 @@
 #include <queue>
 #include <set>
 
+#include "obs/trace.h"
+
 namespace qtf {
 
 namespace {
@@ -20,6 +22,13 @@ std::vector<std::pair<int, int>> AssignmentEdges(
     }
   }
   return edges;
+}
+
+/// Registry counter for `name`, or nullptr when the provider is a test
+/// fake without an optimizer (compression must keep working uninstrumented).
+obs::Counter* RunCounter(EdgeCostProvider* provider, const char* name) {
+  obs::MetricsRegistry* metrics = provider->metrics();
+  return metrics != nullptr ? metrics->counter(name) : nullptr;
 }
 
 }  // namespace
@@ -44,6 +53,10 @@ Result<double> SolutionCost(EdgeCostProvider* provider,
 }
 
 Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider) {
+  obs::PhaseSpan span(provider->metrics(), "compress.baseline");
+  if (obs::Counter* runs = RunCounter(provider, "qtf.compress.baseline_runs")) {
+    runs->Increment();
+  }
   const TestSuite& suite = provider->suite();
   CompressionSolution solution;
   solution.assignment = suite.per_target;
@@ -65,6 +78,10 @@ Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider) {
 
 Result<CompressionSolution> CompressSetMultiCover(EdgeCostProvider* provider,
                                                   int k) {
+  obs::PhaseSpan span(provider->metrics(), "compress.smc");
+  if (obs::Counter* runs = RunCounter(provider, "qtf.compress.smc_runs")) {
+    runs->Increment();
+  }
   const TestSuite& suite = provider->suite();
   int64_t calls_before = provider->optimizer_calls();
   const int n_targets = static_cast<int>(suite.targets.size());
@@ -138,6 +155,14 @@ Result<CompressionSolution> CompressSetMultiCover(EdgeCostProvider* provider,
 
 Result<CompressionSolution> CompressTopKIndependent(
     EdgeCostProvider* provider, int k, bool exploit_monotonicity) {
+  obs::PhaseSpan span(provider->metrics(), "compress.topk");
+  if (obs::Counter* runs = RunCounter(provider, "qtf.compress.topk_runs")) {
+    runs->Increment();
+  }
+  obs::Counter* pruned =
+      exploit_monotonicity
+          ? RunCounter(provider, "qtf.compress.monotonicity_pruned")
+          : nullptr;
   const TestSuite& suite = provider->suite();
   int64_t calls_before = provider->optimizer_calls();
   const int n_targets = static_cast<int>(suite.targets.size());
@@ -190,9 +215,15 @@ Result<CompressionSolution> CompressTopKIndependent(
   auto scan_target = [&](int t) -> Result<std::vector<int>> {
     // (edge cost, query) max-heap of the current k best edges.
     std::priority_queue<std::pair<double, int>> best;
-    for (int q : candidates[static_cast<size_t>(t)]) {
+    const std::vector<int>& cands = candidates[static_cast<size_t>(t)];
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const int q = cands[i];
       if (exploit_monotonicity && static_cast<int>(best.size()) == k &&
           provider->NodeCost(q) >= best.top().first) {
+        // Every remaining candidate is an edge cost the pruning saved.
+        if (pruned != nullptr) {
+          pruned->Increment(static_cast<int64_t>(cands.size() - i));
+        }
         break;
       }
       QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
@@ -311,6 +342,10 @@ class ExactSearch {
 
 Result<CompressionSolution> CompressExact(EdgeCostProvider* provider, int k,
                                           int64_t max_states) {
+  obs::PhaseSpan span(provider->metrics(), "compress.exact");
+  if (obs::Counter* runs = RunCounter(provider, "qtf.compress.exact_runs")) {
+    runs->Increment();
+  }
   int64_t calls_before = provider->optimizer_calls();
   ExactSearch search(provider, k, max_states);
   QTF_ASSIGN_OR_RETURN(CompressionSolution solution, search.Run());

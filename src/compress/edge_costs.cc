@@ -9,14 +9,18 @@ Result<double> EdgeCostProvider::EdgeCost(int target, int q) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      if (metric_cache_hits_ != nullptr) metric_cache_hits_->Increment();
+      return it->second;
+    }
   }
 
   OptimizerOptions options;
   for (RuleId id : suite_->targets[static_cast<size_t>(target)].rules) {
     options.disabled_rules.insert(id);
   }
-  optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
+  calls_.Increment();
+  if (metric_calls_ != nullptr) metric_calls_->Increment();
   QTF_ASSIGN_OR_RETURN(
       OptimizeResult result,
       optimizer_->Optimize(suite_->queries[static_cast<size_t>(q)].query,
@@ -45,6 +49,10 @@ Status EdgeCostProvider::Prefetch(
     }
   }
   if (todo.empty()) return Status::OK();
+  if (metric_prefetch_waves_ != nullptr) {
+    metric_prefetch_waves_->Increment();
+    metric_prefetch_edges_->Increment(static_cast<int64_t>(todo.size()));
+  }
 
   std::vector<Status> statuses = ParallelFor(
       pool_, static_cast<int>(todo.size()), [this, &todo](int i) {

@@ -1,7 +1,6 @@
 #ifndef QTF_COMPRESS_EDGE_COSTS_H_
 #define QTF_COMPRESS_EDGE_COSTS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "qgen/test_suite.h"
 
@@ -47,6 +47,11 @@ class EdgeCostProvider {
   EdgeCostProvider(Optimizer* optimizer, const TestSuite* suite)
       : optimizer_(optimizer), suite_(suite) {
     QTF_CHECK(optimizer_ != nullptr && suite_ != nullptr);
+    obs::MetricsRegistry* metrics = optimizer_->metrics();
+    metric_calls_ = metrics->counter("qtf.edge_cost.optimizer_calls");
+    metric_cache_hits_ = metrics->counter("qtf.edge_cost.cache_hits");
+    metric_prefetch_waves_ = metrics->counter("qtf.edge_cost.prefetch_waves");
+    metric_prefetch_edges_ = metrics->counter("qtf.edge_cost.prefetch_edges");
   }
   virtual ~EdgeCostProvider() = default;
   EdgeCostProvider(const EdgeCostProvider&) = delete;
@@ -79,12 +84,20 @@ class EdgeCostProvider {
   /// Implemented on top of the virtual EdgeCost, so fakes stay consistent.
   Status Prefetch(const std::vector<std::pair<int, int>>& edges);
 
-  /// Optimizer invocations spent on edge costs so far.
-  int64_t optimizer_calls() const {
-    return optimizer_calls_.load(std::memory_order_relaxed);
-  }
+  /// Optimizer invocations spent on edge costs so far, by this provider.
+  /// The same events also land in the registry's cumulative
+  /// `qtf.edge_cost.optimizer_calls` counter; this per-instance view exists
+  /// because experiments create a fresh provider per run and compare deltas.
+  int64_t optimizer_calls() const { return calls_.Value(); }
 
   const TestSuite& suite() const { return *suite_; }
+
+  /// Registry the provider reports into (the optimizer's); null for test
+  /// fakes built without an optimizer. Compression algorithms use this for
+  /// their phase spans and run counters.
+  obs::MetricsRegistry* metrics() const {
+    return optimizer_ != nullptr ? optimizer_->metrics() : nullptr;
+  }
 
  protected:
   /// For test fakes that override the cost surface.
@@ -99,7 +112,11 @@ class EdgeCostProvider {
   ThreadPool* pool_ = nullptr;
   mutable std::mutex mu_;  // guards cache_
   std::unordered_map<std::pair<int, int>, double, EdgeKeyHash> cache_;
-  std::atomic<int64_t> optimizer_calls_{0};
+  obs::Counter calls_;  // per-instance; see optimizer_calls()
+  obs::Counter* metric_calls_ = nullptr;  // registry mirrors (null in fakes)
+  obs::Counter* metric_cache_hits_ = nullptr;
+  obs::Counter* metric_prefetch_waves_ = nullptr;
+  obs::Counter* metric_prefetch_edges_ = nullptr;
 };
 
 }  // namespace qtf

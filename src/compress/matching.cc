@@ -4,11 +4,16 @@
 #include <map>
 
 #include "compress/mcmf.h"
+#include "obs/trace.h"
 
 namespace qtf {
 
 Result<CompressionSolution> CompressNoSharingMatching(
     EdgeCostProvider* provider, int k) {
+  obs::PhaseSpan span(provider->metrics(), "compress.matching");
+  if (obs::MetricsRegistry* metrics = provider->metrics()) {
+    metrics->counter("qtf.compress.matching_runs")->Increment();
+  }
   const TestSuite& suite = provider->suite();
   int64_t calls_before = provider->optimizer_calls();
   const int n_targets = static_cast<int>(suite.targets.size());

@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace qtf {
+namespace obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS: portable across standard-library
+/// versions that predate P0020's native floating-point fetch_add.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Smallest e with value <= 2^e (value > 0, finite).
+int CeilLog2(double value) {
+  int e = std::ilogb(value);  // floor(log2(value))
+  if (std::ldexp(1.0, e) < value) ++e;
+  return e;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  int idx;
+  if (!(value > 0.0)) {  // <= 0 and NaN both land in the first bucket
+    idx = 0;
+  } else if (std::isinf(value)) {
+    idx = kBucketCount - 1;
+  } else {
+    idx = std::clamp(CeilLog2(value) + kBucketShift, 0, kBucketCount - 1);
+  }
+  buckets_[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - kBucketShift);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      int64_t count = histogram->BucketCount(i);
+      if (count > 0) {
+        value.buckets.emplace_back(Histogram::BucketUpperBound(i), count);
+      }
+    }
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+namespace {
+
+int64_t SortedLookup(const std::vector<std::pair<std::string, int64_t>>& values,
+                     const std::string& name, int64_t fallback) {
+  auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == values.end() || it->first != name) return fallback;
+  return it->second;
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                      int64_t fallback) const {
+  return SortedLookup(counters, name, fallback);
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name,
+                                    int64_t fallback) const {
+  return SortedLookup(gauges, name, fallback);
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramValue& value : histograms) {
+    if (value.name == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, counters[i].first);
+    out.push_back(':');
+    out.append(std::to_string(counters[i].second));
+  }
+  out.append("},\"gauges\":{");
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, gauges[i].first);
+    out.push_back(':');
+    out.append(std::to_string(gauges[i].second));
+  }
+  out.append("},\"histograms\":{");
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, h.name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"sum\":");
+    AppendDouble(&out, h.sum);
+    out.append(",\"buckets\":[");
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      out.append("{\"le\":");
+      if (std::isinf(h.buckets[b].first)) {
+        out.append("null");  // JSON has no infinity; null marks +inf
+      } else {
+        AppendDouble(&out, h.buckets[b].first);
+      }
+      out.append(",\"count\":");
+      out.append(std::to_string(h.buckets[b].second));
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter   %-44s %ld\n", name.c_str(),
+                  static_cast<long>(value));
+    out.append(buf);
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge     %-44s %ld\n", name.c_str(),
+                  static_cast<long>(value));
+    out.append(buf);
+  }
+  for (const HistogramValue& h : histograms) {
+    double mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-44s count=%ld sum=%.6g mean=%.6g\n",
+                  h.name.c_str(), static_cast<long>(h.count), h.sum, mean);
+    out.append(buf);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace qtf

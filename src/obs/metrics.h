@@ -1,0 +1,167 @@
+#ifndef QTF_OBS_METRICS_H_
+#define QTF_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qtf {
+namespace obs {
+
+class TraceSink;
+
+/// Monotonically increasing counter. All operations are lock-free relaxed
+/// atomics: increments from concurrent optimizer invocations, prefetch
+/// workers and generation tasks never serialize on a metric. Usable either
+/// standalone (a member of the object it instruments, e.g. the per-provider
+/// optimizer_calls view) or owned by a MetricsRegistry.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. plan-cache size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution with fixed log-scale (power-of-two) buckets: bucket i
+/// covers values <= 2^(i - kBucketShift), the last bucket catches
+/// everything larger. One layout serves every unit the framework observes
+/// — seconds (1e-9 .. hours), memo sizes, trial counts — without
+/// per-histogram configuration, so merging and exporting stay trivial.
+/// Observe() is two relaxed atomic adds; no locks.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 64;
+  static constexpr int kBucketShift = 30;  // bucket 0 ends at 2^-30 (~1e-9)
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket i; +infinity for the last bucket.
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<std::atomic<int64_t>, kBucketCount> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of a registry's metrics, sorted by name, so two
+/// snapshots of identical state compare equal and exports are
+/// deterministic. This is what benches diff (before/after a phase) and
+/// what the JSON/text exporters serialize.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0.0;
+    /// (inclusive upper bound, count) for every non-empty bucket; the
+    /// +infinity bucket's bound is represented as infinity here and as
+    /// null in JSON.
+    std::vector<std::pair<double, int64_t>> buckets;
+  };
+
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a counter, or `fallback` when absent.
+  int64_t CounterValue(const std::string& name, int64_t fallback = 0) const;
+  /// Value of a gauge, or `fallback` when absent.
+  int64_t GaugeValue(const std::string& name, int64_t fallback = 0) const;
+  /// The histogram entry for `name`, or nullptr.
+  const HistogramValue* FindHistogram(const std::string& name) const;
+
+  /// Machine-readable export: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}.
+  std::string ToJson() const;
+  /// Human-readable export: one aligned line per metric.
+  std::string ToText() const;
+};
+
+/// Thread-safe, name-keyed home for the framework's metrics plus the
+/// pluggable trace sink (see obs/trace.h). counter()/gauge()/histogram()
+/// get-or-create under a mutex and return stable pointers — instrumented
+/// components resolve their metrics once at construction and touch only
+/// lock-free atomics afterwards. Counters, gauges and histograms live in
+/// separate namespaces.
+///
+/// Each RuleTestFramework owns one registry shared by all its components;
+/// a bare Optimizer owns a private one, so invocation accounting works
+/// identically with or without the facade.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Deterministic point-in-time copy (sorted by name). Concurrent writers
+  /// may land between individual metric reads; after all writers join, two
+  /// snapshots of the same registry are identical.
+  MetricsSnapshot Snapshot() const;
+
+  /// Sink receiving PhaseSpan begin/end events. Borrowed, not owned; must
+  /// be thread-safe (spans are emitted from worker threads too). nullptr
+  /// (the default) disables tracing at the cost of one branch.
+  void set_trace_sink(TraceSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+  TraceSink* trace_sink() const {
+    return sink_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<TraceSink*> sink_{nullptr};
+};
+
+}  // namespace obs
+}  // namespace qtf
+
+#endif  // QTF_OBS_METRICS_H_

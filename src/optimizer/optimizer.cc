@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -218,12 +219,35 @@ class SearchEngine {
 
 }  // namespace
 
+Optimizer::Optimizer(const RuleRegistry* rules, obs::MetricsRegistry* metrics)
+    : rules_(rules) {
+  QTF_CHECK(rules_ != nullptr);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  invocations_ = metrics_->counter("qtf.optimizer.invocations");
+  searches_ = metrics_->counter("qtf.optimizer.searches");
+  saturated_ = metrics_->counter("qtf.optimizer.saturated");
+  memo_groups_ = metrics_->histogram("qtf.optimizer.memo_groups");
+  memo_exprs_ = metrics_->histogram("qtf.optimizer.memo_exprs");
+  search_seconds_ = metrics_->histogram("qtf.optimizer.search_seconds");
+  rule_fired_.reserve(static_cast<size_t>(rules_->size()));
+  for (int id = 0; id < rules_->size(); ++id) {
+    rule_fired_.push_back(metrics_->counter("qtf.optimizer.rule_fired." +
+                                            rules_->rule(id).name()));
+  }
+}
+
 Result<OptimizeResult> Optimizer::Optimize(const Query& query,
                                            const OptimizerOptions& options) {
   if (!query.valid()) {
     return Status::InvalidArgument("query has no root or registry");
   }
-  invocation_count_.fetch_add(1, std::memory_order_relaxed);
+  // A cache hit below still counts as an invocation — only the search is
+  // skipped — so invocation-count experiments are cache-independent.
+  invocations_->Increment();
   QTF_RETURN_NOT_OK(ValidateTree(*query.root, *query.registry));
   PlanCache* cache =
       options.plan_cache != nullptr ? options.plan_cache : plan_cache_;
@@ -232,8 +256,21 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
         cache->Lookup(query, options.disabled_rules);
     if (hit.has_value()) return *std::move(hit);
   }
+  searches_->Increment();
   SearchEngine engine(*rules_, cost_model_, options);
+  const auto search_start = std::chrono::steady_clock::now();
   Result<OptimizeResult> result = engine.Run(query);
+  search_seconds_->Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - search_start)
+                               .count());
+  if (result.ok()) {
+    memo_groups_->Observe(static_cast<double>(result->group_count));
+    memo_exprs_->Observe(static_cast<double>(result->expr_count));
+    if (result->saturated) saturated_->Increment();
+    for (RuleId id : result->exercised_rules) {
+      rule_fired_[static_cast<size_t>(id)]->Increment();
+    }
+  }
   if (cache != nullptr && result.ok()) {
     cache->Insert(query, options.disabled_rules, result.value());
   }

@@ -1,14 +1,15 @@
 #ifndef QTF_OPTIMIZER_OPTIMIZER_H_
 #define QTF_OPTIMIZER_OPTIMIZER_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/physical.h"
 #include "logical/query.h"
+#include "obs/metrics.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/rule.h"
 
@@ -55,11 +56,13 @@ struct OptimizeResult {
 /// across a ThreadPool (see docs/parallelism.md).
 class Optimizer {
  public:
-  /// `rules` and `cost_model` must outlive the optimizer.
-  explicit Optimizer(const RuleRegistry* rules)
-      : rules_(rules) {
-    QTF_CHECK(rules_ != nullptr);
-  }
+  /// `rules` and `cost_model` must outlive the optimizer. `metrics` is the
+  /// registry all search accounting lands in (invocations, rules fired per
+  /// RuleId, memo sizes — see docs/observability.md); when null the
+  /// optimizer owns a private registry, so accounting behaves identically
+  /// with or without the RuleTestFramework facade.
+  explicit Optimizer(const RuleRegistry* rules,
+                     obs::MetricsRegistry* metrics = nullptr);
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
@@ -84,17 +87,30 @@ class Optimizer {
   void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
   PlanCache* plan_cache() const { return plan_cache_; }
 
-  /// Number of Optimize() calls made so far. The monotonicity experiment
+  /// Number of Optimize() calls made so far — a view over the registry's
+  /// `qtf.optimizer.invocations` counter. The monotonicity experiment
   /// (paper Section 5.3.1 / Figure 14) counts optimizer invocations saved.
-  int64_t invocation_count() const {
-    return invocation_count_.load(std::memory_order_relaxed);
-  }
+  int64_t invocation_count() const { return invocations_->Value(); }
+
+  /// The registry this optimizer reports into (never null): the
+  /// framework-wide registry when one was injected, else the private one.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   const RuleRegistry* rules_;
   CostModel cost_model_;
   PlanCache* plan_cache_ = nullptr;
-  std::atomic<int64_t> invocation_count_{0};
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* invocations_ = nullptr;
+  obs::Counter* searches_ = nullptr;   // invocations that ran a full search
+  obs::Counter* saturated_ = nullptr;  // searches that hit the memo limit
+  obs::Histogram* memo_groups_ = nullptr;
+  obs::Histogram* memo_exprs_ = nullptr;
+  obs::Histogram* search_seconds_ = nullptr;
+  /// Per RuleId: searches in which the rule fired (produced a substitute).
+  std::vector<obs::Counter*> rule_fired_;
 };
 
 }  // namespace qtf

@@ -16,6 +16,22 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
   QTF_CHECK(capacity_ >= 1) << "plan cache capacity must be positive";
 }
 
+void PlanCache::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    metric_hits_ = nullptr;
+    metric_misses_ = nullptr;
+    metric_evictions_ = nullptr;
+    metric_size_ = nullptr;
+    return;
+  }
+  metric_hits_ = metrics->counter("qtf.plan_cache.hits");
+  metric_misses_ = metrics->counter("qtf.plan_cache.misses");
+  metric_evictions_ = metrics->counter("qtf.plan_cache.evictions");
+  metric_size_ = metrics->gauge("qtf.plan_cache.size");
+  metric_size_->Set(static_cast<int64_t>(lru_.size()));
+}
+
 uint64_t PlanCache::KeyHash(const LogicalOp& root,
                             const RuleIdSet& disabled_rules) {
   uint64_t h = TreeFingerprint(root);
@@ -47,9 +63,11 @@ std::optional<OptimizeResult> PlanCache::Lookup(
   auto it = FindLocked(key_hash, *query.root, disabled_rules);
   if (it == lru_.end()) {
     ++misses_;
+    if (metric_misses_ != nullptr) metric_misses_->Increment();
     return std::nullopt;
   }
   ++hits_;
+  if (metric_hits_ != nullptr) metric_hits_->Increment();
   lru_.splice(lru_.begin(), lru_, it);  // refresh recency
   return it->result;
 }
@@ -72,9 +90,13 @@ void PlanCache::Insert(const Query& query, const RuleIdSet& disabled_rules,
     }
     lru_.pop_back();
     ++evictions_;
+    if (metric_evictions_ != nullptr) metric_evictions_->Increment();
   }
   lru_.push_front(Entry{key_hash, query.root, disabled_rules, result});
   index_.emplace(key_hash, lru_.begin());
+  if (metric_size_ != nullptr) {
+    metric_size_->Set(static_cast<int64_t>(lru_.size()));
+  }
 }
 
 void PlanCache::Clear() {
@@ -84,6 +106,7 @@ void PlanCache::Clear() {
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;
+  if (metric_size_ != nullptr) metric_size_->Set(0);
 }
 
 size_t PlanCache::size() const {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 
 namespace qtf {
@@ -44,6 +45,13 @@ class PlanCache {
 
   void Clear();
 
+  /// Mirrors hit/miss/eviction accounting into `metrics` as the
+  /// qtf.plan_cache.* counters and the qtf.plan_cache.size gauge, on top of
+  /// the per-cache accessors below. Registry counters are cumulative across
+  /// the registry's lifetime — Clear() resets the accessors but never the
+  /// registry. Borrowed; pass nullptr to stop reporting.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   size_t capacity() const { return capacity_; }
   size_t size() const;
   int64_t hits() const;
@@ -75,6 +83,33 @@ class PlanCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Gauge* metric_size_ = nullptr;
+};
+
+/// RAII replacement for the old `optimizer()->set_plan_cache(nullptr)`
+/// detach idiom: detaches the optimizer's plan cache on construction (so
+/// every search runs cold) and restores the previous cache on scope exit,
+/// even on early returns. Used by cold-search benchmarks
+/// (bench_parallel_scaling) and tests.
+class PlanCacheDetachGuard {
+ public:
+  explicit PlanCacheDetachGuard(Optimizer* optimizer)
+      : optimizer_(optimizer), detached_(optimizer->plan_cache()) {
+    optimizer_->set_plan_cache(nullptr);
+  }
+  ~PlanCacheDetachGuard() { optimizer_->set_plan_cache(detached_); }
+  PlanCacheDetachGuard(const PlanCacheDetachGuard&) = delete;
+  PlanCacheDetachGuard& operator=(const PlanCacheDetachGuard&) = delete;
+
+  /// The cache that was detached and will be restored (may be null).
+  PlanCache* detached() const { return detached_; }
+
+ private:
+  Optimizer* optimizer_;
+  PlanCache* detached_;
 };
 
 }  // namespace qtf

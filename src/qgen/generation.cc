@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "qgen/sqlgen.h"
 
 namespace qtf {
@@ -64,6 +65,10 @@ GenerationOutcome TargetedQueryGenerator::RunTrials(
     const std::vector<RuleId>& targets, const GenerationConfig& config,
     const std::vector<PatternNodePtr>& patterns, bool require_relevant) {
   GenerationOutcome outcome;
+  obs::PhaseSpan span(optimizer_->metrics(), "qgen.generate");
+  obs::Counter* trial_counter = config.method == GenerationMethod::kRandom
+                                    ? trials_random_
+                                    : trials_pattern_;
   auto start = std::chrono::steady_clock::now();
 
   RandomQueryGenerator random_gen(catalog_, config.seed);
@@ -85,12 +90,14 @@ GenerationOutcome TargetedQueryGenerator::RunTrials(
       candidate = instantiator.Instantiate(*pattern, extra);
     }
     ++outcome.trials;
+    trial_counter->Increment();
     auto result = optimizer_->Optimize(candidate);
     if (!result.ok()) continue;  // unplannable candidates are just misses
     if (!ContainsAll(result->exercised_rules, targets)) continue;
 
     if (require_relevant) {
       // The rule is relevant iff turning it off changes the plan.
+      relevance_probes_->Increment();
       OptimizerOptions options;
       options.disabled_rules.insert(targets[0]);
       auto restricted = optimizer_->Optimize(candidate, options);
@@ -110,6 +117,13 @@ GenerationOutcome TargetedQueryGenerator::RunTrials(
   outcome.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (outcome.success) {
+    successes_->Increment();
+    trials_to_success_->Observe(static_cast<double>(outcome.trials));
+  } else {
+    failures_->Increment();
+  }
+  generation_seconds_->Observe(outcome.seconds);
   return outcome;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "logical/query.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "qgen/generators.h"
 
@@ -53,10 +54,20 @@ struct GenerationOutcome {
 class TargetedQueryGenerator {
  public:
   /// `optimizer` is used to optimize candidates and read RuleSet(q);
-  /// the catalog defines the fixed test database's schema.
+  /// the catalog defines the fixed test database's schema. Generation
+  /// accounting (trials per method, successes, relevance probes — see
+  /// docs/observability.md) lands in the optimizer's metrics registry.
   TargetedQueryGenerator(const Catalog* catalog, Optimizer* optimizer)
       : catalog_(catalog), optimizer_(optimizer) {
     QTF_CHECK(catalog_ != nullptr && optimizer_ != nullptr);
+    obs::MetricsRegistry* metrics = optimizer_->metrics();
+    trials_random_ = metrics->counter("qtf.qgen.trials.random");
+    trials_pattern_ = metrics->counter("qtf.qgen.trials.pattern");
+    successes_ = metrics->counter("qtf.qgen.successes");
+    failures_ = metrics->counter("qtf.qgen.failures");
+    relevance_probes_ = metrics->counter("qtf.qgen.relevance_probes");
+    trials_to_success_ = metrics->histogram("qtf.qgen.trials_to_success");
+    generation_seconds_ = metrics->histogram("qtf.qgen.generation_seconds");
   }
 
   /// Searches for a query q with targets ⊆ RuleSet(q). `targets` holds one
@@ -78,6 +89,13 @@ class TargetedQueryGenerator {
 
   const Catalog* catalog_;
   Optimizer* optimizer_;
+  obs::Counter* trials_random_ = nullptr;
+  obs::Counter* trials_pattern_ = nullptr;
+  obs::Counter* successes_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Counter* relevance_probes_ = nullptr;
+  obs::Histogram* trials_to_success_ = nullptr;
+  obs::Histogram* generation_seconds_ = nullptr;
 };
 
 }  // namespace qtf

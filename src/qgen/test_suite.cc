@@ -1,5 +1,7 @@
 #include "qgen/test_suite.h"
 
+#include "obs/trace.h"
+
 namespace qtf {
 
 std::string RuleTarget::ToString(const RuleRegistry& registry) const {
@@ -31,6 +33,7 @@ Result<TestSuite> TestSuiteGenerator::Generate(
     const std::vector<RuleTarget>& targets, int k,
     const GenerationConfig& config) {
   QTF_CHECK(k >= 1);
+  obs::PhaseSpan span(optimizer_->metrics(), "qgen.suite_generate");
   TestSuite suite;
   suite.targets = targets;
   TargetedQueryGenerator generator(catalog_, optimizer_);
@@ -60,6 +63,7 @@ Result<TestSuite> TestSuiteGenerator::Generate(
     }
     suite.per_target.push_back(std::move(indices));
   }
+  optimizer_->metrics()->counter("qtf.qgen.suites_generated")->Increment();
   return suite;
 }
 

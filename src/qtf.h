@@ -1,0 +1,22 @@
+#ifndef QTF_QTF_H_
+#define QTF_QTF_H_
+
+/// Umbrella header: the framework's public API in one include. Examples
+/// and downstream consumers include this; the library's own code keeps
+/// including the specific headers it needs.
+///
+///   #include "qtf.h"
+///   auto fw = qtf::RuleTestFramework::Create().value();
+
+#include "compress/compression.h"
+#include "compress/matching.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/plan_cache.h"
+#include "qgen/generation.h"
+#include "qgen/sqlgen.h"
+#include "rules/buggy_rules.h"
+#include "testing/framework.h"
+
+#endif  // QTF_QTF_H_

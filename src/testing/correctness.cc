@@ -3,12 +3,16 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.h"
+
 namespace qtf {
 
 Result<CorrectnessReport> CorrectnessRunner::Run(
     const TestSuite& suite,
     const std::vector<std::vector<int>>& assignment) {
   QTF_CHECK(assignment.size() == suite.targets.size());
+  obs::PhaseSpan span(optimizer_->metrics(), "correctness.run");
+  runs_->Increment();
   CorrectnessReport report;
 
   // Execute Plan(q) once per distinct query in the assignment.
@@ -62,6 +66,9 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
       }
     }
   }
+  plans_executed_->Increment(report.plans_executed);
+  skipped_identical_->Increment(report.skipped_identical_plans);
+  violations_->Increment(static_cast<int64_t>(report.violations.size()));
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "qgen/test_suite.h"
 
@@ -44,6 +45,12 @@ class CorrectnessRunner {
   CorrectnessRunner(const Database* db, Optimizer* optimizer)
       : db_(db), optimizer_(optimizer) {
     QTF_CHECK(db_ != nullptr && optimizer_ != nullptr);
+    obs::MetricsRegistry* metrics = optimizer_->metrics();
+    runs_ = metrics->counter("qtf.correctness.runs");
+    plans_executed_ = metrics->counter("qtf.correctness.plans_executed");
+    skipped_identical_ =
+        metrics->counter("qtf.correctness.skipped_identical_plans");
+    violations_ = metrics->counter("qtf.correctness.violations");
   }
 
   /// Validates `assignment` (per target: query indices into the suite).
@@ -56,6 +63,10 @@ class CorrectnessRunner {
  private:
   const Database* db_;
   Optimizer* optimizer_;
+  obs::Counter* runs_ = nullptr;
+  obs::Counter* plans_executed_ = nullptr;
+  obs::Counter* skipped_identical_ = nullptr;
+  obs::Counter* violations_ = nullptr;
 };
 
 /// Section-7 query-generation variant support: a rule is *relevant* for a

@@ -3,15 +3,20 @@
 namespace qtf {
 
 Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
-    const TpchConfig& config, std::unique_ptr<RuleRegistry> registry) {
+    Options options) {
+  QTF_CHECK(options.threads >= 1) << "Options::threads must be positive";
   auto framework =
       std::unique_ptr<RuleTestFramework>(new RuleTestFramework());
-  QTF_ASSIGN_OR_RETURN(framework->db_, MakeTpchDatabase(config));
-  framework->registry_ =
-      registry != nullptr ? std::move(registry) : MakeDefaultRuleRegistry();
-  framework->optimizer_ =
-      std::make_unique<Optimizer>(framework->registry_.get());
-  framework->plan_cache_ = std::make_unique<PlanCache>();
+  framework->metrics_.set_trace_sink(options.trace_sink);
+  QTF_ASSIGN_OR_RETURN(framework->db_, MakeTpchDatabase(options.tpch));
+  framework->registry_ = options.rules != nullptr
+                             ? std::move(options.rules)
+                             : MakeDefaultRuleRegistry();
+  framework->optimizer_ = std::make_unique<Optimizer>(
+      framework->registry_.get(), &framework->metrics_);
+  framework->plan_cache_ =
+      std::make_unique<PlanCache>(options.plan_cache_capacity);
+  framework->plan_cache_->set_metrics(&framework->metrics_);
   framework->optimizer_->set_plan_cache(framework->plan_cache_.get());
   framework->generator_ = std::make_unique<TargetedQueryGenerator>(
       &framework->db_->catalog(), framework->optimizer_.get());
@@ -19,7 +24,18 @@ Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
       &framework->db_->catalog(), framework->optimizer_.get());
   framework->runner_ = std::make_unique<CorrectnessRunner>(
       framework->db_.get(), framework->optimizer_.get());
+  if (options.threads > 1) {
+    framework->pool_ = std::make_unique<ThreadPool>(options.threads);
+  }
   return framework;
+}
+
+Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
+    const TpchConfig& config, std::unique_ptr<RuleRegistry> registry) {
+  Options options;
+  options.tpch = config;
+  options.rules = std::move(registry);
+  return Create(std::move(options));
 }
 
 std::vector<RuleTarget> RuleTestFramework::LogicalRulePairs(int n) const {

@@ -3,8 +3,11 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "compress/compression.h"
 #include "compress/matching.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan_cache.h"
 #include "qgen/generation.h"
 #include "qgen/test_suite.h"
@@ -16,13 +19,35 @@ namespace qtf {
 
 /// One-stop assembly of the rule-testing framework of Figure 2: the fixed
 /// test database, the rule-based optimizer with its testing extensions,
-/// query generation, test-suite generation/compression and correctness
-/// execution. Examples, tests and benchmarks build on this facade.
+/// query generation, test-suite generation/compression, correctness
+/// execution, and the observability registry they all report into.
+/// Examples, tests and benchmarks build on this facade.
 class RuleTestFramework {
  public:
-  /// Builds the framework over a fresh TPC-H-style database with the
-  /// default rule registry (pass a custom registry to inject rules, e.g.
-  /// buggy variants for harness demos).
+  /// Everything configurable about a framework instance, in one place.
+  /// Replaces the old positional Create() arguments and the
+  /// QTF_BENCH_THREADS environment variable.
+  struct Options {
+    /// Scale of the TPC-H-style test database.
+    TpchConfig tpch;
+    /// Rule registry; null means MakeDefaultRuleRegistry() (pass a custom
+    /// one to inject rules, e.g. buggy variants for harness demos).
+    std::unique_ptr<RuleRegistry> rules;
+    /// Worker threads for the parallel edge-cost / compression paths.
+    /// 1 (the default) means no pool — everything runs serial.
+    int threads = 1;
+    /// Capacity of the shared plan cache.
+    size_t plan_cache_capacity = 4096;
+    /// Optional receiver for PhaseSpan begin/end events. Borrowed, must be
+    /// thread-safe and outlive the framework; null disables tracing.
+    obs::TraceSink* trace_sink = nullptr;
+  };
+
+  /// Builds the framework as configured.
+  static Result<std::unique_ptr<RuleTestFramework>> Create(Options options);
+
+  /// Legacy overload: defaults for everything but the database scale and
+  /// rule registry. Thin delegate to Create(Options).
   static Result<std::unique_ptr<RuleTestFramework>> Create(
       const TpchConfig& config = TpchConfig{},
       std::unique_ptr<RuleRegistry> registry = nullptr);
@@ -32,12 +57,20 @@ class RuleTestFramework {
   const RuleRegistry& rules() const { return *registry_; }
   Optimizer* optimizer() { return optimizer_.get(); }
   /// Process-wide plan cache shared by suite generation, compression and
-  /// correctness runs (attached to the optimizer at Create time). Detach
-  /// with optimizer()->set_plan_cache(nullptr) to benchmark cold searches.
+  /// correctness runs (attached to the optimizer at Create time). Use
+  /// PlanCacheDetachGuard to benchmark cold searches.
   PlanCache* plan_cache() { return plan_cache_.get(); }
   TargetedQueryGenerator* generator() { return generator_.get(); }
   TestSuiteGenerator* suite_generator() { return suite_generator_.get(); }
   CorrectnessRunner* runner() { return runner_.get(); }
+
+  /// Registry every component of this framework reports into; snapshot it
+  /// for experiment accounting (see docs/observability.md).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Worker pool sized by Options::threads; null when threads <= 1. Attach
+  /// to an EdgeCostProvider (set_thread_pool) to parallelize compression.
+  ThreadPool* thread_pool() { return pool_.get(); }
 
   /// Ids of the logical (exploration) rules — the rule set R the paper's
   /// experiments target.
@@ -54,6 +87,9 @@ class RuleTestFramework {
  private:
   RuleTestFramework() = default;
 
+  // metrics_ is declared first (destroyed last): every component below
+  // holds pointers into it.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<RuleRegistry> registry_;
   std::unique_ptr<PlanCache> plan_cache_;
@@ -61,6 +97,8 @@ class RuleTestFramework {
   std::unique_ptr<TargetedQueryGenerator> generator_;
   std::unique_ptr<TestSuiteGenerator> suite_generator_;
   std::unique_ptr<CorrectnessRunner> runner_;
+  // pool_ last: workers must drain before anything they touch dies.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace qtf

@@ -263,6 +263,67 @@ TEST_F(CompressionTest, ParallelPairTargetsMatchSerial) {
   EXPECT_EQ(got->optimizer_calls, want->optimizer_calls);
 }
 
+TEST_F(CompressionTest, OptimizerCallsMatchesMetrics) {
+  // The registry's qtf.edge_cost.optimizer_calls counter and the
+  // per-provider optimizer_calls() view are two faces of the same
+  // accounting: their deltas must agree for every algorithm, serial and
+  // parallel, so experiments can report from snapshots alone.
+  const int k = 3;
+  TestSuite suite = MakeSuite(6, k, 13);
+
+  using Solver =
+      std::function<Result<CompressionSolution>(EdgeCostProvider*)>;
+  std::vector<std::pair<const char*, Solver>> solvers = {
+      {"baseline", [](EdgeCostProvider* p) { return CompressBaseline(p); }},
+      {"smc",
+       [&](EdgeCostProvider* p) { return CompressSetMultiCover(p, k); }},
+      {"topk-pruned", [&](EdgeCostProvider* p) {
+         return CompressTopKIndependent(p, k, true);
+       }}};
+
+  for (const auto& [name, solve] : solvers) {
+    for (int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      obs::MetricsSnapshot before = fw_->metrics()->Snapshot();
+      EdgeCostProvider provider(fw_->optimizer(), &suite);
+      if (threads > 1) provider.set_thread_pool(&pool);
+      auto solution = solve(&provider);
+      ASSERT_TRUE(solution.ok()) << name << " @ " << threads;
+      obs::MetricsSnapshot after = fw_->metrics()->Snapshot();
+      const int64_t delta =
+          after.CounterValue("qtf.edge_cost.optimizer_calls") -
+          before.CounterValue("qtf.edge_cost.optimizer_calls");
+      EXPECT_EQ(delta, solution->optimizer_calls) << name << " @ " << threads;
+      EXPECT_EQ(delta, provider.optimizer_calls()) << name << " @ " << threads;
+    }
+  }
+}
+
+TEST_F(CompressionTest, MonotonicityPruningIsCounted) {
+  const int k = 3;
+  TestSuite suite = MakeSuite(8, k, 14);
+  obs::MetricsSnapshot before = fw_->metrics()->Snapshot();
+  EdgeCostProvider full_provider(fw_->optimizer(), &suite);
+  auto full = CompressTopKIndependent(&full_provider, k, false);
+  ASSERT_TRUE(full.ok());
+  obs::MetricsSnapshot mid = fw_->metrics()->Snapshot();
+  // The full scan never prunes.
+  EXPECT_EQ(mid.CounterValue("qtf.compress.monotonicity_pruned"),
+            before.CounterValue("qtf.compress.monotonicity_pruned"));
+
+  EdgeCostProvider lazy_provider(fw_->optimizer(), &suite);
+  auto lazy = CompressTopKIndependent(&lazy_provider, k, true);
+  ASSERT_TRUE(lazy.ok());
+  obs::MetricsSnapshot after = fw_->metrics()->Snapshot();
+  const int64_t pruned =
+      after.CounterValue("qtf.compress.monotonicity_pruned") -
+      mid.CounterValue("qtf.compress.monotonicity_pruned");
+  // Edges skipped == the invocation savings the pruned run achieved over
+  // the full scan (both scans otherwise visit identical candidate lists;
+  // the final SolutionCost() edges are already cached in both runs).
+  EXPECT_EQ(pruned, full->optimizer_calls - lazy->optimizer_calls);
+}
+
 TEST_F(CompressionTest, NoSharingMatchingVariant) {
   const int k = 2;
   TestSuite suite = MakeSuite(4, k, 9);

@@ -53,6 +53,85 @@ TEST(FrameworkTest, CustomRegistryIsUsed) {
   EXPECT_EQ(fw->rules().size(), n);
 }
 
+TEST(FrameworkTest, CreateWithOptions) {
+  RuleTestFramework::Options options;
+  options.threads = 2;
+  options.plan_cache_capacity = 64;
+  auto fw = RuleTestFramework::Create(std::move(options)).value();
+  ASSERT_NE(fw->thread_pool(), nullptr);
+  EXPECT_EQ(fw->thread_pool()->num_threads(), 2);
+  EXPECT_EQ(fw->plan_cache()->capacity(), 64u);
+  EXPECT_NE(fw->metrics(), nullptr);
+  // The optimizer reports into the framework's registry.
+  EXPECT_EQ(fw->optimizer()->metrics(), fw->metrics());
+}
+
+TEST(FrameworkTest, LegacyCreateDelegatesToOptions) {
+  auto fw = RuleTestFramework::Create().value();
+  // Defaults: serial (no pool), default cache capacity, metrics wired.
+  EXPECT_EQ(fw->thread_pool(), nullptr);
+  EXPECT_EQ(fw->plan_cache()->capacity(), 4096u);
+  EXPECT_EQ(fw->optimizer()->metrics(), fw->metrics());
+}
+
+TEST(FrameworkTest, OptimizerInvocationsLandInTheRegistry) {
+  auto fw = RuleTestFramework::Create().value();
+  GenerationConfig config;
+  config.seed = 77;
+  GenerationOutcome outcome = fw->generator()->Generate({0}, config);
+  ASSERT_TRUE(outcome.success);
+  obs::MetricsSnapshot snapshot = fw->metrics()->Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("qtf.optimizer.invocations"),
+            fw->optimizer()->invocation_count());
+  EXPECT_GT(snapshot.CounterValue("qtf.optimizer.invocations"), 0);
+  EXPECT_GT(snapshot.CounterValue("qtf.qgen.trials.pattern"), 0);
+  EXPECT_EQ(snapshot.CounterValue("qtf.qgen.successes"), 1);
+  // The plan cache mirrored its accounting too.
+  EXPECT_EQ(snapshot.CounterValue("qtf.plan_cache.hits"),
+            fw->plan_cache()->hits());
+  EXPECT_EQ(snapshot.CounterValue("qtf.plan_cache.misses"),
+            fw->plan_cache()->misses());
+  EXPECT_EQ(snapshot.GaugeValue("qtf.plan_cache.size"),
+            static_cast<int64_t>(fw->plan_cache()->size()));
+}
+
+TEST(FrameworkTest, PlanCacheDetachGuardRestores) {
+  auto fw = RuleTestFramework::Create().value();
+  PlanCache* shared = fw->plan_cache();
+  ASSERT_EQ(fw->optimizer()->plan_cache(), shared);
+  {
+    PlanCacheDetachGuard guard(fw->optimizer());
+    EXPECT_EQ(fw->optimizer()->plan_cache(), nullptr);
+    EXPECT_EQ(guard.detached(), shared);
+    // Nesting: the inner guard detaches "nothing" and restores nothing.
+    {
+      PlanCacheDetachGuard inner(fw->optimizer());
+      EXPECT_EQ(inner.detached(), nullptr);
+    }
+    EXPECT_EQ(fw->optimizer()->plan_cache(), nullptr);
+  }
+  EXPECT_EQ(fw->optimizer()->plan_cache(), shared);
+}
+
+TEST(FrameworkTest, TraceSinkReceivesSpans) {
+  obs::CollectingTraceSink sink;
+  RuleTestFramework::Options options;
+  options.trace_sink = &sink;
+  auto fw = RuleTestFramework::Create(std::move(options)).value();
+  GenerationConfig config;
+  config.seed = 78;
+  GenerationOutcome outcome = fw->generator()->Generate({0}, config);
+  ASSERT_TRUE(outcome.success);
+  bool saw_begin = false, saw_end = false;
+  for (const obs::TraceEvent& event : sink.Events()) {
+    if (event.phase != "qgen.generate") continue;
+    saw_begin = saw_begin || event.kind == obs::TraceEvent::Kind::kBegin;
+    saw_end = saw_end || event.kind == obs::TraceEvent::Kind::kEnd;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+}
+
 TEST(FrameworkTest, TargetToStringNamesRules) {
   auto fw = RuleTestFramework::Create().value();
   RuleTarget single{{0}};

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "testing/framework.h"
 
 namespace qtf {
@@ -200,6 +201,43 @@ TEST_F(PlanCacheTest, ConcurrentOptimizeSharesOneEntry) {
   EXPECT_GT(cache.hits(), 0);
 
   fw_->optimizer()->set_plan_cache(fw_->plan_cache());
+}
+
+TEST_F(PlanCacheTest, MetricsMirrorTheAccessors) {
+  obs::MetricsRegistry registry;
+  PlanCache cache(/*capacity=*/2);
+  cache.set_metrics(&registry);
+
+  Query q = MakeQuery(18);
+  EXPECT_FALSE(cache.Lookup(q, {}).has_value());      // miss
+  cache.Insert(q, {}, MakeResult(1.0));
+  EXPECT_TRUE(cache.Lookup(q, {}).has_value());       // hit
+  cache.Insert(q, {0}, MakeResult(2.0));
+  cache.Insert(q, {1}, MakeResult(3.0));              // evicts the LRU entry
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("qtf.plan_cache.hits"), cache.hits());
+  EXPECT_EQ(snapshot.CounterValue("qtf.plan_cache.misses"), cache.misses());
+  EXPECT_EQ(snapshot.CounterValue("qtf.plan_cache.evictions"),
+            cache.evictions());
+  EXPECT_EQ(snapshot.GaugeValue("qtf.plan_cache.size"),
+            static_cast<int64_t>(cache.size()));
+  EXPECT_EQ(cache.evictions(), 1);
+
+  // Clear() resets the per-cache accessors and the size gauge, but the
+  // cumulative registry counters keep their history.
+  cache.Clear();
+  obs::MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.GaugeValue("qtf.plan_cache.size"), 0);
+  EXPECT_EQ(after.CounterValue("qtf.plan_cache.misses"),
+            snapshot.CounterValue("qtf.plan_cache.misses"));
+  EXPECT_EQ(cache.misses(), 0);
+
+  // Detaching stops reporting without touching history.
+  cache.set_metrics(nullptr);
+  EXPECT_FALSE(cache.Lookup(q, {}).has_value());
+  EXPECT_EQ(registry.Snapshot().CounterValue("qtf.plan_cache.misses"),
+            after.CounterValue("qtf.plan_cache.misses"));
 }
 
 TEST_F(PlanCacheTest, ClearResetsEntriesAndStats) {
