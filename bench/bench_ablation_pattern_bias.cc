@@ -43,12 +43,12 @@ int Run() {
       biased_config.max_trials = 2000;
       biased_config.seed = 6000 + static_cast<uint64_t>(id) * 13 +
                            static_cast<uint64_t>(r);
-      biased_trials += fw->generator()->Generate({id}, biased_config).trials;
+      biased_trials += fw->generator()->Generate({id}, biased_config).value().trials;
 
       GenerationConfig unbiased_config = biased_config;
       unbiased_config.builder_options = unbiased;
       unbiased_trials +=
-          fw->generator()->Generate({id}, unbiased_config).trials;
+          fw->generator()->Generate({id}, unbiased_config).value().trials;
     }
     std::printf("%-28s %10d %10d\n", name, biased_trials, unbiased_trials);
     biased_total += biased_trials;

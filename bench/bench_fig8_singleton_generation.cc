@@ -27,14 +27,15 @@ int Run() {
     random_config.method = GenerationMethod::kRandom;
     random_config.max_trials = random_cap;
     random_config.seed = 1000 + static_cast<uint64_t>(id);
-    GenerationOutcome random = fw->generator()->Generate({id}, random_config);
+    GenerationOutcome random =
+        fw->generator()->Generate({id}, random_config).value();
 
     GenerationConfig pattern_config;
     pattern_config.method = GenerationMethod::kPattern;
     pattern_config.max_trials = 200;
     pattern_config.seed = 2000 + static_cast<uint64_t>(id);
     GenerationOutcome pattern =
-        fw->generator()->Generate({id}, pattern_config);
+        fw->generator()->Generate({id}, pattern_config).value();
 
     std::printf("%-28s %9d%s %9d%s\n", fw->rules().rule(id).name().c_str(),
                 random.trials, random.success ? " " : "!",

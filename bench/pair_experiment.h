@@ -48,13 +48,15 @@ inline PairExperimentResult RunPairExperiment(RuleTestFramework* fw,
         random_config.method = GenerationMethod::kRandom;
         random_config.max_trials = random_cap;
         random_config.seed = 40000 + seed;
-        out.random = fw->generator()->Generate(pair.rules, random_config);
+        out.random =
+            fw->generator()->Generate(pair.rules, random_config).value();
 
         GenerationConfig pattern_config;
         pattern_config.method = GenerationMethod::kPattern;
         pattern_config.max_trials = pattern_cap;
         pattern_config.seed = 80000 + seed;
-        out.pattern = fw->generator()->Generate(pair.rules, pattern_config);
+        out.pattern =
+            fw->generator()->Generate(pair.rules, pattern_config).value();
         return out;
       });
 

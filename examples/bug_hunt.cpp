@@ -21,8 +21,9 @@ struct Injection {
 void Hunt(const Injection& injection) {
   auto registry = MakeDefaultRuleRegistry();
   RuleId bug_id = registry->Register(injection.make());
-  auto fw = RuleTestFramework::Create(TpchConfig{}, std::move(registry))
-                .value();
+  RuleTestFramework::Options options;
+  options.rules = std::move(registry);
+  auto fw = RuleTestFramework::Create(std::move(options)).value();
   std::printf("--- injected: %s ---\n", injection.description);
 
   for (uint64_t seed = 1; seed <= 8; ++seed) {

@@ -10,7 +10,7 @@
 using namespace qtf;
 
 int main() {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   const int n_rules = 12;
   const int k = 5;
 

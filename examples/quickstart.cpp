@@ -11,7 +11,7 @@ using namespace qtf;
 
 int main() {
   // 1. The fixed test database (TPC-H-style, deterministic).
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   std::printf("test database: %zu tables\n", fw->catalog().table_count());
 
   // 2. A query, built as a logical tree:

@@ -11,7 +11,7 @@
 using namespace qtf;
 
 int main() {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
 
   std::printf("%-28s %-12s %-12s %s\n", "rule", "exercised?",
               "relevant?", "relevant-query trials");
@@ -22,7 +22,8 @@ int main() {
     config.method = GenerationMethod::kPattern;
     config.max_trials = 300;
     config.seed = 7100 + static_cast<uint64_t>(id);
-    GenerationOutcome exercised = fw->generator()->Generate({id}, config);
+    GenerationOutcome exercised =
+        fw->generator()->Generate({id}, config).value();
     if (!exercised.success) {
       std::printf("%-28s %-12s\n", fw->rules().rule(id).name().c_str(),
                   "FAIL");
@@ -38,7 +39,8 @@ int main() {
 
     // 2. The Section-7 variant: demand plan relevance during generation.
     config.seed += 100000;
-    GenerationOutcome strong = fw->generator()->GenerateRelevant(id, config);
+    GenerationOutcome strong =
+        fw->generator()->GenerateRelevant(id, config).value();
     std::printf("%-28s %-12s %-12s %s\n",
                 fw->rules().rule(id).name().c_str(), "yes",
                 relevant ? "yes" : "no",

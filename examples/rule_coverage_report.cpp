@@ -11,7 +11,7 @@ using namespace qtf;
 
 int main(int argc, char** argv) {
   bool show_xml = argc > 1 && std::string(argv[1]) == "--xml";
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
 
   std::printf("%-28s %-7s %-6s %s\n", "rule", "trials", "ops",
               "covering query (SQL, truncated)");
@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     config.method = GenerationMethod::kPattern;
     config.max_trials = 200;
     config.seed = 4242 + static_cast<uint64_t>(id);
-    GenerationOutcome outcome = fw->generator()->Generate({id}, config);
+    GenerationOutcome outcome =
+        fw->generator()->Generate({id}, config).value();
     if (!outcome.success) {
       std::printf("%-28s %-7s\n", rule.name().c_str(), "FAIL");
       continue;

@@ -1,0 +1,12 @@
+#include "common/budget.h"
+
+#include <limits>
+
+namespace qtf {
+
+double Deadline::remaining_seconds() const {
+  if (never()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+}  // namespace qtf

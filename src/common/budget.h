@@ -1,0 +1,103 @@
+#ifndef QTF_COMMON_BUDGET_H_
+#define QTF_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace qtf {
+
+/// A point in time after which work should stop. Default-constructed
+/// deadlines never expire, so unbudgeted code paths stay branch-cheap
+/// (never() is one comparison against a sentinel).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool never() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !never() && Clock::now() >= when_; }
+
+  /// Seconds until expiry; +infinity for never(), <= 0 once expired.
+  double remaining_seconds() const;
+
+ private:
+  Clock::time_point when_;
+};
+
+/// Read side of a cancellation signal. Copies share the underlying flag, so
+/// a token can be handed to every layer of a run (suite generation,
+/// prefetch tasks, compression, correctness execution) and one Cancel()
+/// stops them all. A default-constructed token is never cancelled and costs
+/// one null check to poll.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True when this token can ever be cancelled (it came from a source).
+  bool cancellable() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Write side: owns the flag, hands out tokens. Thread-safe; Cancel() is
+/// idempotent and may be called from any thread (that is the point).
+class CancellationSource {
+ public:
+  CancellationSource()
+      : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(state_); }
+  void Cancel() { state_->store(true, std::memory_order_release); }
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Limits on one optimizer search (paper: one Plan(q, ¬R) invocation).
+/// Zero (the default) means unlimited for every dimension, so a
+/// default-constructed budget reproduces pre-budget behaviour exactly.
+///
+/// The memo dimensions are checked exactly (integer compares at task-loop
+/// granularity) and are therefore deterministic: the same query under the
+/// same budget always truncates at the same point, at any thread count.
+/// `wall_seconds` depends on the clock and machine load — use it to bound
+/// damage, not in experiments that assert determinism.
+struct SearchBudget {
+  /// Wall-clock bound on exploration; the search keeps the memo it has and
+  /// still implements/costs it, so a near-expired budget degrades to
+  /// "best plan found so far" rather than an error.
+  double wall_seconds = 0.0;
+  /// Bound on memo groups created during exploration.
+  int max_memo_groups = 0;
+  /// Bound on total memo expressions created during exploration.
+  int64_t max_memo_exprs = 0;
+
+  bool unlimited() const {
+    return wall_seconds <= 0.0 && max_memo_groups <= 0 && max_memo_exprs <= 0;
+  }
+};
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_BUDGET_H_

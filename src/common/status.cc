@@ -20,6 +20,14 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -16,6 +16,12 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kExecutionError,
+  // Robustness taxonomy (docs/robustness.md): budgeted, cancellable,
+  // fault-tolerant operation.
+  kDeadlineExceeded,   // a Deadline/SearchBudget wall clock ran out
+  kCancelled,          // a CancellationToken was triggered
+  kResourceExhausted,  // a non-time budget (memo groups/exprs) ran out
+  kUnavailable,        // transient failure; retrying may succeed
 };
 
 /// Returns a short human-readable name for `code` ("OK", "Internal", ...).
@@ -58,6 +64,18 @@ class Status {
   }
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,20 +31,39 @@ obs::Counter* RunCounter(EdgeCostProvider* provider, const char* name) {
   return metrics != nullptr ? metrics->counter(name) : nullptr;
 }
 
+/// EdgeCost with the degradation step applied: kUnavailable (a fault that
+/// survived its retries) becomes the NodeCost(q) lower-bound estimate and
+/// is counted; every other error propagates.
+Result<double> EdgeCostOrEstimate(EdgeCostProvider* provider, int t, int q,
+                                  obs::Counter* estimated_metric,
+                                  int* estimated_edges) {
+  Result<double> edge = provider->EdgeCost(t, q);
+  if (edge.ok() || edge.status().code() != StatusCode::kUnavailable) {
+    return edge;
+  }
+  if (estimated_metric != nullptr) estimated_metric->Increment();
+  if (estimated_edges != nullptr) ++*estimated_edges;
+  return provider->NodeCost(q);
+}
+
 }  // namespace
 
 Result<double> SolutionCost(EdgeCostProvider* provider,
-                            const std::vector<std::vector<int>>& assignment) {
+                            const std::vector<std::vector<int>>& assignment,
+                            int* estimated_edges) {
   // Warm the cache in parallel (no-op without a pool); the serial loop
   // below then only sums, in a thread-count-independent order.
   QTF_RETURN_NOT_OK(provider->Prefetch(AssignmentEdges(assignment)));
+  obs::Counter* estimated =
+      RunCounter(provider, "qtf.robustness.estimated_edges");
   std::set<int> used_queries;
   double total = 0.0;
   for (size_t t = 0; t < assignment.size(); ++t) {
     for (int q : assignment[t]) {
       used_queries.insert(q);
-      QTF_ASSIGN_OR_RETURN(double edge,
-                           provider->EdgeCost(static_cast<int>(t), q));
+      QTF_ASSIGN_OR_RETURN(
+          double edge, EdgeCostOrEstimate(provider, static_cast<int>(t), q,
+                                          estimated, estimated_edges));
       total += edge;
     }
   }
@@ -62,12 +81,16 @@ Result<CompressionSolution> CompressBaseline(EdgeCostProvider* provider) {
   solution.assignment = suite.per_target;
   int64_t calls_before = provider->optimizer_calls();
   QTF_RETURN_NOT_OK(provider->Prefetch(AssignmentEdges(suite.per_target)));
+  obs::Counter* estimated =
+      RunCounter(provider, "qtf.robustness.estimated_edges");
   // BASELINE pays every query's Plan(q) per target (no sharing).
   double total = 0.0;
   for (size_t t = 0; t < suite.per_target.size(); ++t) {
     for (int q : suite.per_target[t]) {
-      QTF_ASSIGN_OR_RETURN(double edge,
-                           provider->EdgeCost(static_cast<int>(t), q));
+      QTF_ASSIGN_OR_RETURN(
+          double edge, EdgeCostOrEstimate(provider, static_cast<int>(t), q,
+                                          estimated,
+                                          &solution.estimated_edges));
       total += provider->NodeCost(q) + edge;
     }
   }
@@ -148,7 +171,8 @@ Result<CompressionSolution> CompressSetMultiCover(EdgeCostProvider* provider,
   CompressionSolution solution;
   solution.assignment = std::move(assignment);
   QTF_ASSIGN_OR_RETURN(solution.total_cost,
-                       SolutionCost(provider, solution.assignment));
+                       SolutionCost(provider, solution.assignment,
+                                    &solution.estimated_edges));
   solution.optimizer_calls = provider->optimizer_calls() - calls_before;
   return solution;
 }
@@ -209,6 +233,11 @@ Result<CompressionSolution> CompressTopKIndependent(
     QTF_RETURN_NOT_OK(provider->Prefetch(wave));
   }
 
+  obs::Counter* degraded_metric =
+      RunCounter(provider, "qtf.robustness.degraded_targets");
+  // Per-target degradation flags, each written only by its own scan task.
+  std::vector<char> degraded(static_cast<size_t>(n_targets), 0);
+
   // Each target's scan is an independent task; within one target the scan
   // stays sequential because the pruning decision for candidate i+1 needs
   // the edge cost of candidate i.
@@ -216,6 +245,11 @@ Result<CompressionSolution> CompressTopKIndependent(
     // (edge cost, query) max-heap of the current k best edges.
     std::priority_queue<std::pair<double, int>> best;
     const std::vector<int>& cands = candidates[static_cast<size_t>(t)];
+    // Candidates whose edge cost stayed kUnavailable after retries: the
+    // scan skips them and, if the heap comes up short, falls back to them
+    // in node-cost order (an SMC-style assignment — still a valid k-subset,
+    // its edge costs estimated later by SolutionCost).
+    std::vector<int> unavailable;
     for (size_t i = 0; i < cands.size(); ++i) {
       const int q = cands[i];
       if (exploit_monotonicity && static_cast<int>(best.size()) == k &&
@@ -226,15 +260,41 @@ Result<CompressionSolution> CompressTopKIndependent(
         }
         break;
       }
-      QTF_ASSIGN_OR_RETURN(double edge, provider->EdgeCost(t, q));
-      best.emplace(edge, q);
+      Result<double> edge = provider->EdgeCost(t, q);
+      if (!edge.ok()) {
+        if (edge.status().code() == StatusCode::kUnavailable) {
+          unavailable.push_back(q);
+          continue;
+        }
+        return edge.status();
+      }
+      best.emplace(*edge, q);
       if (static_cast<int>(best.size()) > k) best.pop();
     }
     std::vector<int> assigned;
-    assigned.reserve(best.size());
+    assigned.reserve(static_cast<size_t>(k));
     while (!best.empty()) {
       assigned.push_back(best.top().second);
       best.pop();
+    }
+    if (!unavailable.empty()) {
+      degraded[static_cast<size_t>(t)] = 1;
+      if (degraded_metric != nullptr) degraded_metric->Increment();
+    }
+    if (static_cast<int>(assigned.size()) < k) {
+      // Too few scorable edges: degrade to node-cost order over the
+      // skipped candidates until the target has its k queries back.
+      std::sort(unavailable.begin(), unavailable.end(), [&](int a, int b) {
+        return provider->NodeCost(a) < provider->NodeCost(b);
+      });
+      for (int q : unavailable) {
+        if (static_cast<int>(assigned.size()) >= k) break;
+        assigned.push_back(q);
+      }
+    }
+    if (static_cast<int>(assigned.size()) < k) {
+      return Status::Internal("target " + std::to_string(t) +
+                              " could not be assigned k queries");
     }
     std::sort(assigned.begin(), assigned.end());
     return assigned;
@@ -245,10 +305,12 @@ Result<CompressionSolution> CompressTopKIndependent(
   for (int t = 0; t < n_targets; ++t) {
     QTF_ASSIGN_OR_RETURN(solution.assignment[static_cast<size_t>(t)],
                          std::move(per_target[static_cast<size_t>(t)]));
+    if (degraded[static_cast<size_t>(t)] != 0) ++solution.degraded_targets;
   }
 
   QTF_ASSIGN_OR_RETURN(solution.total_cost,
-                       SolutionCost(provider, solution.assignment));
+                       SolutionCost(provider, solution.assignment,
+                                    &solution.estimated_edges));
   solution.optimizer_calls = provider->optimizer_calls() - calls_before;
   return solution;
 }

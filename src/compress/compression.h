@@ -18,12 +18,26 @@ struct CompressionSolution {
   double total_cost = 0.0;
   /// Optimizer invocations this algorithm spent on edge costs.
   int64_t optimizer_calls = 0;
+  /// Graceful degradation accounting (docs/robustness.md): targets whose
+  /// scan saw edge costs that stayed kUnavailable after retries (their
+  /// assignment fell back to node-cost order), and edges whose cost in
+  /// `total_cost` is the NodeCost lower-bound estimate rather than a
+  /// computed Cost(q, ¬target). Both zero on a fault-free run.
+  int degraded_targets = 0;
+  int estimated_edges = 0;
 };
 
 /// Recomputes a solution's total cost from its assignment (shared node
 /// costs + edge costs). Used internally and by tests.
+///
+/// Edges whose cost is kUnavailable (a transient fault that survived its
+/// retries) are estimated by NodeCost(q) — a lower bound, since
+/// Cost(q) <= Cost(q, ¬target) — instead of failing the whole solution;
+/// each estimate increments `qtf.robustness.estimated_edges` and
+/// `*estimated_edges` when non-null. All other errors propagate.
 Result<double> SolutionCost(EdgeCostProvider* provider,
-                            const std::vector<std::vector<int>>& assignment);
+                            const std::vector<std::vector<int>>& assignment,
+                            int* estimated_edges = nullptr);
 
 /// BASELINE (Section 2.3): each target executes its own k generated queries
 /// independently — no sharing of Plan(q) across targets, per the paper's

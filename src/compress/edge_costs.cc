@@ -14,26 +14,76 @@ Result<double> EdgeCostProvider::EdgeCost(int target, int q) {
       return it->second;
     }
   }
+  if (cancel_.cancelled()) {
+    return Status::Cancelled("edge cost computation cancelled");
+  }
 
   OptimizerOptions options;
+  options.cancel = cancel_;
   for (RuleId id : suite_->targets[static_cast<size_t>(target)].rules) {
     options.disabled_rules.insert(id);
   }
-  calls_.Increment();
-  if (metric_calls_ != nullptr) metric_calls_->Increment();
-  QTF_ASSIGN_OR_RETURN(
-      OptimizeResult result,
-      optimizer_->Optimize(suite_->queries[static_cast<size_t>(q)].query,
-                           options));
+
+  FaultInjector* injector = optimizer_->fault_injector();
+  const RetryPolicy& policy = optimizer_->retry_policy();
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Result<double> outcome =
+      Status::Internal("edge cost retry loop made no attempt");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // The salt decorrelates deterministic fault decisions per edge and per
+    // attempt: without it a rule-site fault would reproduce identically on
+    // every retry and retrying would be pointless.
+    const uint64_t salt = FaultInjector::EdgeKey(target, q, attempt);
+    options.fault_salt = salt;
+
+    Status attempt_status = Status::OK();
+    if (injector != nullptr && injector->enabled()) {
+      // The task infrastructure itself can fail before the search starts.
+      attempt_status = injector->Probe(fault_sites::kPrefetchTask, salt);
+    }
+    if (attempt_status.ok()) {
+      calls_.Increment();
+      if (metric_calls_ != nullptr) metric_calls_->Increment();
+      Result<OptimizeResult> result = optimizer_->Optimize(
+          suite_->queries[static_cast<size_t>(q)].query, options);
+      if (result.ok()) {
+        outcome = result->cost;
+        break;
+      }
+      attempt_status = result.status();
+    }
+    if (attempt_status.code() == StatusCode::kCancelled) {
+      // Cancellation is caller intent, not edge state: never memoized.
+      return attempt_status;
+    }
+    outcome = attempt_status;
+    if (!IsTransient(attempt_status)) break;
+    if (attempt + 1 >= max_attempts) {
+      if (metric_retry_exhausted_ != nullptr) {
+        metric_retry_exhausted_->Increment();
+      }
+      break;
+    }
+    if (metric_retries_ != nullptr) metric_retries_->Increment();
+    const double jitter =
+        injector != nullptr
+            ? injector->JitterFactor(salt, attempt, policy.jitter_fraction)
+            : 1.0;
+    SleepForBackoff(policy, attempt, jitter);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.emplace(key, result.cost);
-  return result.cost;
+  auto [it, inserted] = cache_.emplace(key, outcome);
+  (void)inserted;
+  return it->second;
 }
 
 Status EdgeCostProvider::Prefetch(
     const std::vector<std::pair<int, int>>& edges) {
   if (pool_ == nullptr || pool_->num_threads() <= 1) return Status::OK();
+  if (cancel_.cancelled()) {
+    return Status::Cancelled("edge prefetch cancelled");
+  }
 
   // Dedupe and drop already-cached edges so every submitted task is
   // exactly one optimizer invocation the serial path would also make.
@@ -59,8 +109,16 @@ Status EdgeCostProvider::Prefetch(
         const auto& edge = todo[static_cast<size_t>(i)];
         return this->EdgeCost(edge.first, edge.second).status();
       });
+  // Unavailable edges are memoized failures the lazy path degrades around
+  // (see CompressTopKIndependent); everything else aborts the batch, with
+  // cancellation reported first so callers see intent over incident.
   for (const Status& status : statuses) {
-    QTF_RETURN_NOT_OK(status);
+    if (status.code() == StatusCode::kCancelled) return status;
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+      return status;
+    }
   }
   return Status::OK();
 }

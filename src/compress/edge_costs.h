@@ -52,6 +52,8 @@ class EdgeCostProvider {
     metric_cache_hits_ = metrics->counter("qtf.edge_cost.cache_hits");
     metric_prefetch_waves_ = metrics->counter("qtf.edge_cost.prefetch_waves");
     metric_prefetch_edges_ = metrics->counter("qtf.edge_cost.prefetch_edges");
+    metric_retries_ = metrics->counter("qtf.robustness.retries");
+    metric_retry_exhausted_ = metrics->counter("qtf.robustness.retry_exhausted");
   }
   virtual ~EdgeCostProvider() = default;
   EdgeCostProvider(const EdgeCostProvider&) = delete;
@@ -70,10 +72,24 @@ class EdgeCostProvider {
     return suite_->queries[static_cast<size_t>(q)].cost;
   }
 
+  /// Cancellation token checked before each edge computation and passed
+  /// into every optimizer invocation. kCancelled results are never cached.
+  void set_cancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
+  }
+  const CancellationToken& cancellation() const { return cancel_; }
+
   /// Cost(q, ¬target): optimizes q with the target's rules disabled.
   /// Cached per (target, query). Thread-safe for distinct keys; concurrent
   /// calls for the same uncached key would both count an optimizer
   /// invocation (use Prefetch, which dedupes, for batches).
+  ///
+  /// Robustness: transient (kUnavailable) failures — injected at the
+  /// `prefetch.task` site or surfaced by the optimizer — are retried with
+  /// the optimizer's RetryPolicy (bounded exponential backoff, seeded
+  /// jitter). The final outcome, success or failure, is memoized, so
+  /// serial and parallel scans of the same edges observe identical
+  /// optimizer_calls(); only kCancelled is never memoized.
   virtual Result<double> EdgeCost(int target, int q);
 
   /// Batch API: computes and caches every listed (target, query) edge,
@@ -82,6 +98,11 @@ class EdgeCostProvider {
   /// exactly as a serial scan of the same edges would. Without a pool this
   /// is a no-op (the caller's serial loop computes lazily as before).
   /// Implemented on top of the virtual EdgeCost, so fakes stay consistent.
+  ///
+  /// Edges whose computation failed with kUnavailable (after retries) are
+  /// tolerated — the failure is memoized and the caller's lazy path decides
+  /// how to degrade (see CompressTopKIndependent). kCancelled and every
+  /// other error are propagated.
   Status Prefetch(const std::vector<std::pair<int, int>>& edges);
 
   /// Optimizer invocations spent on edge costs so far, by this provider.
@@ -110,13 +131,19 @@ class EdgeCostProvider {
   Optimizer* optimizer_;
   const TestSuite* suite_;
   ThreadPool* pool_ = nullptr;
+  CancellationToken cancel_;
   mutable std::mutex mu_;  // guards cache_
-  std::unordered_map<std::pair<int, int>, double, EdgeKeyHash> cache_;
+  /// Failure memoization: the cached value is the whole Result, so a
+  /// permanently-unavailable edge costs the same number of optimizer calls
+  /// whether it is hit by Prefetch, a lazy scan, or both.
+  std::unordered_map<std::pair<int, int>, Result<double>, EdgeKeyHash> cache_;
   obs::Counter calls_;  // per-instance; see optimizer_calls()
   obs::Counter* metric_calls_ = nullptr;  // registry mirrors (null in fakes)
   obs::Counter* metric_cache_hits_ = nullptr;
   obs::Counter* metric_prefetch_waves_ = nullptr;
   obs::Counter* metric_prefetch_edges_ = nullptr;
+  obs::Counter* metric_retries_ = nullptr;  // qtf.robustness.retries
+  obs::Counter* metric_retry_exhausted_ = nullptr;
 };
 
 }  // namespace qtf

@@ -127,6 +127,13 @@ Result<ResultSet> Executor::Execute(const PhysicalOp& plan) const {
 }
 
 Result<std::vector<Row>> Executor::ExecuteNode(const PhysicalOp& op) const {
+  if (fault_injector_ != nullptr && fault_injector_->enabled()) {
+    // One probe per operator materialization (the engine's "batch"): keyed
+    // by the node's visit order, which is fixed by the plan shape, so a
+    // given (salt, plan) faults identically on every run.
+    QTF_RETURN_NOT_OK(fault_injector_->Probe(fault_sites::kExecutorNextBatch,
+                                             fault_salt_ ^ node_seq_++));
+  }
   switch (op.kind()) {
     case PhysicalOpKind::kTableScan: {
       const auto& scan = static_cast<const TableScanOp&>(op);

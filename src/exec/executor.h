@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/fault_injection.h"
 #include "common/result.h"
 #include "exec/physical.h"
 #include "exec/result_set.h"
@@ -27,6 +28,16 @@ class Executor {
   /// Runs the plan and returns its result set.
   Result<ResultSet> Execute(const PhysicalOp& plan) const;
 
+  /// Attaches a fault injector probed at the `executor.next_batch` site
+  /// once per operator materialization, keyed by `salt` and the node's
+  /// sequence number within this executor — so a given (salt, plan shape)
+  /// faults identically on every run. Borrowed, not owned; callers that
+  /// retry execution bump `salt` per attempt to re-roll the decisions.
+  void set_fault_injection(const FaultInjector* injector, uint64_t salt) {
+    fault_injector_ = injector;
+    fault_salt_ = salt;
+  }
+
   /// Total rows produced by all operators across all Execute calls
   /// (monotonic counter for benchmarking).
   int64_t rows_produced() const { return rows_produced_; }
@@ -36,7 +47,10 @@ class Executor {
 
   const Database* db_;
   const ColumnRegistry* registry_;
+  const FaultInjector* fault_injector_ = nullptr;
+  uint64_t fault_salt_ = 0;
   mutable int64_t rows_produced_ = 0;
+  mutable uint64_t node_seq_ = 0;  // keys executor.next_batch probes
 };
 
 }  // namespace qtf

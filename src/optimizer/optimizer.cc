@@ -20,21 +20,37 @@ namespace {
 class SearchEngine {
  public:
   SearchEngine(const RuleRegistry& rules, const CostModel& cost_model,
-               const OptimizerOptions& options)
+               const OptimizerOptions& options, const SearchBudget& budget,
+               FaultInjector* fault_injector)
       : rules_(rules),
         cost_model_(cost_model),
         options_(options),
+        budget_(budget),
+        deadline_(budget.wall_seconds > 0.0
+                      ? Deadline::After(budget.wall_seconds)
+                      : Deadline::Never()),
+        fault_injector_(fault_injector),
         memo_(rules.size()) {}
 
   Result<OptimizeResult> Run(const Query& query) {
     int root = memo_.InsertTree(*query.root);
-    Explore();
+    QTF_RETURN_NOT_OK(Explore());
     if (memo_.saturated() && std::getenv("QTF_DEBUG_MEMO") != nullptr) {
       DumpMemoStats();
     }
-    Implement();
+    QTF_RETURN_NOT_OK(Implement());
     double cost = BestCost(root);
     if (!std::isfinite(cost)) {
+      // With exploration truncated by a budget the failure is the budget's
+      // fault, not a planner invariant violation.
+      if (deadline_exhausted_) {
+        return Status::DeadlineExceeded(
+            "search budget expired before any plan was found");
+      }
+      if (budget_exhausted_) {
+        return Status::ResourceExhausted(
+            "memo budget exhausted before any plan was found");
+      }
       return Status::Internal("no finite-cost plan found for query");
     }
     QTF_ASSIGN_OR_RETURN(PhysicalOpPtr plan, Extract(root));
@@ -62,6 +78,7 @@ class SearchEngine {
     result.group_count = memo_.group_count();
     result.expr_count = memo_.expr_count();
     result.saturated = memo_.saturated();
+    result.budget_exhausted = budget_exhausted_ || deadline_exhausted_;
     return result;
   }
 
@@ -94,16 +111,47 @@ class SearchEngine {
     return options_.disabled_rules.count(rule.id()) > 0;
   }
 
+  /// Budget check at task-loop granularity. The memo dimensions are exact
+  /// integer compares (deterministic truncation point); the wall clock is
+  /// only consulted every kDeadlineStride checks to keep the probe cheap.
+  bool BudgetExhausted() {
+    if (budget_exhausted_ || deadline_exhausted_) return true;
+    if (budget_.max_memo_exprs > 0 &&
+        memo_.expr_count() >= budget_.max_memo_exprs) {
+      budget_exhausted_ = true;
+      return true;
+    }
+    if (budget_.max_memo_groups > 0 &&
+        memo_.group_count() >= budget_.max_memo_groups) {
+      budget_exhausted_ = true;
+      return true;
+    }
+    if (!deadline_.never() &&
+        (++deadline_checks_ % kDeadlineStride) == 0 && deadline_.expired()) {
+      deadline_exhausted_ = true;
+      return true;
+    }
+    return false;
+  }
+
   /// Applies exploration rules to fixpoint. A rule is (re)applied to an
   /// expression whenever the memo has grown since its last application, so
-  /// multi-level patterns eventually see all bindings.
-  void Explore() {
+  /// multi-level patterns eventually see all bindings. Exploration is the
+  /// unbounded part of the search, so this is where budgets and
+  /// cancellation are enforced: a tripped budget stops adding expressions
+  /// (the caller still implements and costs what exists), a cancelled
+  /// token aborts with kCancelled.
+  Status Explore() {
     bool changed = true;
-    while (changed && !memo_.saturated()) {
+    while (changed && !memo_.saturated() && !BudgetExhausted()) {
       changed = false;
       for (int g = 0; g < memo_.group_count(); ++g) {
         // Index loop: exprs/groups grow during iteration.
         for (size_t ei = 0; ei < memo_.group(g).exprs.size(); ++ei) {
+          if (options_.cancel.cancelled()) {
+            return Status::Cancelled("optimization cancelled mid-search");
+          }
+          if (BudgetExhausted()) return Status::OK();
           for (const auto& rule_ptr : rules_.rules()) {
             if (rule_ptr->type() != RuleType::kExploration) continue;
             const auto& rule =
@@ -122,6 +170,17 @@ class SearchEngine {
             // re-fetch through the memo each time.
             std::vector<LogicalOpPtr> bindings =
                 memo_.BindPattern(*memo_.group(g).exprs[ei], *rule.pattern());
+            if (!bindings.empty() && fault_injector_ != nullptr &&
+                fault_injector_->enabled()) {
+              // Key: where in the search we are, mixed with the caller's
+              // salt so a retried invocation re-rolls the decision.
+              uint64_t key = (static_cast<uint64_t>(g) << 40) ^
+                             (static_cast<uint64_t>(ei) << 20) ^
+                             static_cast<uint64_t>(rule.id()) ^
+                             options_.fault_salt * 0x9e3779b97f4a7c15ULL;
+              QTF_RETURN_NOT_OK(fault_injector_->Probe(
+                  fault_sites::kOptimizerApplyRule, key));
+            }
             for (const LogicalOpPtr& bound : bindings) {
               std::vector<LogicalOpPtr> outputs;
               rule.Apply(*bound, &outputs);
@@ -136,11 +195,18 @@ class SearchEngine {
         }
       }
     }
+    return Status::OK();
   }
 
-  /// Applies implementation rules to every logical expression.
-  void Implement() {
+  /// Applies implementation rules to every logical expression. Runs even
+  /// after a tripped budget — it is bounded by the memo size and is what
+  /// turns the truncated search into a usable best-so-far plan — but still
+  /// honours cancellation.
+  Status Implement() {
     for (int g = 0; g < memo_.group_count(); ++g) {
+      if (options_.cancel.cancelled()) {
+        return Status::Cancelled("optimization cancelled mid-implementation");
+      }
       Group& grp = memo_.group(g);
       for (const auto& expr : grp.exprs) {
         for (const auto& rule_ptr : rules_.rules()) {
@@ -156,6 +222,7 @@ class SearchEngine {
       }
       grp.implemented = true;
     }
+    return Status::OK();
   }
 
   double BestCost(int g) {
@@ -213,8 +280,16 @@ class SearchEngine {
   const RuleRegistry& rules_;
   const CostModel& cost_model_;
   const OptimizerOptions& options_;
+  const SearchBudget& budget_;
+  Deadline deadline_;
+  FaultInjector* fault_injector_;
   Memo memo_;
   RuleIdSet exercised_;
+  bool budget_exhausted_ = false;
+  bool deadline_exhausted_ = false;
+  /// The wall clock is only read every kDeadlineStride budget checks.
+  static constexpr int64_t kDeadlineStride = 64;
+  int64_t deadline_checks_ = 0;
 };
 
 }  // namespace
@@ -233,6 +308,8 @@ Optimizer::Optimizer(const RuleRegistry* rules, obs::MetricsRegistry* metrics)
   memo_groups_ = metrics_->histogram("qtf.optimizer.memo_groups");
   memo_exprs_ = metrics_->histogram("qtf.optimizer.memo_exprs");
   search_seconds_ = metrics_->histogram("qtf.optimizer.search_seconds");
+  budget_exhausted_ = metrics_->counter("qtf.robustness.budget_exhausted");
+  cancelled_ = metrics_->counter("qtf.robustness.cancelled");
   rule_fired_.reserve(static_cast<size_t>(rules_->size()));
   for (int id = 0; id < rules_->size(); ++id) {
     rule_fired_.push_back(metrics_->counter("qtf.optimizer.rule_fired." +
@@ -248,16 +325,33 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
   // A cache hit below still counts as an invocation — only the search is
   // skipped — so invocation-count experiments are cache-independent.
   invocations_->Increment();
+  if (options.cancel.cancelled()) {
+    cancelled_->Increment();
+    return Status::Cancelled("optimization cancelled before search");
+  }
   QTF_RETURN_NOT_OK(ValidateTree(*query.root, *query.registry));
   PlanCache* cache =
       options.plan_cache != nullptr ? options.plan_cache : plan_cache_;
+  if (cache != nullptr && fault_injector_ != nullptr &&
+      fault_injector_->enabled()) {
+    // An unavailable cache is degraded around, not fatal: this invocation
+    // just searches from scratch (and skips the insert, so a flaky cache
+    // never stores anything it could not have served).
+    uint64_t key = TreeFingerprint(*query.root) ^
+                   options.fault_salt * 0x9e3779b97f4a7c15ULL;
+    if (!fault_injector_->Probe(fault_sites::kPlanCacheGet, key).ok()) {
+      cache = nullptr;
+    }
+  }
   if (cache != nullptr) {
     std::optional<OptimizeResult> hit =
         cache->Lookup(query, options.disabled_rules);
     if (hit.has_value()) return *std::move(hit);
   }
   searches_->Increment();
-  SearchEngine engine(*rules_, cost_model_, options);
+  const SearchBudget& budget =
+      options.budget.unlimited() ? default_budget_ : options.budget;
+  SearchEngine engine(*rules_, cost_model_, options, budget, fault_injector_);
   const auto search_start = std::chrono::steady_clock::now();
   Result<OptimizeResult> result = engine.Run(query);
   search_seconds_->Observe(std::chrono::duration<double>(
@@ -267,11 +361,16 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
     memo_groups_->Observe(static_cast<double>(result->group_count));
     memo_exprs_->Observe(static_cast<double>(result->expr_count));
     if (result->saturated) saturated_->Increment();
+    if (result->budget_exhausted) budget_exhausted_->Increment();
     for (RuleId id : result->exercised_rules) {
       rule_fired_[static_cast<size_t>(id)]->Increment();
     }
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    cancelled_->Increment();
   }
-  if (cache != nullptr && result.ok()) {
+  // Budget-exhausted results are upper bounds, not Cost(q, not R); caching
+  // them would poison later unbudgeted lookups of the same key.
+  if (cache != nullptr && result.ok() && !result->budget_exhausted) {
     cache->Insert(query, options.disabled_rules, result.value());
   }
   return result;

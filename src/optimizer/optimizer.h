@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/fault_injection.h"
 #include "common/result.h"
 #include "exec/physical.h"
 #include "logical/query.h"
@@ -30,6 +32,19 @@ struct OptimizerOptions {
   /// When set, overrides the optimizer-level plan cache for this
   /// invocation (see Optimizer::set_plan_cache). Borrowed, not owned.
   PlanCache* plan_cache = nullptr;
+  /// Limits on this search. An all-unlimited budget (the default) falls
+  /// back to Optimizer::set_default_budget. When a limit trips, the search
+  /// keeps the memo it has, still implements and costs it, and returns the
+  /// best plan found so far with `budget_exhausted` set; it only errors
+  /// (kDeadlineExceeded / kResourceExhausted) when nothing is plannable.
+  SearchBudget budget;
+  /// Polled at task-loop granularity; a triggered token makes Optimize
+  /// return kCancelled promptly (no partial result).
+  CancellationToken cancel;
+  /// Decorrelates fault-injection decisions across retries of the same
+  /// query: callers bump this per attempt so a deterministic injector
+  /// re-rolls its per-search decisions (see docs/robustness.md).
+  uint64_t fault_salt = 0;
 };
 
 /// Result of optimizing one query.
@@ -43,6 +58,11 @@ struct OptimizeResult {
   int group_count = 0;
   int64_t expr_count = 0;
   bool saturated = false;
+  /// True when a SearchBudget limit truncated exploration: `plan` is the
+  /// best of the expressions explored in time, so `cost` is an upper bound
+  /// on the unbudgeted Cost(q, ¬R). Budget-exhausted results are never
+  /// inserted into the plan cache.
+  bool budget_exhausted = false;
 };
 
 /// The transformation-based query optimizer (paper Section 2.1) with the
@@ -87,6 +107,31 @@ class Optimizer {
   void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
   PlanCache* plan_cache() const { return plan_cache_; }
 
+  /// Budget applied to every Optimize() whose options carry an unlimited
+  /// budget; default unlimited. Set from RuleTestFramework::Options::
+  /// default_budget.
+  void set_default_budget(const SearchBudget& budget) {
+    default_budget_ = budget;
+  }
+  const SearchBudget& default_budget() const { return default_budget_; }
+
+  /// Fault injector probed at the optimizer's named sites (plan_cache.get,
+  /// optimizer.apply_rule). Borrowed, not owned; nullptr (the default)
+  /// removes every probe. Components built around this optimizer
+  /// (EdgeCostProvider, CorrectnessRunner) inherit it, the same way they
+  /// inherit metrics().
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Retry policy components that hang off this optimizer use for
+  /// transient (kUnavailable) errors. The optimizer itself never retries —
+  /// a search is all-or-nothing — it only carries the policy, like
+  /// metrics(), so the framework has one place to configure it.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// Number of Optimize() calls made so far — a view over the registry's
   /// `qtf.optimizer.invocations` counter. The monotonicity experiment
   /// (paper Section 5.3.1 / Figure 14) counts optimizer invocations saved.
@@ -100,6 +145,9 @@ class Optimizer {
   const RuleRegistry* rules_;
   CostModel cost_model_;
   PlanCache* plan_cache_ = nullptr;
+  SearchBudget default_budget_;
+  FaultInjector* fault_injector_ = nullptr;
+  RetryPolicy retry_policy_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -109,6 +157,8 @@ class Optimizer {
   obs::Histogram* memo_groups_ = nullptr;
   obs::Histogram* memo_exprs_ = nullptr;
   obs::Histogram* search_seconds_ = nullptr;
+  obs::Counter* budget_exhausted_ = nullptr;  // qtf.robustness.*
+  obs::Counter* cancelled_ = nullptr;
   /// Per RuleId: searches in which the rule fired (produced a substitute).
   std::vector<obs::Counter*> rule_fired_;
 };

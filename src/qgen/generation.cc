@@ -29,7 +29,7 @@ bool ContainsAll(const RuleIdSet& rule_set, const std::vector<RuleId>& targets) 
 
 }  // namespace
 
-GenerationOutcome TargetedQueryGenerator::Generate(
+Result<GenerationOutcome> TargetedQueryGenerator::Generate(
     const std::vector<RuleId>& targets, const GenerationConfig& config) {
   std::vector<PatternNodePtr> patterns;
   if (config.method == GenerationMethod::kPattern) {
@@ -52,7 +52,7 @@ GenerationOutcome TargetedQueryGenerator::Generate(
   return RunTrials(targets, config, patterns, /*require_relevant=*/false);
 }
 
-GenerationOutcome TargetedQueryGenerator::GenerateRelevant(
+Result<GenerationOutcome> TargetedQueryGenerator::GenerateRelevant(
     RuleId target, const GenerationConfig& config) {
   std::vector<PatternNodePtr> patterns;
   if (config.method == GenerationMethod::kPattern) {
@@ -61,7 +61,7 @@ GenerationOutcome TargetedQueryGenerator::GenerateRelevant(
   return RunTrials({target}, config, patterns, /*require_relevant=*/true);
 }
 
-GenerationOutcome TargetedQueryGenerator::RunTrials(
+Result<GenerationOutcome> TargetedQueryGenerator::RunTrials(
     const std::vector<RuleId>& targets, const GenerationConfig& config,
     const std::vector<PatternNodePtr>& patterns, bool require_relevant) {
   GenerationOutcome outcome;
@@ -76,7 +76,14 @@ GenerationOutcome TargetedQueryGenerator::RunTrials(
                                    config.builder_options);
   Rng knob_rng(config.seed ^ 0x51237);
 
+  OptimizerOptions trial_options;
+  trial_options.cancel = config.cancel;
+  trial_options.budget = config.budget;
+
   for (int trial = 0; trial < config.max_trials; ++trial) {
+    if (config.cancel.cancelled()) {
+      return Status::Cancelled("query generation cancelled");
+    }
     Query candidate;
     if (config.method == GenerationMethod::kRandom) {
       candidate = random_gen.Generate();
@@ -91,17 +98,29 @@ GenerationOutcome TargetedQueryGenerator::RunTrials(
     }
     ++outcome.trials;
     trial_counter->Increment();
-    auto result = optimizer_->Optimize(candidate);
-    if (!result.ok()) continue;  // unplannable candidates are just misses
+    auto result = optimizer_->Optimize(candidate, trial_options);
+    if (!result.ok()) {
+      // Unplannable (or budget-starved, or faulted) candidates are just
+      // misses; only cancellation interrupts the run.
+      if (result.status().code() == StatusCode::kCancelled) {
+        return result.status();
+      }
+      continue;
+    }
     if (!ContainsAll(result->exercised_rules, targets)) continue;
 
     if (require_relevant) {
       // The rule is relevant iff turning it off changes the plan.
       relevance_probes_->Increment();
-      OptimizerOptions options;
+      OptimizerOptions options = trial_options;
       options.disabled_rules.insert(targets[0]);
       auto restricted = optimizer_->Optimize(candidate, options);
-      if (!restricted.ok()) continue;
+      if (!restricted.ok()) {
+        if (restricted.status().code() == StatusCode::kCancelled) {
+          return restricted.status();
+        }
+        continue;
+      }
       if (PhysicalTreeEquals(*result->plan, *restricted->plan)) continue;
     }
 

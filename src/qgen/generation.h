@@ -32,6 +32,13 @@ struct GenerationConfig {
   /// (see TreeBuilderOptions). Disabled by the ablation benchmark.
   TreeBuilderOptions builder_options;
   uint64_t seed = 1;
+  /// Checked between trials and passed into every candidate optimization;
+  /// a triggered token makes Generate return kCancelled.
+  CancellationToken cancel;
+  /// Per-trial search budget (unlimited by default). A candidate whose
+  /// search trips the budget is costed from its truncated memo like any
+  /// other trial; one that exhausts it with no plan is just a miss.
+  SearchBudget budget;
 };
 
 /// Result of one targeted generation run.
@@ -73,17 +80,22 @@ class TargetedQueryGenerator {
   /// Searches for a query q with targets ⊆ RuleSet(q). `targets` holds one
   /// rule id (singleton) or two (rule pair; PATTERN uses pattern
   /// composition, Section 3.2).
-  GenerationOutcome Generate(const std::vector<RuleId>& targets,
-                             const GenerationConfig& config);
+  ///
+  /// Running out of trials is NOT an error — that returns an outcome with
+  /// `success == false` (the miss rate is itself an experimental result,
+  /// Figure 8). The error arm is reserved for the run being interrupted:
+  /// kCancelled when config.cancel fires mid-generation.
+  Result<GenerationOutcome> Generate(const std::vector<RuleId>& targets,
+                                     const GenerationConfig& config);
 
   /// Section 7 variant: additionally requires the rule to be *relevant* —
   /// disabling it changes the chosen plan. Only meaningful for singleton
   /// targets.
-  GenerationOutcome GenerateRelevant(RuleId target,
-                                     const GenerationConfig& config);
+  Result<GenerationOutcome> GenerateRelevant(RuleId target,
+                                             const GenerationConfig& config);
 
  private:
-  GenerationOutcome RunTrials(
+  Result<GenerationOutcome> RunTrials(
       const std::vector<RuleId>& targets, const GenerationConfig& config,
       const std::vector<PatternNodePtr>& patterns, bool require_relevant);
 

@@ -40,12 +40,15 @@ Result<TestSuite> TestSuiteGenerator::Generate(
 
   uint64_t seed = config.seed;
   for (size_t t = 0; t < targets.size(); ++t) {
+    if (config.cancel.cancelled()) {
+      return Status::Cancelled("test suite generation cancelled");
+    }
     std::vector<int> indices;
     for (int i = 0; i < k; ++i) {
       GenerationConfig per_query = config;
       per_query.seed = seed++ * 0x9e3779b97f4a7c15ULL + 12345 + i;
-      GenerationOutcome outcome =
-          generator.Generate(targets[t].rules, per_query);
+      QTF_ASSIGN_OR_RETURN(GenerationOutcome outcome,
+                           generator.Generate(targets[t].rules, per_query));
       if (!outcome.success) {
         return Status::Internal(
             "could not generate query " + std::to_string(i) + " for target " +

@@ -46,7 +46,8 @@ class TestSuiteGenerator {
       : catalog_(catalog), optimizer_(optimizer) {}
 
   /// Generates k distinct queries for every target. Fails if some target
-  /// cannot be covered within the configured trial budget.
+  /// cannot be covered within the configured trial budget; returns
+  /// kCancelled when config.cancel fires mid-suite.
   Result<TestSuite> Generate(const std::vector<RuleTarget>& targets, int k,
                              const GenerationConfig& config);
 

@@ -6,7 +6,7 @@
 /// including the specific headers it needs.
 ///
 ///   #include "qtf.h"
-///   auto fw = qtf::RuleTestFramework::Create().value();
+///   auto fw = qtf::RuleTestFramework::Create({}).value();
 
 #include "compress/compression.h"
 #include "compress/matching.h"

@@ -7,6 +7,66 @@
 
 namespace qtf {
 
+namespace {
+
+/// Decorrelates retry attempts of the same validation step: the salt feeds
+/// the deterministic fault injector, so each attempt re-rolls its faults.
+uint64_t AttemptSalt(uint64_t base, int attempt) {
+  return base * 0x9e3779b97f4a7c15ULL +
+         static_cast<uint64_t>(static_cast<uint32_t>(attempt));
+}
+
+}  // namespace
+
+Result<OptimizeResult> CorrectnessRunner::OptimizeWithRetry(
+    const Query& query, OptimizerOptions options, uint64_t salt_base) {
+  options.cancel = cancel_;
+  FaultInjector* injector = optimizer_->fault_injector();
+  const RetryPolicy& policy = optimizer_->retry_policy();
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Result<OptimizeResult> result =
+      Status::Internal("optimize retry loop made no attempt");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    options.fault_salt = AttemptSalt(salt_base, attempt);
+    result = optimizer_->Optimize(query, options);
+    if (result.ok() || !IsTransient(result.status())) return result;
+    if (attempt + 1 >= max_attempts) break;
+    const double jitter =
+        injector != nullptr
+            ? injector->JitterFactor(options.fault_salt, attempt,
+                                     policy.jitter_fraction)
+            : 1.0;
+    SleepForBackoff(policy, attempt, jitter);
+  }
+  return result;
+}
+
+Result<ResultSet> CorrectnessRunner::ExecuteWithRetry(
+    const Query& query, const PhysicalOp& plan, uint64_t salt_base) {
+  const FaultInjector* injector = optimizer_->fault_injector();
+  const RetryPolicy& policy = optimizer_->retry_policy();
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Result<ResultSet> result =
+      Status::Internal("execute retry loop made no attempt");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled("correctness run cancelled");
+    }
+    const uint64_t salt = AttemptSalt(salt_base, attempt);
+    Executor executor(db_, query.registry.get());
+    if (injector != nullptr) executor.set_fault_injection(injector, salt);
+    result = executor.Execute(plan);
+    if (result.ok() || !IsTransient(result.status())) return result;
+    if (attempt + 1 >= max_attempts) break;
+    const double jitter =
+        injector != nullptr
+            ? injector->JitterFactor(salt, attempt, policy.jitter_fraction)
+            : 1.0;
+    SleepForBackoff(policy, attempt, jitter);
+  }
+  return result;
+}
+
 Result<CorrectnessReport> CorrectnessRunner::Run(
     const TestSuite& suite,
     const std::vector<std::vector<int>>& assignment) {
@@ -15,22 +75,45 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
   runs_->Increment();
   CorrectnessReport report;
 
-  // Execute Plan(q) once per distinct query in the assignment.
+  // Execute Plan(q) once per distinct query in the assignment. A query
+  // whose base plan stays kUnavailable after retries degrades every edge
+  // that references it into a skipped validation (there is nothing to
+  // compare against); any other failure aborts the run.
   std::set<int> used;
   for (const auto& queries : assignment) {
     used.insert(queries.begin(), queries.end());
   }
   std::map<int, OptimizeResult> base_plans;
   std::map<int, ResultSet> base_results;
+  std::set<int> base_unavailable;
   for (int q : used) {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled("correctness run cancelled");
+    }
     const TestCase& test_case = suite.queries[static_cast<size_t>(q)];
-    QTF_ASSIGN_OR_RETURN(OptimizeResult optimized,
-                         optimizer_->Optimize(test_case.query));
-    Executor executor(db_, test_case.query.registry.get());
-    QTF_ASSIGN_OR_RETURN(ResultSet result, executor.Execute(*optimized.plan));
+    const uint64_t salt_base =
+        FaultInjector::EdgeKey(/*target=*/-1, q, /*attempt=*/0);
+    Result<OptimizeResult> optimized =
+        OptimizeWithRetry(test_case.query, OptimizerOptions{}, salt_base);
+    if (!optimized.ok()) {
+      if (IsTransient(optimized.status())) {
+        base_unavailable.insert(q);
+        continue;
+      }
+      return optimized.status();
+    }
+    Result<ResultSet> result =
+        ExecuteWithRetry(test_case.query, *optimized->plan, salt_base);
+    if (!result.ok()) {
+      if (IsTransient(result.status())) {
+        base_unavailable.insert(q);
+        continue;
+      }
+      return result.status();
+    }
     ++report.plans_executed;
-    base_plans.emplace(q, std::move(optimized));
-    base_results.emplace(q, std::move(result));
+    base_plans.emplace(q, *std::move(optimized));
+    base_results.emplace(q, *std::move(result));
   }
 
   // Validate every (target, query) edge.
@@ -40,20 +123,42 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
       options.disabled_rules.insert(id);
     }
     for (int q : assignment[t]) {
+      if (cancel_.cancelled()) {
+        return Status::Cancelled("correctness run cancelled");
+      }
+      if (base_unavailable.count(q) > 0) {
+        ++report.skipped_unavailable;
+        continue;
+      }
       const TestCase& test_case = suite.queries[static_cast<size_t>(q)];
-      QTF_ASSIGN_OR_RETURN(OptimizeResult restricted,
-                           optimizer_->Optimize(test_case.query, options));
+      const uint64_t salt_base =
+          FaultInjector::EdgeKey(static_cast<int>(t), q, /*attempt=*/0);
+      Result<OptimizeResult> restricted =
+          OptimizeWithRetry(test_case.query, options, salt_base);
+      if (!restricted.ok()) {
+        if (IsTransient(restricted.status())) {
+          ++report.skipped_unavailable;
+          continue;
+        }
+        return restricted.status();
+      }
       // Identical plans are guaranteed to produce identical results
       // (Section 2.3, footnote 1) — skip the execution.
-      if (PhysicalTreeEquals(*restricted.plan, *base_plans.at(q).plan)) {
+      if (PhysicalTreeEquals(*restricted->plan, *base_plans.at(q).plan)) {
         ++report.skipped_identical_plans;
         continue;
       }
-      Executor executor(db_, test_case.query.registry.get());
-      QTF_ASSIGN_OR_RETURN(ResultSet result,
-                           executor.Execute(*restricted.plan));
+      Result<ResultSet> result =
+          ExecuteWithRetry(test_case.query, *restricted->plan, salt_base);
+      if (!result.ok()) {
+        if (IsTransient(result.status())) {
+          ++report.skipped_unavailable;
+          continue;
+        }
+        return result.status();
+      }
       ++report.plans_executed;
-      if (!ResultBagEquals(base_results.at(q), result)) {
+      if (!ResultBagEquals(base_results.at(q), *result)) {
         CorrectnessViolation violation;
         violation.target = static_cast<int>(t);
         violation.query = q;
@@ -61,13 +166,14 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
             suite.targets[t].ToString(optimizer_->rules());
         violation.sql = test_case.sql;
         violation.base_rows = base_results.at(q).row_count();
-        violation.restricted_rows = result.row_count();
+        violation.restricted_rows = result->row_count();
         report.violations.push_back(std::move(violation));
       }
     }
   }
   plans_executed_->Increment(report.plans_executed);
   skipped_identical_->Increment(report.skipped_identical_plans);
+  skipped_unavailable_->Increment(report.skipped_unavailable);
   violations_->Increment(static_cast<int64_t>(report.violations.size()));
   return report;
 }

@@ -32,6 +32,12 @@ struct CorrectnessReport {
   /// Edge validations skipped because Plan(q) and Plan(q, ¬target) were
   /// structurally identical (paper Section 2.3, footnote 1).
   int skipped_identical_plans = 0;
+  /// Validations skipped because optimization or execution stayed
+  /// kUnavailable after retries (graceful degradation under fault
+  /// injection; also counted in `qtf.robustness.skipped_validations`).
+  /// A skipped validation is NOT a pass — rerun with a fresh fault seed to
+  /// recover the coverage.
+  int skipped_unavailable = 0;
   std::vector<CorrectnessViolation> violations;
 
   bool ok() const { return violations.empty(); }
@@ -51,22 +57,48 @@ class CorrectnessRunner {
     skipped_identical_ =
         metrics->counter("qtf.correctness.skipped_identical_plans");
     violations_ = metrics->counter("qtf.correctness.violations");
+    skipped_unavailable_ =
+        metrics->counter("qtf.robustness.skipped_validations");
+  }
+
+  /// Cancellation token checked between validations and passed into every
+  /// optimization; a triggered token makes Run return kCancelled.
+  void set_cancellation(CancellationToken cancel) {
+    cancel_ = std::move(cancel);
   }
 
   /// Validates `assignment` (per target: query indices into the suite).
   /// Pass a CompressionSolution's assignment, or suite.per_target for the
   /// BASELINE mapping.
+  ///
+  /// Robustness: transient (kUnavailable) optimization/execution failures
+  /// are retried per the optimizer's RetryPolicy with attempt-salted fault
+  /// decisions; a validation that stays unavailable is skipped and counted
+  /// (CorrectnessReport::skipped_unavailable) rather than failing the run.
   Result<CorrectnessReport> Run(
       const TestSuite& suite,
       const std::vector<std::vector<int>>& assignment);
 
  private:
+  /// Optimize with transient-failure retries; `salt_base` keys the fault
+  /// decisions of each attempt.
+  Result<OptimizeResult> OptimizeWithRetry(const Query& query,
+                                           OptimizerOptions options,
+                                           uint64_t salt_base);
+  /// Execute with transient-failure retries (fresh Executor per attempt so
+  /// the node-sequence keys restart from zero each time).
+  Result<ResultSet> ExecuteWithRetry(const Query& query,
+                                     const PhysicalOp& plan,
+                                     uint64_t salt_base);
+
   const Database* db_;
   Optimizer* optimizer_;
+  CancellationToken cancel_;
   obs::Counter* runs_ = nullptr;
   obs::Counter* plans_executed_ = nullptr;
   obs::Counter* skipped_identical_ = nullptr;
   obs::Counter* violations_ = nullptr;
+  obs::Counter* skipped_unavailable_ = nullptr;
 };
 
 /// Section-7 query-generation variant support: a rule is *relevant* for a

@@ -8,12 +8,20 @@ Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
   auto framework =
       std::unique_ptr<RuleTestFramework>(new RuleTestFramework());
   framework->metrics_.set_trace_sink(options.trace_sink);
+  if (options.fault_injector.seed != 0) {
+    framework->fault_injector_ =
+        std::make_unique<FaultInjector>(options.fault_injector);
+    framework->fault_injector_->set_metrics(&framework->metrics_);
+  }
   QTF_ASSIGN_OR_RETURN(framework->db_, MakeTpchDatabase(options.tpch));
   framework->registry_ = options.rules != nullptr
                              ? std::move(options.rules)
                              : MakeDefaultRuleRegistry();
   framework->optimizer_ = std::make_unique<Optimizer>(
       framework->registry_.get(), &framework->metrics_);
+  framework->optimizer_->set_default_budget(options.default_budget);
+  framework->optimizer_->set_retry_policy(options.retry_policy);
+  framework->optimizer_->set_fault_injector(framework->fault_injector_.get());
   framework->plan_cache_ =
       std::make_unique<PlanCache>(options.plan_cache_capacity);
   framework->plan_cache_->set_metrics(&framework->metrics_);

@@ -41,16 +41,30 @@ class RuleTestFramework {
     /// Optional receiver for PhaseSpan begin/end events. Borrowed, must be
     /// thread-safe and outlive the framework; null disables tracing.
     obs::TraceSink* trace_sink = nullptr;
+    /// Search budget every optimization falls back to when its own options
+    /// carry an unlimited one. Unlimited by default. When a limit trips the
+    /// optimizer returns its best-so-far plan with `budget_exhausted` set
+    /// (see OptimizerOptions::budget).
+    SearchBudget default_budget;
+    /// Deterministic fault injection (docs/robustness.md). seed == 0 (the
+    /// default) builds no injector at all; a nonzero seed wires an injector
+    /// owned by the framework into the optimizer, edge-cost provider paths,
+    /// and correctness execution, reporting into qtf.robustness.* metrics.
+    FaultInjector::Config fault_injector;
+    /// How components retry transient (kUnavailable) failures.
+    RetryPolicy retry_policy;
   };
 
   /// Builds the framework as configured.
   static Result<std::unique_ptr<RuleTestFramework>> Create(Options options);
 
   /// Legacy overload: defaults for everything but the database scale and
-  /// rule registry. Thin delegate to Create(Options).
+  /// rule registry.
+  /// Deprecated since the Options facade (PR 3); scheduled for removal two
+  /// PRs after this one — migrate to Create(Options) (see CHANGES.md).
+  [[deprecated("use Create(Options) — this overload will be removed")]]
   static Result<std::unique_ptr<RuleTestFramework>> Create(
-      const TpchConfig& config = TpchConfig{},
-      std::unique_ptr<RuleRegistry> registry = nullptr);
+      const TpchConfig& config, std::unique_ptr<RuleRegistry> registry);
 
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return db_->catalog(); }
@@ -72,6 +86,11 @@ class RuleTestFramework {
   /// to an EdgeCostProvider (set_thread_pool) to parallelize compression.
   ThreadPool* thread_pool() { return pool_.get(); }
 
+  /// The fault injector built from Options::fault_injector; null when the
+  /// configured seed was 0. Use set_enabled(false) to run a clean phase
+  /// (e.g. suite generation) before a chaos phase.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
   /// Ids of the logical (exploration) rules — the rule set R the paper's
   /// experiments target.
   std::vector<RuleId> LogicalRules() const {
@@ -90,6 +109,9 @@ class RuleTestFramework {
   // metrics_ is declared first (destroyed last): every component below
   // holds pointers into it.
   obs::MetricsRegistry metrics_;
+  // fault_injector_ before optimizer_: the optimizer (and everything built
+  // on it) borrows the injector.
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<RuleRegistry> registry_;
   std::unique_ptr<PlanCache> plan_cache_;

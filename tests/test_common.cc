@@ -1,8 +1,14 @@
 // Tests for the common substrate: Status/Result, RNG determinism, string
-// utilities.
+// utilities, budgets/cancellation, and the deterministic fault injector.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <limits>
+#include <set>
+
+#include "common/budget.h"
+#include "common/fault_injection.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/str_util.h"
@@ -25,7 +31,9 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kUnimplemented, StatusCode::kInternal,
-        StatusCode::kExecutionError}) {
+        StatusCode::kExecutionError, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -137,6 +145,143 @@ TEST(StrUtilTest, RepeatAndIndent) {
   EXPECT_EQ(Repeat("ab", 3), "ababab");
   EXPECT_EQ(Repeat("x", 0), "");
   EXPECT_EQ(Indent(2), "    ");
+}
+
+TEST(DeadlineTest, NeverAndExpiry) {
+  Deadline never;
+  EXPECT_TRUE(never.never());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+
+  Deadline past = Deadline::After(-1.0);
+  EXPECT_FALSE(past.never());
+  EXPECT_TRUE(past.expired());
+  EXPECT_LE(past.remaining_seconds(), 0.0);
+
+  Deadline future = Deadline::After(3600.0);
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_seconds(), 0.0);
+}
+
+TEST(CancellationTest, TokensShareTheirSourceFlag) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;  // copies observe the same flag
+  EXPECT_TRUE(a.cancellable());
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  source.Cancel();  // idempotent
+  EXPECT_TRUE(source.cancelled());
+
+  CancellationToken detached;
+  EXPECT_FALSE(detached.cancellable());
+  EXPECT_FALSE(detached.cancelled());
+}
+
+TEST(SearchBudgetTest, UnlimitedByDefault) {
+  SearchBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  budget.max_memo_exprs = 10;
+  EXPECT_FALSE(budget.unlimited());
+}
+
+TEST(FaultInjectorTest, SeedZeroNeverFaultsAndCannotBeEnabled) {
+  FaultInjector injector({/*seed=*/0, /*fault_probability=*/1.0});
+  EXPECT_FALSE(injector.enabled());
+  injector.set_enabled(true);  // coerced back off: seed 0 means disabled
+  EXPECT_FALSE(injector.enabled());
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(injector.Probe(fault_sites::kPrefetchTask, key).ok());
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfSeedSiteKey) {
+  FaultInjector::Config config;
+  config.seed = 42;
+  config.fault_probability = 0.5;
+  FaultInjector a(config), b(config);
+  int faults = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    bool fault = a.ShouldFault(fault_sites::kOptimizerApplyRule, key);
+    EXPECT_EQ(fault, b.ShouldFault(fault_sites::kOptimizerApplyRule, key));
+    faults += fault ? 1 : 0;
+  }
+  // Roughly half the keys fault at p = 0.5 (loose bounds, deterministic).
+  EXPECT_GT(faults, 600);
+  EXPECT_LT(faults, 1400);
+  // Sites decorrelate: the same keys at another site fault differently.
+  int agreements = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    agreements += a.ShouldFault(fault_sites::kOptimizerApplyRule, key) ==
+                          a.ShouldFault(fault_sites::kExecutorNextBatch, key)
+                      ? 1
+                      : 0;
+  }
+  EXPECT_LT(agreements, 2000);
+}
+
+TEST(FaultInjectorTest, ProbeReturnsUnavailableExactlyWhenHashFires) {
+  FaultInjector::Config config;
+  config.seed = 7;
+  config.fault_probability = 0.3;
+  FaultInjector injector(config);
+  for (uint64_t key = 0; key < 500; ++key) {
+    Status status = injector.Probe(fault_sites::kPlanCacheGet, key);
+    if (injector.ShouldFault(fault_sites::kPlanCacheGet, key)) {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(IsTransient(status));
+    } else {
+      EXPECT_TRUE(status.ok());
+    }
+  }
+  injector.set_enabled(false);
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_TRUE(injector.Probe(fault_sites::kPlanCacheGet, key).ok());
+  }
+}
+
+TEST(FaultInjectorTest, JitterIsDeterministicAndBounded) {
+  FaultInjector::Config config;
+  config.seed = 9;
+  FaultInjector a(config), b(config);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    for (uint64_t key = 0; key < 100; ++key) {
+      double fa = a.JitterFactor(key, attempt, 0.5);
+      EXPECT_EQ(fa, b.JitterFactor(key, attempt, 0.5));
+      EXPECT_GE(fa, 0.5);
+      EXPECT_LE(fa, 1.5);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, EdgeKeyDecorrelatesAttempts) {
+  std::set<uint64_t> keys;
+  for (int target = -1; target < 3; ++target) {
+    for (int q = 0; q < 3; ++q) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        keys.insert(FaultInjector::EdgeKey(target, q, attempt));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 4u * 3u * 3u);  // all distinct
+}
+
+TEST(RetryPolicyTest, BackoffRespectsTheCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 10.0;
+  policy.backoff_multiplier = 100.0;
+  policy.max_backoff_micros = 50.0;
+  // Attempt 3 would be 10 * 100^3 uncapped; the cap keeps the sleep tiny.
+  auto start = std::chrono::steady_clock::now();
+  SleepForBackoff(policy, /*attempt=*/3, /*jitter_factor=*/1.0);
+  std::chrono::duration<double, std::micro> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed.count(), 50000.0);
+  SleepForBackoff(policy, 0, 0.0);  // zero sleep is a no-op
 }
 
 }  // namespace

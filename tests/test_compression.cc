@@ -19,7 +19,7 @@ namespace {
 class CompressionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto fw = RuleTestFramework::Create();
+    auto fw = RuleTestFramework::Create({});
     ASSERT_TRUE(fw.ok());
     fw_ = std::move(fw).value();
   }

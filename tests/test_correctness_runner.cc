@@ -11,7 +11,7 @@ namespace qtf {
 namespace {
 
 TEST(CorrectnessRunnerTest, CleanRulesProduceNoViolations) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   auto targets = fw->LogicalRuleSingletons(8);
   GenerationConfig config;
   config.method = GenerationMethod::kPattern;
@@ -26,7 +26,7 @@ TEST(CorrectnessRunnerTest, CleanRulesProduceNoViolations) {
 }
 
 TEST(CorrectnessRunnerTest, SkipsIdenticalPlans) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   // JoinCommutativity on a symmetric-cost query often leaves the plan
   // unchanged when disabled; at minimum the counter must be consistent:
   // every edge is either executed or skipped.
@@ -62,7 +62,9 @@ TEST_P(BugInjectionTest, HarnessCatchesInjectedBug) {
   const BuggyRuleCase& bug_case = GetParam();
   auto registry = MakeDefaultRuleRegistry();
   RuleId bug_id = registry->Register(bug_case.make());
-  auto fw = RuleTestFramework::Create(TpchConfig{}, std::move(registry)).value();
+  RuleTestFramework::Options options;
+  options.rules = std::move(registry);
+  auto fw = RuleTestFramework::Create(std::move(options)).value();
 
   bool caught = false;
   // Several seeds: a buggy rewrite only changes results on data that
@@ -99,14 +101,14 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(RelevanceTest, CrossJoinCommutedPlanIsRelevant) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   GenerationConfig config;
   config.method = GenerationMethod::kPattern;
   config.max_trials = 300;
   config.seed = 77;
   RuleId commute = fw->rules().FindByName("JoinCommutativity");
   GenerationOutcome outcome =
-      fw->generator()->GenerateRelevant(commute, config);
+      fw->generator()->GenerateRelevant(commute, config).value();
   ASSERT_TRUE(outcome.success);
   auto relevant = IsRuleRelevant(fw->optimizer(), outcome.query, commute);
   ASSERT_TRUE(relevant.ok());

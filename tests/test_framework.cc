@@ -10,7 +10,7 @@ namespace qtf {
 namespace {
 
 TEST(FrameworkTest, CreateWiresEverything) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   EXPECT_EQ(fw->catalog().table_count(), 8u);
   EXPECT_EQ(fw->LogicalRules().size(), 30u);
   EXPECT_NE(fw->optimizer(), nullptr);
@@ -20,7 +20,7 @@ TEST(FrameworkTest, CreateWiresEverything) {
 }
 
 TEST(FrameworkTest, LogicalRuleIdsAreTheLowIds) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   std::vector<RuleId> logical = fw->LogicalRules();
   for (size_t i = 0; i < logical.size(); ++i) {
     EXPECT_EQ(logical[i], static_cast<RuleId>(i));
@@ -30,7 +30,7 @@ TEST(FrameworkTest, LogicalRuleIdsAreTheLowIds) {
 }
 
 TEST(FrameworkTest, PairAndSingletonTargetHelpers) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   auto singles = fw->LogicalRuleSingletons(7);
   EXPECT_EQ(singles.size(), 7u);
   for (const RuleTarget& t : singles) EXPECT_EQ(t.rules.size(), 1u);
@@ -48,8 +48,9 @@ TEST(FrameworkTest, PairAndSingletonTargetHelpers) {
 TEST(FrameworkTest, CustomRegistryIsUsed) {
   auto registry = MakeDefaultRuleRegistry();
   int n = registry->size();
-  auto fw =
-      RuleTestFramework::Create(TpchConfig{}, std::move(registry)).value();
+  RuleTestFramework::Options options;
+  options.rules = std::move(registry);
+  auto fw = RuleTestFramework::Create(std::move(options)).value();
   EXPECT_EQ(fw->rules().size(), n);
 }
 
@@ -67,7 +68,7 @@ TEST(FrameworkTest, CreateWithOptions) {
 }
 
 TEST(FrameworkTest, LegacyCreateDelegatesToOptions) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   // Defaults: serial (no pool), default cache capacity, metrics wired.
   EXPECT_EQ(fw->thread_pool(), nullptr);
   EXPECT_EQ(fw->plan_cache()->capacity(), 4096u);
@@ -75,10 +76,10 @@ TEST(FrameworkTest, LegacyCreateDelegatesToOptions) {
 }
 
 TEST(FrameworkTest, OptimizerInvocationsLandInTheRegistry) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   GenerationConfig config;
   config.seed = 77;
-  GenerationOutcome outcome = fw->generator()->Generate({0}, config);
+  GenerationOutcome outcome = fw->generator()->Generate({0}, config).value();
   ASSERT_TRUE(outcome.success);
   obs::MetricsSnapshot snapshot = fw->metrics()->Snapshot();
   EXPECT_EQ(snapshot.CounterValue("qtf.optimizer.invocations"),
@@ -96,7 +97,7 @@ TEST(FrameworkTest, OptimizerInvocationsLandInTheRegistry) {
 }
 
 TEST(FrameworkTest, PlanCacheDetachGuardRestores) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   PlanCache* shared = fw->plan_cache();
   ASSERT_EQ(fw->optimizer()->plan_cache(), shared);
   {
@@ -120,7 +121,7 @@ TEST(FrameworkTest, TraceSinkReceivesSpans) {
   auto fw = RuleTestFramework::Create(std::move(options)).value();
   GenerationConfig config;
   config.seed = 78;
-  GenerationOutcome outcome = fw->generator()->Generate({0}, config);
+  GenerationOutcome outcome = fw->generator()->Generate({0}, config).value();
   ASSERT_TRUE(outcome.success);
   bool saw_begin = false, saw_end = false;
   for (const obs::TraceEvent& event : sink.Events()) {
@@ -133,7 +134,7 @@ TEST(FrameworkTest, TraceSinkReceivesSpans) {
 }
 
 TEST(FrameworkTest, TargetToStringNamesRules) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   RuleTarget single{{0}};
   EXPECT_EQ(single.ToString(fw->rules()), "JoinCommutativity");
   RuleTarget pair{{0, 6}};
@@ -141,7 +142,7 @@ TEST(FrameworkTest, TargetToStringNamesRules) {
 }
 
 TEST(FrameworkIntegrationTest, FullPipelineGenerateCompressExecute) {
-  auto fw = RuleTestFramework::Create().value();
+  auto fw = RuleTestFramework::Create({}).value();
   const int k = 2;
   GenerationConfig config;
   config.method = GenerationMethod::kPattern;

@@ -14,7 +14,7 @@ namespace {
 class GenerationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto fw = RuleTestFramework::Create();
+    auto fw = RuleTestFramework::Create({});
     ASSERT_TRUE(fw.ok());
     fw_ = std::move(fw).value();
   }
@@ -33,7 +33,7 @@ TEST_P(PerRulePatternGeneration, PatternFindsQueryQuickly) {
   config.method = GenerationMethod::kPattern;
   config.max_trials = 100;
   config.seed = 31 + static_cast<uint64_t>(id);
-  GenerationOutcome outcome = fw_->generator()->Generate({id}, config);
+  GenerationOutcome outcome = fw_->generator()->Generate({id}, config).value();
   ASSERT_TRUE(outcome.success) << fw_->rules().rule(id).name();
   EXPECT_LE(outcome.trials, 30) << fw_->rules().rule(id).name();
   EXPECT_TRUE(outcome.rule_set.count(id) > 0);
@@ -54,7 +54,7 @@ TEST_F(GenerationTest, RandomEventuallyCoversEasyRules) {
   config.max_trials = 500;
   config.seed = 7;
   GenerationOutcome outcome =
-      fw_->generator()->Generate({select_merge}, config);
+      fw_->generator()->Generate({select_merge}, config).value();
   EXPECT_TRUE(outcome.success);
 }
 
@@ -70,6 +70,7 @@ TEST_F(GenerationTest, PatternBeatsRandomOnTrialsInAggregate) {
     pattern_total +=
         fw_->generator()
             ->Generate({logical[static_cast<size_t>(i)]}, pattern_config)
+            .value()
             .trials;
     GenerationConfig random_config;
     random_config.method = GenerationMethod::kRandom;
@@ -78,6 +79,7 @@ TEST_F(GenerationTest, PatternBeatsRandomOnTrialsInAggregate) {
     random_total +=
         fw_->generator()
             ->Generate({logical[static_cast<size_t>(i)]}, random_config)
+            .value()
             .trials;
   }
   EXPECT_LT(pattern_total, random_total);
@@ -88,7 +90,7 @@ TEST_F(GenerationTest, ExtraOpsGrowTheQuery) {
   GenerationConfig small;
   small.method = GenerationMethod::kPattern;
   small.seed = 3;
-  GenerationOutcome minimal = fw_->generator()->Generate({id}, small);
+  GenerationOutcome minimal = fw_->generator()->Generate({id}, small).value();
   ASSERT_TRUE(minimal.success);
 
   GenerationConfig big = small;
@@ -99,7 +101,7 @@ TEST_F(GenerationTest, ExtraOpsGrowTheQuery) {
   bool grew = false;
   for (uint64_t seed = 4; seed < 12 && !grew; ++seed) {
     big.seed = seed;
-    GenerationOutcome grown = fw_->generator()->Generate({id}, big);
+    GenerationOutcome grown = fw_->generator()->Generate({id}, big).value();
     if (grown.success && grown.operator_count > minimal.operator_count) {
       grew = true;
     }
@@ -115,7 +117,7 @@ TEST_F(GenerationTest, PairGenerationViaComposition) {
   config.max_trials = 300;
   config.seed = 17;
   GenerationOutcome outcome =
-      fw_->generator()->Generate({logical[0], logical[3]}, config);
+      fw_->generator()->Generate({logical[0], logical[3]}, config).value();
   ASSERT_TRUE(outcome.success);
   EXPECT_TRUE(outcome.rule_set.count(logical[0]) > 0);
   EXPECT_TRUE(outcome.rule_set.count(logical[3]) > 0);
@@ -129,7 +131,8 @@ TEST_F(GenerationTest, RelevantQueryGeneration) {
   config.method = GenerationMethod::kPattern;
   config.max_trials = 500;
   config.seed = 23;
-  GenerationOutcome outcome = fw_->generator()->GenerateRelevant(id, config);
+  GenerationOutcome outcome =
+      fw_->generator()->GenerateRelevant(id, config).value();
   ASSERT_TRUE(outcome.success);
   auto relevant =
       IsRuleRelevant(fw_->optimizer(), outcome.query, id);
@@ -168,7 +171,7 @@ TEST_F(GenerationTest, GenerationFailureReportsTrials) {
   config.max_trials = 1;
   config.seed = 1;
   GenerationOutcome outcome =
-      fw_->generator()->Generate({logical[16]}, config);  // LojLojAssocRight
+      fw_->generator()->Generate({logical[16]}, config).value();  // LojLojAssocRight
   EXPECT_FALSE(outcome.success);
   EXPECT_EQ(outcome.trials, 1);
 }

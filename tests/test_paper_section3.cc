@@ -15,7 +15,7 @@ namespace {
 class PaperSection3Test : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto fw = RuleTestFramework::Create();
+    auto fw = RuleTestFramework::Create({});
     ASSERT_TRUE(fw.ok());
     fw_ = std::move(fw).value();
     registry_ = std::make_shared<ColumnRegistry>();

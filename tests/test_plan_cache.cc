@@ -17,7 +17,7 @@ namespace {
 class PlanCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto fw = RuleTestFramework::Create();
+    auto fw = RuleTestFramework::Create({});
     ASSERT_TRUE(fw.ok());
     fw_ = std::move(fw).value();
   }
@@ -30,7 +30,7 @@ class PlanCacheTest : public ::testing::Test {
     config.extra_ops = extra_ops;
     config.seed = seed;
     GenerationOutcome outcome =
-        fw_->generator()->Generate({fw_->LogicalRules()[0]}, config);
+        fw_->generator()->Generate({fw_->LogicalRules()[0]}, config).value();
     EXPECT_TRUE(outcome.success);
     return outcome.query;
   }

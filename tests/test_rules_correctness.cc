@@ -26,7 +26,7 @@ namespace {
 class RuleCorrectnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto fw = RuleTestFramework::Create();
+    auto fw = RuleTestFramework::Create({});
     ASSERT_TRUE(fw.ok());
     fw_ = std::move(fw).value();
   }
@@ -85,7 +85,8 @@ TEST_F(RuleCorrectnessTest, EveryLogicalRuleCoveredByTargetedQueries) {
       config.extra_ops = extra;
       config.seed = 5000 + static_cast<uint64_t>(id) * 17 +
                     static_cast<uint64_t>(extra);
-      GenerationOutcome outcome = fw_->generator()->Generate({id}, config);
+      GenerationOutcome outcome =
+          fw_->generator()->Generate({id}, config).value();
       ASSERT_TRUE(outcome.success)
           << "cannot generate for " << fw_->rules().rule(id).name();
       ValidateQuery(outcome.query, &covered);
@@ -108,9 +109,12 @@ TEST_F(RuleCorrectnessTest, PairQueriesValidateBothRules) {
     config.method = GenerationMethod::kPattern;
     config.max_trials = 500;
     config.seed = 999 + static_cast<uint64_t>(i * 31 + j);
-    GenerationOutcome outcome = fw_->generator()->Generate(
-        {logical[static_cast<size_t>(i)], logical[static_cast<size_t>(j)]},
-        config);
+    GenerationOutcome outcome =
+        fw_->generator()
+            ->Generate({logical[static_cast<size_t>(i)],
+                        logical[static_cast<size_t>(j)]},
+                       config)
+            .value();
     if (!outcome.success) continue;  // some pairs are genuinely hard
     RuleIdSet covered;
     ValidateQuery(outcome.query, &covered);
