@@ -1,0 +1,179 @@
+// Micro-benchmarks of the hash-consing substrate (google-benchmark):
+// cached vs uncached TreeFingerprint, warm plan-cache keying over
+// canonical vs freshly-built roots, interner hit resolution, and memo
+// duplicate insertion. The acceptance story for the NodeInterner refactor:
+// plan-cache keying on an interned tree no longer recomputes full-tree
+// hashes, so cached-fingerprint lookups are measurably faster than the
+// clone path that rehashes from scratch (docs/architecture.md).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "logical/interner.h"
+#include "optimizer/memo.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "rules/default_rules.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+struct Env {
+  Env() { db = MakeTpchDatabase(TpchConfig{}).value(); }
+  std::unique_ptr<Database> db;
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+/// A ~16-node logical tree (selects and joins over three base tables) —
+/// deep enough that a full recursive rehash is visible next to an O(1)
+/// cached-fingerprint load.
+Query MakeDeepQuery(Env& env) {
+  auto reg = std::make_shared<ColumnRegistry>();
+  auto lineitem = GetOp::Create(
+      env.db->catalog().GetTable("lineitem").value(), reg.get());
+  auto orders = GetOp::Create(env.db->catalog().GetTable("orders").value(),
+                              reg.get());
+  auto customer = GetOp::Create(
+      env.db->catalog().GetTable("customer").value(), reg.get());
+  LogicalOpPtr left = std::make_shared<JoinOp>(
+      JoinKind::kInner, lineitem, orders,
+      Eq(Col(lineitem->columns()[0], ValueType::kInt64),
+         Col(orders->columns()[0], ValueType::kInt64)));
+  for (int i = 0; i < 5; ++i) {
+    left = std::make_shared<SelectOp>(
+        left, Cmp(CompareOp::kGt,
+                  Col(lineitem->columns()[4], ValueType::kDouble),
+                  LitDouble(10.0 + i)));
+  }
+  LogicalOpPtr root = std::make_shared<JoinOp>(
+      JoinKind::kInner, left, customer,
+      Eq(Col(orders->columns()[1], ValueType::kInt64),
+         Col(customer->columns()[0], ValueType::kInt64)));
+  for (int i = 0; i < 5; ++i) {
+    root = std::make_shared<SelectOp>(
+        root, Cmp(CompareOp::kLt,
+                  Col(customer->columns()[5], ValueType::kDouble),
+                  LitDouble(9000.0 - i)));
+  }
+  return Query{root, reg};
+}
+
+LogicalOpPtr DeepClone(const LogicalOpPtr& node) {
+  std::vector<LogicalOpPtr> children;
+  children.reserve(node->children().size());
+  for (const LogicalOpPtr& child : node->children()) {
+    children.push_back(DeepClone(child));
+  }
+  return node->WithNewChildren(std::move(children));
+}
+
+// Baseline for the *Uncached benchmarks below: the cost of materializing
+// the fresh tree alone. Subtract this from BM_TreeFingerprintUncached /
+// BM_PlanCacheLookupClonedRoot to isolate the rehash.
+void BM_DeepCloneOnly(benchmark::State& state) {
+  Query q = MakeDeepQuery(GetEnv());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeepClone(q.root));
+  }
+}
+BENCHMARK(BM_DeepCloneOnly);
+
+// Pre-interner behavior: every fingerprint walks the whole tree (a fresh
+// clone per iteration keeps the per-node caches cold).
+void BM_TreeFingerprintUncached(benchmark::State& state) {
+  Query q = MakeDeepQuery(GetEnv());
+  for (auto _ : state) {
+    LogicalOpPtr clone = DeepClone(q.root);
+    benchmark::DoNotOptimize(TreeFingerprint(*clone));
+  }
+}
+BENCHMARK(BM_TreeFingerprintUncached);
+
+// Post-interner behavior: the canonical root answers from its cached
+// fingerprint — one relaxed atomic load.
+void BM_TreeFingerprintCached(benchmark::State& state) {
+  NodeInterner interner;
+  Query q = MakeDeepQuery(GetEnv());
+  LogicalOpPtr canonical = interner.Intern(q.root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeFingerprint(*canonical));
+  }
+}
+BENCHMARK(BM_TreeFingerprintCached);
+
+// Warm plan-cache lookup keyed off a canonical root: fingerprint is a
+// cache read, so keying is O(disabled-rule-set) instead of O(tree).
+void BM_PlanCacheLookupCanonicalRoot(benchmark::State& state) {
+  NodeInterner interner;
+  PlanCache cache;
+  Query q = MakeDeepQuery(GetEnv());
+  q.root = interner.Intern(q.root);
+  cache.Insert(q, {}, OptimizeResult{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(q, {}));
+  }
+}
+BENCHMARK(BM_PlanCacheLookupCanonicalRoot);
+
+// The same warm lookup when every request arrives with a freshly-built
+// (never interned) root — the pre-refactor steady state: full-tree rehash
+// per lookup, on top of the clone cost BM_DeepCloneOnly isolates.
+void BM_PlanCacheLookupClonedRoot(benchmark::State& state) {
+  PlanCache cache;
+  Query q = MakeDeepQuery(GetEnv());
+  cache.Insert(q, {}, OptimizeResult{});
+  for (auto _ : state) {
+    Query fresh = q;
+    fresh.root = DeepClone(q.root);
+    benchmark::DoNotOptimize(cache.Lookup(fresh, {}));
+  }
+}
+BENCHMARK(BM_PlanCacheLookupClonedRoot);
+
+// Interning a structure that is already canonical elsewhere: per-node
+// table hits (the steady state for generators emitting near-duplicate
+// trees). Includes the clone cost; subtract BM_DeepCloneOnly.
+void BM_InternHitResolution(benchmark::State& state) {
+  NodeInterner interner;
+  Query q = MakeDeepQuery(GetEnv());
+  LogicalOpPtr canonical = interner.Intern(q.root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.Intern(DeepClone(canonical)));
+  }
+}
+BENCHMARK(BM_InternHitResolution);
+
+// Fast path: re-interning the canonical instance itself (tag check only).
+void BM_InternCanonicalFastPath(benchmark::State& state) {
+  NodeInterner interner;
+  Query q = MakeDeepQuery(GetEnv());
+  LogicalOpPtr canonical = interner.Intern(q.root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.Intern(canonical));
+  }
+}
+BENCHMARK(BM_InternCanonicalFastPath);
+
+// Memo duplicate insertion: the post-refactor dedup path resolves against
+// the signature index before cloning anything.
+void BM_MemoDuplicateInsert(benchmark::State& state) {
+  Query q = MakeDeepQuery(GetEnv());
+  Memo memo(/*rule_count=*/1);
+  memo.InsertTree(*q.root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo.InsertTree(*q.root));
+  }
+}
+BENCHMARK(BM_MemoDuplicateInsert);
+
+}  // namespace
+}  // namespace qtf
+
+BENCHMARK_MAIN();

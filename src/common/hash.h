@@ -1,0 +1,48 @@
+#ifndef QTF_COMMON_HASH_H_
+#define QTF_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// Shared hashing primitives for structural fingerprints and cache keys.
+///
+/// Everything in this header is a pure function of its inputs with no
+/// dependence on `std::hash` or other platform-specific seeds, so hash
+/// values are stable across processes, runs, and standard-library
+/// implementations on 64-bit targets. That stability is load-bearing:
+/// golden fingerprint tests hardcode expected values, and the fault
+/// injector derives decisions from fingerprints, so a platform-dependent
+/// hash would make chaos runs irreproducible across toolchains.
+
+namespace qtf {
+
+/// splitmix64 finalizer. Diffuses all input bits to all output bits;
+/// the canonical cheap mixer for composing structural hashes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `v` into running hash `h` non-commutatively, so operand order
+/// matters (Join(a,b) must not collide with Join(b,a)).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return Mix64(h * 0x100000001b3ULL ^ v);
+}
+
+/// FNV-1a over bytes. Used for strings (table names, column names)
+/// instead of std::hash<std::string>, whose value is unspecified and
+/// differs between libstdc++ / libc++ builds.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_HASH_H_

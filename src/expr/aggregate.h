@@ -36,6 +36,10 @@ struct AggregateCall {
 bool AggregateCallEquals(const AggregateCall& a, const AggregateCall& b);
 size_t AggregateCallHash(const AggregateCall& call);
 
+/// Platform-stable variant of AggregateCallHash (StableExprHash-based);
+/// feeds LogicalOp::LocalHash and TreeFingerprint.
+uint64_t StableAggregateCallHash(const AggregateCall& call);
+
 }  // namespace qtf
 
 #endif  // QTF_EXPR_AGGREGATE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace qtf {
 
@@ -216,6 +217,34 @@ size_t ExprHash(const Expr& expr) {
   }
   for (const ExprPtr& child : expr.children()) {
     h = h * 1099511628211ULL + ExprHash(*child);
+  }
+  return h;
+}
+
+uint64_t StableExprHash(const Expr& expr) {
+  uint64_t h = Mix64(static_cast<uint64_t>(expr.kind()) + 0xe1234);
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      h = HashCombine(
+          h, static_cast<uint64_t>(static_cast<const ColumnRefExpr&>(expr).id()));
+      break;
+    case ExprKind::kConstant:
+      h = HashCombine(h,
+                      static_cast<const ConstantExpr&>(expr).value().StableHash());
+      break;
+    case ExprKind::kComparison:
+      h = HashCombine(h, static_cast<uint64_t>(
+                             static_cast<const ComparisonExpr&>(expr).op()));
+      break;
+    case ExprKind::kArithmetic:
+      h = HashCombine(h, static_cast<uint64_t>(
+                             static_cast<const ArithmeticExpr&>(expr).op()));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr.children()) {
+    h = HashCombine(h, StableExprHash(*child));
   }
   return h;
 }

@@ -52,8 +52,16 @@ ExprPtr SubstituteColumns(const ExprPtr& expr,
 /// constants). Used for plan/tree comparison and memo deduplication.
 bool ExprEquals(const Expr& a, const Expr& b);
 
-/// Structural hash consistent with ExprEquals.
+/// Structural hash consistent with ExprEquals. Built on std::hash via
+/// Value::Hash, so values are standard-library-specific. This hash defines
+/// MakeConjunction's canonical conjunct order; keep using it there.
 size_t ExprHash(const Expr& expr);
+
+/// Platform-stable structural hash consistent with ExprEquals (explicit
+/// mixing, Value::StableHash for constants). Feeds LogicalOp::LocalHash and
+/// TreeFingerprint so cache keys and the golden fingerprint tests don't
+/// depend on the standard library (docs/architecture.md).
+uint64_t StableExprHash(const Expr& expr);
 
 }  // namespace qtf
 

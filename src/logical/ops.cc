@@ -1,5 +1,6 @@
 #include "logical/ops.h"
 
+#include "common/hash.h"
 #include "common/str_util.h"
 
 namespace qtf {
@@ -84,9 +85,9 @@ std::string GetOp::Describe(const ColumnNameResolver*) const {
 }
 
 size_t GetOp::LocalHash() const {
-  size_t h = std::hash<std::string>()(table_->name());
-  for (ColumnId id : columns_) h = h * 31 + static_cast<size_t>(id);
-  return h;
+  uint64_t h = Fnv1a(table_->name());
+  for (ColumnId id : columns_) h = HashCombine(h, static_cast<uint64_t>(id));
+  return static_cast<size_t>(h);
 }
 
 bool GetOp::LocalEquals(const LogicalOp& other) const {
@@ -101,7 +102,9 @@ std::string SelectOp::Describe(const ColumnNameResolver* resolver) const {
   return "Select(" + predicate_->ToString(resolver) + ")";
 }
 
-size_t SelectOp::LocalHash() const { return 0x5e1ec7 ^ ExprHash(*predicate_); }
+size_t SelectOp::LocalHash() const {
+  return static_cast<size_t>(HashCombine(0x5e1ec7, StableExprHash(*predicate_)));
+}
 
 bool SelectOp::LocalEquals(const LogicalOp& other) const {
   if (other.kind() != LogicalOpKind::kSelect) return false;
@@ -127,11 +130,15 @@ std::string ProjectOp::Describe(const ColumnNameResolver* resolver) const {
 }
 
 size_t ProjectOp::LocalHash() const {
-  size_t h = 0x9e3779b9;
+  // Each item folds both the defining expression and the defined column id,
+  // order-sensitively, so reordered or re-aliased projection lists get
+  // distinct hashes.
+  uint64_t h = 0x9e3779b9;
   for (const ProjectItem& item : items_) {
-    h = h * 131 + ExprHash(*item.expr) + static_cast<size_t>(item.id);
+    h = HashCombine(h, StableExprHash(*item.expr));
+    h = HashCombine(h, static_cast<uint64_t>(item.id));
   }
-  return h;
+  return static_cast<size_t>(h);
 }
 
 bool ProjectOp::LocalEquals(const LogicalOp& other) const {
@@ -163,9 +170,12 @@ std::string JoinOp::Describe(const ColumnNameResolver* resolver) const {
 }
 
 size_t JoinOp::LocalHash() const {
-  size_t h = 0x70171 ^ (static_cast<size_t>(join_kind_) << 4);
-  if (predicate_ != nullptr) h ^= ExprHash(*predicate_);
-  return h;
+  // Mix the join kind through the full word before folding the predicate:
+  // the old `kind << 4 ^ pred` form let predicate bits cancel the kind, so
+  // e.g. a semi- and an anti-join over related predicates could alias.
+  uint64_t h = HashCombine(0x70171, static_cast<uint64_t>(join_kind_));
+  h = HashCombine(h, predicate_ == nullptr ? 0x7073u : StableExprHash(*predicate_));
+  return static_cast<size_t>(h);
 }
 
 bool JoinOp::LocalEquals(const LogicalOp& other) const {
@@ -199,12 +209,14 @@ std::string GroupByAggOp::Describe(const ColumnNameResolver* resolver) const {
 }
 
 size_t GroupByAggOp::LocalHash() const {
-  size_t h = 0x6b0a6b;
-  for (ColumnId id : group_cols_) h = h * 37 + static_cast<size_t>(id);
+  uint64_t h = 0x6b0a6b;
+  for (ColumnId id : group_cols_) h = HashCombine(h, static_cast<uint64_t>(id));
+  h = HashCombine(h, group_cols_.size());  // separate groups from aggregates
   for (const AggregateItem& item : aggregates_) {
-    h = h * 41 + AggregateCallHash(item.call) + static_cast<size_t>(item.id);
+    h = HashCombine(h, StableAggregateCallHash(item.call));
+    h = HashCombine(h, static_cast<uint64_t>(item.id));
   }
-  return h;
+  return static_cast<size_t>(h);
 }
 
 bool GroupByAggOp::LocalEquals(const LogicalOp& other) const {
@@ -228,9 +240,9 @@ std::string UnionAllOp::Describe(const ColumnNameResolver*) const {
 }
 
 size_t UnionAllOp::LocalHash() const {
-  size_t h = 0xa11u;
-  for (ColumnId id : output_ids_) h = h * 43 + static_cast<size_t>(id);
-  return h;
+  uint64_t h = 0xa11u;
+  for (ColumnId id : output_ids_) h = HashCombine(h, static_cast<uint64_t>(id));
+  return static_cast<size_t>(h);
 }
 
 bool UnionAllOp::LocalEquals(const LogicalOp& other) const {
@@ -345,6 +357,13 @@ std::string LogicalTreeToString(const LogicalOp& root,
 }
 
 bool LogicalTreeEquals(const LogicalOp& a, const LogicalOp& b) {
+  // Canonicalized (interned) trees compare by identity; distinct cached
+  // fingerprints prove inequality without recursing. Both checks are exact:
+  // equal trees share a fingerprint by construction.
+  if (&a == &b) return true;
+  const uint64_t fa = a.cached_fingerprint();
+  const uint64_t fb = b.cached_fingerprint();
+  if (fa != 0 && fb != 0 && fa != fb) return false;
   if (!a.LocalEquals(b)) return false;
   if (a.children().size() != b.children().size()) return false;
   for (size_t i = 0; i < a.children().size(); ++i) {
@@ -354,32 +373,27 @@ bool LogicalTreeEquals(const LogicalOp& a, const LogicalOp& b) {
 }
 
 int CountOps(const LogicalOp& root) {
-  int count = 1;
+  int count = root.subtree_size_.load(std::memory_order_relaxed);
+  if (count != 0) return count;
+  count = 1;
   for (const LogicalOpPtr& child : root.children()) {
     count += CountOps(*child);
   }
+  root.subtree_size_.store(count, std::memory_order_relaxed);
   return count;
 }
 
-namespace {
-
-/// splitmix64 finalizer — strong 64-bit mixing for fingerprint combining.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 uint64_t TreeFingerprint(const LogicalOp& root) {
-  uint64_t h = Mix64((static_cast<uint64_t>(root.kind()) << 32) ^
-                     static_cast<uint64_t>(root.children().size()));
+  uint64_t h = root.fingerprint_.load(std::memory_order_relaxed);
+  if (h != 0) return h;
+  h = Mix64((static_cast<uint64_t>(root.kind()) << 32) ^
+            static_cast<uint64_t>(root.children().size()));
   h = Mix64(h ^ static_cast<uint64_t>(root.LocalHash()));
   for (const LogicalOpPtr& child : root.children()) {
-    h = Mix64(h * 0x100000001b3ULL ^ TreeFingerprint(*child));
+    h = HashCombine(h, TreeFingerprint(*child));
   }
+  if (h == 0) h = 1;  // keep 0 as the "not yet computed" sentinel
+  root.fingerprint_.store(h, std::memory_order_relaxed);
   return h;
 }
 

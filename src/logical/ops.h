@@ -1,6 +1,7 @@
 #ifndef QTF_LOGICAL_OPS_H_
 #define QTF_LOGICAL_OPS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +41,7 @@ enum class JoinKind {
 const char* JoinKindToString(JoinKind kind);
 
 class LogicalOp;
+class NodeInterner;
 using LogicalOpPtr = std::shared_ptr<const LogicalOp>;
 
 /// Derived logical properties of an operator (sub)tree: output columns,
@@ -109,13 +111,44 @@ class LogicalOp {
   virtual LogicalOpPtr WithNewChildren(
       std::vector<LogicalOpPtr> children) const = 0;
 
+  /// Cached TreeFingerprint of the subtree rooted here, or 0 if not yet
+  /// computed. Filled in (idempotently — the fingerprint is a pure
+  /// function of the structure) by the first TreeFingerprint() call.
+  uint64_t cached_fingerprint() const {
+    return fingerprint_.load(std::memory_order_relaxed);
+  }
+
+  /// Cached CountOps of the subtree rooted here, or 0 if not yet computed.
+  int cached_subtree_size() const {
+    return subtree_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Identity of the interner epoch that canonicalized this node, or
+  /// nullptr. Nodes tagged with the same live epoch are pointer-comparable
+  /// (see NodeInterner::Equal). A later interner may retag a node; that
+  /// only downgrades the earlier interner's comparisons to deep equality.
+  const void* interner_tag() const {
+    return interner_tag_.load(std::memory_order_acquire);
+  }
+
  protected:
   LogicalOp(LogicalOpKind kind, std::vector<LogicalOpPtr> children)
       : kind_(kind), children_(std::move(children)) {}
 
  private:
+  friend uint64_t TreeFingerprint(const LogicalOp& root);
+  friend int CountOps(const LogicalOp& root);
+  friend class NodeInterner;
+
   LogicalOpKind kind_;
   std::vector<LogicalOpPtr> children_;
+
+  // Lazily-computed caches. Nodes are immutable, so each cache converges
+  // to a single value; relaxed stores are safe because every writer
+  // derives the identical value from the same immutable structure.
+  mutable std::atomic<uint64_t> fingerprint_{0};
+  mutable std::atomic<int> subtree_size_{0};
+  mutable std::atomic<const void*> interner_tag_{nullptr};
 };
 
 /// Base-table access. Allocates (at construction time, via the registry)
@@ -333,16 +366,23 @@ std::string LogicalTreeToString(const LogicalOp& root,
                                 const ColumnNameResolver* resolver);
 
 /// Deep structural equality (LocalEquals at every node, recursively).
+/// Fast paths: identical roots compare equal without recursion, and roots
+/// whose fingerprints are both cached and differ compare unequal in O(1).
 bool LogicalTreeEquals(const LogicalOp& a, const LogicalOp& b);
 
-/// Number of operator nodes in the tree.
+/// Number of operator nodes in the tree. Memoized per node (see
+/// LogicalOp::cached_subtree_size): O(1) after the first call.
 int CountOps(const LogicalOp& root);
 
 /// Stable 64-bit structural fingerprint of a logical tree: trees that are
 /// LogicalTreeEquals share a fingerprint, and the value depends only on
 /// the tree (kind, arguments, child order) — not on allocation addresses —
-/// so it is stable across repeated constructions within a process. Used as
-/// the plan-cache hash key (collisions are resolved by deep equality).
+/// so it is stable across processes and standard-library implementations
+/// (all node hashes avoid std::hash). Used as the plan-cache hash key and
+/// the NodeInterner bucket key (collisions are resolved by deep equality).
+/// Memoized per node (see LogicalOp::cached_fingerprint): O(1) after the
+/// first call on any given node, which re-keys PlanCache lookups from a
+/// full-tree rehash to a single atomic load.
 uint64_t TreeFingerprint(const LogicalOp& root);
 
 }  // namespace qtf

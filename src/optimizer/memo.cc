@@ -4,7 +4,18 @@ namespace qtf {
 
 LogicalOpPtr Memo::MakeGroupRef(int group_id) const {
   const Group& g = group(group_id);
-  return std::make_shared<GroupRefOp>(group_id, &g.props);
+  // One shared leaf per group (memo-local hash-consing): bound trees built
+  // during exploration all point at the same GroupRef instance instead of
+  // allocating a fresh one per bind. Safe because Group objects (and so
+  // their props) are stable behind unique_ptr for the memo's lifetime.
+  if (group_ref_cache_.size() < groups_.size()) {
+    group_ref_cache_.resize(groups_.size());
+  }
+  LogicalOpPtr& slot = group_ref_cache_[static_cast<size_t>(group_id)];
+  if (slot == nullptr) {
+    slot = std::make_shared<GroupRefOp>(group_id, &g.props);
+  }
+  return slot;
 }
 
 int Memo::NewGroup(LogicalProps props) {
@@ -19,45 +30,55 @@ int Memo::InsertTree(const LogicalOp& op) {
   if (op.kind() == LogicalOpKind::kGroupRef) {
     return static_cast<const GroupRefOp&>(op).group_id();
   }
-  std::vector<LogicalOpPtr> ref_children;
-  ref_children.reserve(op.children().size());
-  for (const LogicalOpPtr& child : op.children()) {
-    int child_group = InsertTree(*child);
-    ref_children.push_back(MakeGroupRef(child_group));
-  }
-  LogicalOpPtr bound = op.WithNewChildren(std::move(ref_children));
-  return Insert(*bound, /*target_group=*/-1).first;
-}
-
-std::pair<int, bool> Memo::Insert(const LogicalOp& op, int target_group) {
-  // Normalize children to GroupRefs (recursively inserting new subtrees).
   std::vector<int> child_groups;
-  std::vector<LogicalOpPtr> ref_children;
   child_groups.reserve(op.children().size());
   for (const LogicalOpPtr& child : op.children()) {
-    int g;
-    if (child->kind() == LogicalOpKind::kGroupRef) {
-      g = static_cast<const GroupRefOp&>(*child).group_id();
-      ref_children.push_back(child);
-    } else {
-      g = InsertTree(*child);
-      ref_children.push_back(MakeGroupRef(g));
-    }
-    child_groups.push_back(g);
+    child_groups.push_back(InsertTree(*child));
   }
-  if (op.kind() == LogicalOpKind::kGroupRef) {
-    // Degenerate rule output: the whole expression is an existing group.
-    int g = static_cast<const GroupRefOp&>(op).group_id();
-    return {g, false};
-  }
-  LogicalOpPtr bound = op.WithNewChildren(std::move(ref_children));
+  return InsertNormalized(op, child_groups, /*bound_hint=*/nullptr,
+                          /*target_group=*/-1)
+      .first;
+}
 
-  Signature sig{bound->LocalHash(), child_groups};
+std::pair<int, bool> Memo::Insert(const LogicalOpPtr& op, int target_group) {
+  QTF_CHECK(op != nullptr);
+  if (op->kind() == LogicalOpKind::kGroupRef) {
+    // Degenerate rule output: the whole expression is an existing group.
+    return {static_cast<const GroupRefOp&>(*op).group_id(), false};
+  }
+  // Normalize children to group ids (recursively inserting new subtrees).
+  std::vector<int> child_groups;
+  child_groups.reserve(op->children().size());
+  bool all_refs = true;
+  for (const LogicalOpPtr& child : op->children()) {
+    if (child->kind() == LogicalOpKind::kGroupRef) {
+      child_groups.push_back(static_cast<const GroupRefOp&>(*child).group_id());
+    } else {
+      child_groups.push_back(InsertTree(*child));
+      all_refs = false;
+    }
+  }
+  // When the expression is already in bound form (every child a GroupRef —
+  // the common case for rule outputs built over bound inputs), it can be
+  // stored as-is instead of being cloned.
+  return InsertNormalized(*op, child_groups, all_refs ? &op : nullptr,
+                          target_group);
+}
+
+std::pair<int, bool> Memo::InsertNormalized(const LogicalOp& op,
+                                            const std::vector<int>& child_groups,
+                                            const LogicalOpPtr* bound_hint,
+                                            int target_group) {
+  // Dedup before materializing: LocalHash/LocalEquals exclude children, so
+  // the signature lookup works on `op` directly and duplicate insertions
+  // (the overwhelming majority once exploration converges) never pay for a
+  // WithNewChildren clone.
+  Signature sig{op.LocalHash(), child_groups};
   auto [begin, end] = signature_index_.equal_range(sig);
   for (auto it = begin; it != end; ++it) {
     const auto& [g, idx] = it->second;
     const GroupExpr& existing = *group(g).exprs[static_cast<size_t>(idx)];
-    if (existing.op->LocalEquals(*bound) &&
+    if (existing.op->LocalEquals(op) &&
         existing.child_groups == child_groups) {
       // Known expression. If it already lives in the target group (or no
       // target), nothing to do.
@@ -67,6 +88,16 @@ std::pair<int, bool> Memo::Insert(const LogicalOp& op, int target_group) {
       // see DESIGN.md). Per-group dedup below prevents duplicates.
       break;
     }
+  }
+
+  LogicalOpPtr bound;
+  if (bound_hint != nullptr) {
+    bound = *bound_hint;
+  } else {
+    std::vector<LogicalOpPtr> ref_children;
+    ref_children.reserve(child_groups.size());
+    for (int cg : child_groups) ref_children.push_back(MakeGroupRef(cg));
+    bound = op.WithNewChildren(std::move(ref_children));
   }
 
   int g = target_group;
@@ -108,10 +139,18 @@ namespace {
 void CrossProduct(
     const std::vector<std::vector<LogicalOpPtr>>& options, size_t index,
     std::vector<LogicalOpPtr>* current,
-    const LogicalOp& op, std::vector<LogicalOpPtr>* out, int max_bindings) {
+    const LogicalOpPtr& op, std::vector<LogicalOpPtr>* out, int max_bindings) {
   if (static_cast<int>(out->size()) >= max_bindings) return;
   if (index == options.size()) {
-    out->push_back(op.WithNewChildren(*current));
+    // When every chosen child is the expression's own stored child (true
+    // for any single-level pattern, whose non-root positions are all
+    // placeholders), the binding IS the stored expression: share it
+    // instead of cloning a structurally-identical copy.
+    bool same = current->size() == op->children().size();
+    for (size_t i = 0; same && i < current->size(); ++i) {
+      same = (*current)[i].get() == op->children()[i].get();
+    }
+    out->push_back(same ? op : op->WithNewChildren(*current));
     return;
   }
   for (const LogicalOpPtr& option : options[index]) {
@@ -160,7 +199,7 @@ std::vector<LogicalOpPtr> Memo::BindPattern(const GroupExpr& expr,
     if (options[i].empty()) return {};
   }
   std::vector<LogicalOpPtr> current;
-  CrossProduct(options, 0, &current, *expr.op, &out, kMaxBindings);
+  CrossProduct(options, 0, &current, expr.op, &out, kMaxBindings);
   return out;
 }
 

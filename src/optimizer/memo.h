@@ -60,8 +60,10 @@ class Memo {
   /// (reused groups) or fresh operator subtrees (inserted recursively).
   /// `target_group` is the group the root expression belongs to, or -1 to
   /// place it by global lookup (creating a new group if unseen).
-  /// Returns {group id, whether a new expression was added}.
-  std::pair<int, bool> Insert(const LogicalOp& op, int target_group);
+  /// Returns {group id, whether a new expression was added}. Duplicate
+  /// insertions are detected from `op` in place (no bound-form clone); an
+  /// already-bound `op` (all children GroupRefs) is stored as-is.
+  std::pair<int, bool> Insert(const LogicalOpPtr& op, int target_group);
 
   Group& group(int id) {
     QTF_CHECK(id >= 0 && static_cast<size_t>(id) < groups_.size());
@@ -83,7 +85,8 @@ class Memo {
   std::vector<LogicalOpPtr> BindPattern(const GroupExpr& expr,
                                         const PatternNode& pattern) const;
 
-  /// Builds the GroupRef leaf for a group (shared, stable props pointer).
+  /// Returns the GroupRef leaf for a group (shared, stable props pointer).
+  /// Memoized: every call for the same group returns the same instance.
   LogicalOpPtr MakeGroupRef(int group_id) const;
 
   /// Search-space limits; exploration stops adding expressions beyond them
@@ -113,6 +116,15 @@ class Memo {
 
   int NewGroup(LogicalProps props);
 
+  /// Shared implementation of InsertTree/Insert once children are resolved
+  /// to group ids. `bound_hint`, when non-null, is `op` already in bound
+  /// form (children are GroupRef leaves) and is stored directly; otherwise
+  /// the bound form is materialized only if the expression is new.
+  std::pair<int, bool> InsertNormalized(const LogicalOp& op,
+                                        const std::vector<int>& child_groups,
+                                        const LogicalOpPtr* bound_hint,
+                                        int target_group);
+
   int rule_count_;
   std::vector<std::unique_ptr<Group>> groups_;
   int64_t expr_count_ = 0;
@@ -121,6 +133,10 @@ class Memo {
   /// collisions resolved by LocalEquals on the stored op.
   std::unordered_multimap<Signature, std::pair<int, int>, SignatureHash>
       signature_index_;
+  /// Lazily-built shared GroupRef leaves, one slot per group (see
+  /// MakeGroupRef). Mutable: memoization only, and a memo is confined to
+  /// one search thread.
+  mutable std::vector<LogicalOpPtr> group_ref_cache_;
 };
 
 }  // namespace qtf

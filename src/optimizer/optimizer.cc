@@ -186,7 +186,7 @@ class SearchEngine {
               rule.Apply(*bound, &outputs);
               if (!outputs.empty()) exercised_.insert(rule.id());
               for (const LogicalOpPtr& output : outputs) {
-                auto [group_id, added] = memo_.Insert(*output, g);
+                auto [group_id, added] = memo_.Insert(output, g);
                 (void)group_id;
                 if (added) changed = true;
               }
@@ -310,6 +310,9 @@ Optimizer::Optimizer(const RuleRegistry* rules, obs::MetricsRegistry* metrics)
   search_seconds_ = metrics_->histogram("qtf.optimizer.search_seconds");
   budget_exhausted_ = metrics_->counter("qtf.robustness.budget_exhausted");
   cancelled_ = metrics_->counter("qtf.robustness.cancelled");
+  owned_interner_ = std::make_unique<NodeInterner>();
+  owned_interner_->set_metrics(metrics_);
+  interner_ = owned_interner_.get();
   rule_fired_.reserve(static_cast<size_t>(rules_->size()));
   for (int id = 0; id < rules_->size(); ++id) {
     rule_fired_.push_back(metrics_->counter("qtf.optimizer.rule_fired." +
@@ -330,6 +333,13 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
     return Status::Cancelled("optimization cancelled before search");
   }
   QTF_RETURN_NOT_OK(ValidateTree(*query.root, *query.registry));
+  // Canonicalize the input through the interner: structurally-equal roots
+  // collapse to one shared instance whose fingerprint and subtree size are
+  // cached, so the cache keying below and every rehash inside the search
+  // are O(1) lookups instead of full-tree walks. The canonical tree is
+  // LogicalTreeEquals-identical to the input, so results are unchanged.
+  Query canonical = query;
+  canonical.root = interner_->Intern(query.root);
   PlanCache* cache =
       options.plan_cache != nullptr ? options.plan_cache : plan_cache_;
   if (cache != nullptr && fault_injector_ != nullptr &&
@@ -337,7 +347,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
     // An unavailable cache is degraded around, not fatal: this invocation
     // just searches from scratch (and skips the insert, so a flaky cache
     // never stores anything it could not have served).
-    uint64_t key = TreeFingerprint(*query.root) ^
+    uint64_t key = TreeFingerprint(*canonical.root) ^
                    options.fault_salt * 0x9e3779b97f4a7c15ULL;
     if (!fault_injector_->Probe(fault_sites::kPlanCacheGet, key).ok()) {
       cache = nullptr;
@@ -345,7 +355,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
   }
   if (cache != nullptr) {
     std::optional<OptimizeResult> hit =
-        cache->Lookup(query, options.disabled_rules);
+        cache->Lookup(canonical, options.disabled_rules);
     if (hit.has_value()) return *std::move(hit);
   }
   searches_->Increment();
@@ -353,7 +363,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
       options.budget.unlimited() ? default_budget_ : options.budget;
   SearchEngine engine(*rules_, cost_model_, options, budget, fault_injector_);
   const auto search_start = std::chrono::steady_clock::now();
-  Result<OptimizeResult> result = engine.Run(query);
+  Result<OptimizeResult> result = engine.Run(canonical);
   search_seconds_->Observe(std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - search_start)
                                .count());
@@ -371,7 +381,7 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
   // Budget-exhausted results are upper bounds, not Cost(q, not R); caching
   // them would poison later unbudgeted lookups of the same key.
   if (cache != nullptr && result.ok() && !result->budget_exhausted) {
-    cache->Insert(query, options.disabled_rules, result.value());
+    cache->Insert(canonical, options.disabled_rules, result.value());
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "common/fault_injection.h"
 #include "common/result.h"
 #include "exec/physical.h"
+#include "logical/interner.h"
 #include "logical/query.h"
 #include "obs/metrics.h"
 #include "optimizer/cost_model.h"
@@ -141,6 +142,21 @@ class Optimizer {
   /// framework-wide registry when one was injected, else the private one.
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Hash-consing interner every Optimize() canonicalizes its input tree
+  /// through before cache keying and search (never null; the optimizer
+  /// owns a default instance reporting qtf.interner.* into metrics()).
+  /// Canonicalization is purely structural, so results are identical with
+  /// any interner — sharing one across components just collapses
+  /// structurally-equal trees to pointer-shared nodes (see
+  /// docs/architecture.md).
+  NodeInterner* interner() const { return interner_; }
+
+  /// Replaces the interner used by Optimize(); nullptr restores the owned
+  /// default. Borrowed, must outlive the optimizer's use of it.
+  void set_interner(NodeInterner* interner) {
+    interner_ = interner != nullptr ? interner : owned_interner_.get();
+  }
+
  private:
   const RuleRegistry* rules_;
   CostModel cost_model_;
@@ -151,6 +167,8 @@ class Optimizer {
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when none injected
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<NodeInterner> owned_interner_;
+  NodeInterner* interner_ = nullptr;
   obs::Counter* invocations_ = nullptr;
   obs::Counter* searches_ = nullptr;   // invocations that ran a full search
   obs::Counter* saturated_ = nullptr;  // searches that hit the memo limit

@@ -1,16 +1,8 @@
 #include "optimizer/plan_cache.h"
 
+#include "common/hash.h"
+
 namespace qtf {
-namespace {
-
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
   QTF_CHECK(capacity_ >= 1) << "plan cache capacity must be positive";
@@ -34,10 +26,12 @@ void PlanCache::set_metrics(obs::MetricsRegistry* metrics) {
 
 uint64_t PlanCache::KeyHash(const LogicalOp& root,
                             const RuleIdSet& disabled_rules) {
+  // TreeFingerprint is memoized on the node, so re-keying an interned (or
+  // previously fingerprinted) root is one atomic load, not a tree walk.
   uint64_t h = TreeFingerprint(root);
   // RuleIdSet is ordered, so this fold is canonical for the set.
   for (RuleId id : disabled_rules) {
-    h = Mix64(h * 0x100000001b3ULL ^ static_cast<uint64_t>(id));
+    h = HashCombine(h, static_cast<uint64_t>(id));
   }
   return h;
 }

@@ -22,7 +22,10 @@ namespace qtf {
 /// disabled-rule ids; hash collisions are resolved by comparing the
 /// disabled set and the stored tree with LogicalTreeEquals, so a hit is
 /// exact, never probabilistic. Entries keep the keyed tree alive via
-/// shared_ptr.
+/// shared_ptr. Fingerprints are cached on the nodes themselves and the
+/// optimizer canonicalizes roots through its NodeInterner before keying,
+/// so steady-state lookups hash in O(1) and resolve equality by pointer
+/// identity (see docs/architecture.md).
 ///
 /// All operations lock one internal mutex; the cache is safe to share
 /// between concurrent Optimize() calls (the parallel edge-cost path).

@@ -68,7 +68,11 @@ class Rule {
 /// whose placeholder positions are GroupRefOp leaves (carrying group
 /// properties for precondition checks). Apply appends zero or more
 /// equivalent trees to `out`; output trees may reuse the bound GroupRefs
-/// and/or introduce new operator subtrees.
+/// and/or introduce new operator subtrees. Bound trees and their GroupRef
+/// leaves are shared instances owned by the memo (Memo::MakeGroupRef
+/// memoizes one leaf per group), so rules must treat `bound` as immutable
+/// and build outputs by sharing, never by mutating — the same contract the
+/// NodeInterner relies on for the fully-logical trees outside the memo.
 class ExplorationRule : public Rule {
  public:
   ExplorationRule(std::string name, PatternNodePtr pattern)

@@ -5,9 +5,14 @@
 namespace qtf {
 
 PatternNodePtr PatternNode::Any() {
-  return std::make_shared<PatternNode>(Type::kAny, LogicalOpKind::kGet,
-                                       std::nullopt,
-                                       std::vector<PatternNodePtr>{});
+  // Pattern nodes are immutable, and every placeholder is structurally
+  // identical — hash-cons them into one process-wide leaf instead of
+  // allocating per call (pattern enumeration and composition create
+  // thousands of placeholders).
+  static const PatternNodePtr kAnyNode = std::make_shared<PatternNode>(
+      Type::kAny, LogicalOpKind::kGet, std::nullopt,
+      std::vector<PatternNodePtr>{});
+  return kAnyNode;
 }
 
 PatternNodePtr PatternNode::Op(LogicalOpKind kind,

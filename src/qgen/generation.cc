@@ -71,9 +71,15 @@ Result<GenerationOutcome> TargetedQueryGenerator::RunTrials(
                                     : trials_pattern_;
   auto start = std::chrono::steady_clock::now();
 
-  RandomQueryGenerator random_gen(catalog_, config.seed);
+  // Trial queries are canonicalized through the optimizer's interner as
+  // they are built: candidates re-generated across trials (and the many
+  // shared Get/Select subtrees among them) collapse to pointer-shared,
+  // pre-fingerprinted nodes before Optimize() ever sees them.
+  TreeBuilderOptions builder_options = config.builder_options;
+  builder_options.interner = optimizer_->interner();
+  RandomQueryGenerator random_gen(catalog_, config.seed, {}, builder_options);
   PatternInstantiator instantiator(catalog_, config.seed ^ 0x9e3779b9,
-                                   config.builder_options);
+                                   builder_options);
   Rng knob_rng(config.seed ^ 0x51237);
 
   OptimizerOptions trial_options;

@@ -5,7 +5,7 @@
 namespace qtf {
 
 Query RandomQueryGenerator::Generate() {
-  TreeBuilder builder(catalog_, &rng_);
+  TreeBuilder builder(catalog_, &rng_, builder_options_);
   int target_ops = static_cast<int>(
       rng_.UniformInt(config_.min_ops, config_.max_ops));
   LogicalOpPtr tree = builder.RandomGet();
@@ -56,7 +56,10 @@ LogicalOpPtr InstantiateNode(const PatternNode& pattern, TreeBuilder* builder,
     case LogicalOpKind::kDistinct: {
       LogicalOpPtr child =
           InstantiateNode(*pattern.children()[0], builder, rng);
-      return std::make_shared<DistinctOp>(std::move(child));
+      // Direct construction (RandomDistinct would narrow with a project);
+      // still canonicalize so pattern-instantiated trees are fully interned.
+      return builder->Canonical(
+          std::make_shared<DistinctOp>(std::move(child)));
     }
     case LogicalOpKind::kGroupRef:
       QTF_CHECK(false) << "GroupRef cannot appear in an exported pattern";

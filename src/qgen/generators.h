@@ -24,9 +24,15 @@ struct RandomGeneratorConfig {
 /// framework's baseline for query generation.
 class RandomQueryGenerator {
  public:
+  /// `builder_options` configures the per-query TreeBuilder (biases and
+  /// the optional NodeInterner generated trees are canonicalized through).
   RandomQueryGenerator(const Catalog* catalog, uint64_t seed,
-                       RandomGeneratorConfig config = {})
-      : catalog_(catalog), rng_(seed), config_(config) {}
+                       RandomGeneratorConfig config = {},
+                       TreeBuilderOptions builder_options = {})
+      : catalog_(catalog),
+        rng_(seed),
+        config_(config),
+        builder_options_(builder_options) {}
 
   /// Generates a fresh random query (new registry each call).
   Query Generate();
@@ -35,6 +41,7 @@ class RandomQueryGenerator {
   const Catalog* catalog_;
   Rng rng_;
   RandomGeneratorConfig config_;
+  TreeBuilderOptions builder_options_;
 };
 
 /// PATTERN: instantiates a rule pattern into a logical query tree — the

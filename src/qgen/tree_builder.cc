@@ -32,7 +32,7 @@ LogicalOpPtr TreeBuilder::RandomGet() {
   for (size_t i = 0; i < get->columns().size(); ++i) {
     base_defs_[get->columns()[i]] = table->columns()[i];
   }
-  return get;
+  return Canonical(get);
 }
 
 ExprPtr TreeBuilder::RandomConstantFor(ColumnId id) {
@@ -103,7 +103,8 @@ ExprPtr TreeBuilder::RandomPredicate(const LogicalOp& input) {
 
 LogicalOpPtr TreeBuilder::RandomSelect(LogicalOpPtr input) {
   ExprPtr pred = RandomPredicate(*input);
-  return std::make_shared<SelectOp>(std::move(input), std::move(pred));
+  return Canonical(
+      std::make_shared<SelectOp>(std::move(input), std::move(pred)));
 }
 
 LogicalOpPtr TreeBuilder::RandomProject(LogicalOpPtr input) {
@@ -144,7 +145,8 @@ LogicalOpPtr TreeBuilder::RandomProject(LogicalOpPtr input) {
       items.push_back(ProjectItem{std::move(expr), id});
     }
   }
-  return std::make_shared<ProjectOp>(std::move(input), std::move(items));
+  return Canonical(
+      std::make_shared<ProjectOp>(std::move(input), std::move(items)));
 }
 
 LogicalOpPtr TreeBuilder::RandomGroupBy(LogicalOpPtr input) {
@@ -212,9 +214,8 @@ LogicalOpPtr TreeBuilder::RandomGroupBy(LogicalOpPtr input) {
     // Degenerate; group on one column to keep the operator meaningful.
     group_cols.push_back(rng_->PickOne(cols));
   }
-  return std::make_shared<GroupByAggOp>(std::move(input),
-                                        std::move(group_cols),
-                                        std::move(aggs));
+  return Canonical(std::make_shared<GroupByAggOp>(
+      std::move(input), std::move(group_cols), std::move(aggs)));
 }
 
 LogicalOpPtr TreeBuilder::RandomJoin(JoinKind kind, LogicalOpPtr left,
@@ -260,8 +261,9 @@ LogicalOpPtr TreeBuilder::RandomJoin(JoinKind kind, LogicalOpPtr left,
     }
   }
   // pred may stay nullptr (cross join) when no compatible pair exists.
-  return std::make_shared<JoinOp>(kind, std::move(left), std::move(right),
-                                  std::move(pred));
+  return Canonical(std::make_shared<JoinOp>(kind, std::move(left),
+                                            std::move(right),
+                                            std::move(pred)));
 }
 
 LogicalOpPtr TreeBuilder::RandomUnionAll(LogicalOpPtr left,
@@ -321,8 +323,8 @@ LogicalOpPtr TreeBuilder::RandomUnionAll(LogicalOpPtr left,
     output_ids.push_back(registry_->Allocate(
         "u" + std::to_string(agg_counter_++), registry_->TypeOf(id)));
   }
-  return std::make_shared<UnionAllOp>(std::move(left), std::move(coerced),
-                                      std::move(output_ids));
+  return Canonical(std::make_shared<UnionAllOp>(
+      std::move(left), std::move(coerced), std::move(output_ids)));
 }
 
 LogicalOpPtr TreeBuilder::RandomDistinct(LogicalOpPtr input) {
@@ -331,7 +333,12 @@ LogicalOpPtr TreeBuilder::RandomDistinct(LogicalOpPtr input) {
   if (input->OutputColumns().size() > 3 && rng_->Bernoulli(0.6)) {
     input = RandomProject(std::move(input));
   }
-  return std::make_shared<DistinctOp>(std::move(input));
+  return Canonical(std::make_shared<DistinctOp>(std::move(input)));
+}
+
+LogicalOpPtr TreeBuilder::Canonical(LogicalOpPtr node) const {
+  if (options_.interner == nullptr) return node;
+  return options_.interner->Intern(node);
 }
 
 LogicalOpPtr TreeBuilder::ApplyRandomOperator(LogicalOpPtr input) {

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/rng.h"
+#include "logical/interner.h"
 #include "logical/ops.h"
 #include "logical/props.h"
 
@@ -26,6 +27,12 @@ struct TreeBuilderOptions {
   bool bias_groupby_keys = true;
   /// Over a join, sometimes project only the left side's columns.
   bool bias_project_left_only = true;
+  /// When set (borrowed, not owned), every constructed node is
+  /// canonicalized through this interner, so structurally-equal subtrees
+  /// across generated queries share one instance and arrive at the
+  /// optimizer pre-fingerprinted. Generation is interning-agnostic: the
+  /// same seed yields structurally identical queries either way.
+  NodeInterner* interner = nullptr;
 };
 
 /// Random building blocks for valid logical query trees, shared by the
@@ -76,6 +83,12 @@ class TreeBuilder {
 
   /// Random predicate over the columns of `input`.
   ExprPtr RandomPredicate(const LogicalOp& input);
+
+  /// Canonicalizes `node` through the configured interner (identity when
+  /// none is configured). Applied to every node the builder constructs;
+  /// also used by callers (PatternInstantiator) that assemble nodes
+  /// directly.
+  LogicalOpPtr Canonical(LogicalOpPtr node) const;
 
  private:
   /// Constant literal drawn from the column's domain when known.

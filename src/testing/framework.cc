@@ -38,14 +38,6 @@ Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
   return framework;
 }
 
-Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
-    const TpchConfig& config, std::unique_ptr<RuleRegistry> registry) {
-  Options options;
-  options.tpch = config;
-  options.rules = std::move(registry);
-  return Create(std::move(options));
-}
-
 std::vector<RuleTarget> RuleTestFramework::LogicalRulePairs(int n) const {
   std::vector<RuleId> logical = registry_->ExplorationRuleIds();
   QTF_CHECK(n <= static_cast<int>(logical.size()));

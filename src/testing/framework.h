@@ -55,16 +55,10 @@ class RuleTestFramework {
     RetryPolicy retry_policy;
   };
 
-  /// Builds the framework as configured.
+  /// Builds the framework as configured. (The legacy positional
+  /// Create(TpchConfig, registry) overload was removed after its PR-3
+  /// deprecation window; populate Options instead.)
   static Result<std::unique_ptr<RuleTestFramework>> Create(Options options);
-
-  /// Legacy overload: defaults for everything but the database scale and
-  /// rule registry.
-  /// Deprecated since the Options facade (PR 3); scheduled for removal two
-  /// PRs after this one — migrate to Create(Options) (see CHANGES.md).
-  [[deprecated("use Create(Options) — this overload will be removed")]]
-  static Result<std::unique_ptr<RuleTestFramework>> Create(
-      const TpchConfig& config, std::unique_ptr<RuleRegistry> registry);
 
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return db_->catalog(); }
@@ -74,6 +68,11 @@ class RuleTestFramework {
   /// correctness runs (attached to the optimizer at Create time). Use
   /// PlanCacheDetachGuard to benchmark cold searches.
   PlanCache* plan_cache() { return plan_cache_.get(); }
+  /// Hash-consing interner canonicalizing every logical tree this framework
+  /// optimizes or generates (owned by the optimizer; see
+  /// docs/architecture.md). Exposed for tests and tools that build trees
+  /// outside the framework and want them in the same canonical space.
+  NodeInterner* interner() { return optimizer_->interner(); }
   TargetedQueryGenerator* generator() { return generator_.get(); }
   TestSuiteGenerator* suite_generator() { return suite_generator_.get(); }
   CorrectnessRunner* runner() { return runner_.get(); }

@@ -1,7 +1,9 @@
 #include "types/value.h"
 
+#include <cstring>
 #include <functional>
 
+#include "common/hash.h"
 #include "common/str_util.h"
 
 namespace qtf {
@@ -82,6 +84,35 @@ size_t Value::Hash() const {
       return std::hash<std::string>()(str());
     case ValueType::kBool:
       return std::hash<bool>()(boolean());
+  }
+  return 0;
+}
+
+// Explicit mixing rather than std::hash so the value (and everything built
+// on it: StableExprHash, LocalHash, TreeFingerprint, plan-cache keys,
+// fault-injection keys) is identical across standard-library
+// implementations — the property the golden fingerprint tests pin down.
+// Hash() stays std::hash-based because MakeConjunction's canonical conjunct
+// order is defined by ExprHash values and must not shift under it.
+uint64_t Value::StableHash() const {
+  if (is_null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(int64()));
+    case ValueType::kDouble: {
+      // Hash the bit pattern, but keep the guarantee that values comparing
+      // equal hash equal: -0.0 == 0.0, so normalize the sign.
+      double d = dbl();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return Fnv1a(str());
+    case ValueType::kBool:
+      return boolean() ? 0x27d4eb2f165667c5ULL : 0x165667b19e3779f9ULL;
   }
   return 0;
 }

@@ -77,8 +77,16 @@ class Value {
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
-  /// Hash compatible with Compare()==0 equality.
+  /// Hash compatible with Compare()==0 equality. Built on std::hash, so
+  /// values may differ across standard libraries; in-process use only
+  /// (hash tables, ExprHash and the conjunct canonical order it defines).
   size_t Hash() const;
+
+  /// Platform-stable hash compatible with Compare()==0 equality: explicit
+  /// mixing, no std::hash. Feeds everything used as a persistent or golden
+  /// key — StableExprHash, LogicalOp::LocalHash, TreeFingerprint, the plan
+  /// cache — so those values can be pinned in tests (docs/architecture.md).
+  uint64_t StableHash() const;
 
  private:
   explicit Value(ValueType type) : type_(type), is_null_(true) {}

@@ -38,6 +38,17 @@ class CompressionTest : public ::testing::Test {
   std::unique_ptr<RuleTestFramework> fw_;
 };
 
+/// Structurally-identical fresh clone of a logical tree: every node
+/// reallocated, nothing interned, no cached fingerprints.
+LogicalOpPtr DeepClone(const LogicalOpPtr& node) {
+  std::vector<LogicalOpPtr> children;
+  children.reserve(node->children().size());
+  for (const LogicalOpPtr& child : node->children()) {
+    children.push_back(DeepClone(child));
+  }
+  return node->WithNewChildren(std::move(children));
+}
+
 TEST_F(CompressionTest, BaselineMatchesPaperFormula) {
   TestSuite suite = MakeSuite(4, 2, 1);
   EdgeCostProvider provider(fw_->optimizer(), &suite);
@@ -195,9 +206,24 @@ TEST_F(CompressionTest, ParallelMatchesSerialBitForBit) {
   // returns the same assignment, the same total cost to the last bit, and
   // the same optimizer_calls() — including under monotonicity pruning,
   // where prefetching an edge the serial scan would skip would show up
-  // here as an optimizer_calls mismatch.
+  // here as an optimizer_calls mismatch. The same contract holds across
+  // tree representations: the suite as generated (roots canonical in the
+  // framework's interner), explicitly re-interned roots (idempotent), and
+  // fresh uninterned deep clones must all agree — interning is a pure
+  // representation change (docs/architecture.md).
   const int k = 3;
-  TestSuite suite = MakeSuite(6, k, 11);
+  TestSuite canonical = MakeSuite(6, k, 11);
+
+  TestSuite reinterned = canonical;
+  for (TestCase& tc : reinterned.queries) {
+    LogicalOpPtr root = fw_->interner()->Intern(tc.query.root);
+    EXPECT_EQ(root.get(), tc.query.root.get());  // already canonical
+    tc.query.root = std::move(root);
+  }
+  TestSuite cloned = canonical;
+  for (TestCase& tc : cloned.queries) {
+    tc.query.root = DeepClone(tc.query.root);
+  }
 
   using Solver =
       std::function<Result<CompressionSolution>(EdgeCostProvider*)>;
@@ -213,23 +239,30 @@ TEST_F(CompressionTest, ParallelMatchesSerialBitForBit) {
          return CompressTopKIndependent(p, k, true);
        }}};
 
+  std::vector<std::pair<const char*, const TestSuite*>> suites = {
+      {"canonical", &canonical},
+      {"reinterned", &reinterned},
+      {"cloned", &cloned}};
+
   for (const auto& [name, solve] : solvers) {
-    EdgeCostProvider serial(fw_->optimizer(), &suite);
+    EdgeCostProvider serial(fw_->optimizer(), &canonical);
     auto want = solve(&serial);
     ASSERT_TRUE(want.ok()) << name;
 
-    for (int threads : {2, 4}) {
-      ThreadPool pool(threads);
-      EdgeCostProvider parallel(fw_->optimizer(), &suite);
-      parallel.set_thread_pool(&pool);
-      auto got = solve(&parallel);
-      ASSERT_TRUE(got.ok()) << name << " @ " << threads;
-      EXPECT_EQ(got->assignment, want->assignment)
-          << name << " @ " << threads;
-      EXPECT_EQ(got->total_cost, want->total_cost)  // exact, not NEAR
-          << name << " @ " << threads;
-      EXPECT_EQ(got->optimizer_calls, want->optimizer_calls)
-          << name << " @ " << threads;
+    for (const auto& [variant, suite] : suites) {
+      for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        EdgeCostProvider provider(fw_->optimizer(), suite);
+        if (threads > 1) provider.set_thread_pool(&pool);
+        auto got = solve(&provider);
+        ASSERT_TRUE(got.ok()) << name << "/" << variant << " @ " << threads;
+        EXPECT_EQ(got->assignment, want->assignment)
+            << name << "/" << variant << " @ " << threads;
+        EXPECT_EQ(got->total_cost, want->total_cost)  // exact, not NEAR
+            << name << "/" << variant << " @ " << threads;
+        EXPECT_EQ(got->optimizer_calls, want->optimizer_calls)
+            << name << "/" << variant << " @ " << threads;
+      }
     }
   }
 }
@@ -261,6 +294,19 @@ TEST_F(CompressionTest, ParallelPairTargetsMatchSerial) {
   EXPECT_EQ(got->assignment, want->assignment);
   EXPECT_EQ(got->total_cost, want->total_cost);
   EXPECT_EQ(got->optimizer_calls, want->optimizer_calls);
+
+  // And over uninterned clones of the same pair-target suite.
+  TestSuite cloned = *suite;
+  for (TestCase& tc : cloned.queries) {
+    tc.query.root = DeepClone(tc.query.root);
+  }
+  EdgeCostProvider clone_provider(fw_->optimizer(), &cloned);
+  clone_provider.set_thread_pool(&pool);
+  auto clone_got = CompressTopKIndependent(&clone_provider, 2, true);
+  ASSERT_TRUE(clone_got.ok());
+  EXPECT_EQ(clone_got->assignment, want->assignment);
+  EXPECT_EQ(clone_got->total_cost, want->total_cost);
+  EXPECT_EQ(clone_got->optimizer_calls, want->optimizer_calls);
 }
 
 TEST_F(CompressionTest, OptimizerCallsMatchesMetrics) {

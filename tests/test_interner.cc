@@ -1,0 +1,273 @@
+// NodeInterner: hash-consing canonicalization, pointer-equality fast
+// paths, fingerprint caching, GroupRef scoping, epoch semantics (Clear),
+// golden fingerprint stability, and end-to-end equivalence of
+// correctness-runner results over interned vs freshly-cloned trees under
+// fault injection.
+
+#include "logical/interner.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/memo.h"
+#include "storage/tpch.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+class InternerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTpchDatabase(TpchConfig{}).value();
+    registry_ = std::make_shared<ColumnRegistry>();
+    nation_ = GetOp::Create(db_->catalog().GetTable("nation").value(),
+                            registry_.get());
+    region_ = GetOp::Create(db_->catalog().GetTable("region").value(),
+                            registry_.get());
+  }
+
+  /// Select(Get(nation), n_nationkey = `rhs`) built from the shared leaf.
+  LogicalOpPtr SelectOnNation(int64_t rhs) {
+    return std::make_shared<SelectOp>(
+        nation_,
+        Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(rhs)));
+  }
+
+  std::unique_ptr<Database> db_;
+  ColumnRegistryPtr registry_;
+  std::shared_ptr<const GetOp> nation_, region_;
+  NodeInterner interner_;
+};
+
+/// Structurally-identical fresh clone: every node reallocated, nothing
+/// shared with (or tagged by) any interner.
+LogicalOpPtr DeepClone(const LogicalOpPtr& node) {
+  std::vector<LogicalOpPtr> children;
+  children.reserve(node->children().size());
+  for (const LogicalOpPtr& child : node->children()) {
+    children.push_back(DeepClone(child));
+  }
+  return node->WithNewChildren(std::move(children));
+}
+
+TEST_F(InternerTest, ReInterningIdenticalStructureYieldsPointerEqualNodes) {
+  LogicalOpPtr a = interner_.Intern(SelectOnNation(1));
+  LogicalOpPtr b = interner_.Intern(SelectOnNation(1));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_TRUE(interner_.IsCanonical(a));
+
+  // The second call resolved both nodes (leaf + select) without inserting.
+  EXPECT_EQ(interner_.misses(), 2u);
+  EXPECT_GE(interner_.hits(), 2u);
+
+  // A structurally different tree gets its own canonical instance.
+  LogicalOpPtr c = interner_.Intern(SelectOnNation(2));
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(InternerTest, InterningSharesSubtreesAcrossDifferentParents) {
+  LogicalOpPtr select = interner_.Intern(SelectOnNation(1));
+  auto join = std::make_shared<JoinOp>(
+      JoinKind::kInner, DeepClone(nation_), region_,
+      Eq(Col(nation_->columns()[2], ValueType::kInt64),
+         Col(region_->columns()[0], ValueType::kInt64)));
+  LogicalOpPtr canonical_join = interner_.Intern(join);
+  // The join's freshly-cloned nation leaf collapsed to the same canonical
+  // leaf the select uses.
+  EXPECT_EQ(canonical_join->child(0).get(), select->child(0).get());
+}
+
+TEST_F(InternerTest, IdempotentOnAlreadyCanonicalTrees) {
+  LogicalOpPtr a = interner_.Intern(SelectOnNation(1));
+  uint64_t misses_before = interner_.misses();
+  // Re-interning the canonical tree itself is a pure fast-path hit.
+  EXPECT_EQ(interner_.Intern(a).get(), a.get());
+  EXPECT_EQ(interner_.misses(), misses_before);
+}
+
+TEST_F(InternerTest, EqualFastPathAndFallback) {
+  LogicalOpPtr a = interner_.Intern(SelectOnNation(1));
+  LogicalOpPtr b = interner_.Intern(SelectOnNation(2));
+  EXPECT_TRUE(interner_.Equal(a, a));
+  // Two distinct canonical roots are unequal without a deep walk.
+  EXPECT_FALSE(interner_.Equal(a, b));
+  // Uninterned equivalent trees still compare equal (deep fallback).
+  EXPECT_TRUE(interner_.Equal(a, SelectOnNation(1)));
+  EXPECT_FALSE(interner_.Equal(a, SelectOnNation(3)));
+}
+
+TEST_F(InternerTest, InternCachesFingerprintAndSubtreeSize) {
+  LogicalOpPtr select = SelectOnNation(1);
+  EXPECT_EQ(select->cached_fingerprint(), 0u);
+  LogicalOpPtr canonical = interner_.Intern(select);
+  EXPECT_NE(canonical->cached_fingerprint(), 0u);
+  EXPECT_EQ(canonical->cached_fingerprint(), TreeFingerprint(*canonical));
+  EXPECT_EQ(canonical->cached_subtree_size(), 2);
+  EXPECT_EQ(CountOps(*canonical), 2);
+  // The fingerprint of an equivalent uninterned clone agrees.
+  EXPECT_EQ(TreeFingerprint(*DeepClone(canonical)),
+            canonical->cached_fingerprint());
+}
+
+TEST_F(InternerTest, GroupRefTreesPassThroughUntouched) {
+  Memo memo(/*rule_count=*/1);
+  int g = memo.InsertTree(*nation_);
+  LogicalOpPtr ref = memo.MakeGroupRef(g);
+  // A bare GroupRef and any tree containing one never enter the table.
+  EXPECT_EQ(interner_.Intern(ref).get(), ref.get());
+  EXPECT_FALSE(interner_.IsCanonical(ref));
+  auto select_over_ref = std::make_shared<SelectOp>(
+      ref, Eq(Col(nation_->columns()[0], ValueType::kInt64), LitInt(1)));
+  LogicalOpPtr out = interner_.Intern(select_over_ref);
+  EXPECT_EQ(out.get(), select_over_ref.get());
+  EXPECT_FALSE(interner_.IsCanonical(out));
+  EXPECT_EQ(interner_.size(), 0u);
+}
+
+TEST_F(InternerTest, ClearStartsANewEpoch) {
+  LogicalOpPtr a = interner_.Intern(SelectOnNation(1));
+  ASSERT_TRUE(interner_.IsCanonical(a));
+  interner_.Clear();
+  EXPECT_EQ(interner_.size(), 0u);
+  // The node survives but is no longer canonical...
+  EXPECT_FALSE(interner_.IsCanonical(a));
+  // ...and an equivalent tree interned now founds a new canonical line.
+  LogicalOpPtr b = interner_.Intern(SelectOnNation(1));
+  EXPECT_TRUE(interner_.IsCanonical(b));
+  // Cross-epoch equality still answers correctly via the deep fallback.
+  EXPECT_TRUE(interner_.Equal(a, b));
+}
+
+TEST_F(InternerTest, ExpiredEntriesDoNotPinOrCorruptTheTable) {
+  uint64_t fp;
+  {
+    LogicalOpPtr temp = interner_.Intern(SelectOnNation(7));
+    fp = temp->cached_fingerprint();
+  }  // last strong reference dropped; the table holds only a weak_ptr
+  // Re-interning the same structure registers a fresh canonical node.
+  LogicalOpPtr again = interner_.Intern(SelectOnNation(7));
+  EXPECT_TRUE(interner_.IsCanonical(again));
+  EXPECT_EQ(again->cached_fingerprint(), fp);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint payload consistency: distinct operator-local payloads that
+// LogicalTreeEquals distinguishes must fingerprint differently (cache keys
+// must not silently alias distinct trees).
+
+TEST_F(InternerTest, FingerprintCollisionSanity) {
+  auto key = Col(nation_->columns()[2], ValueType::kInt64);
+  auto rkey = Col(region_->columns()[0], ValueType::kInt64);
+  std::vector<LogicalOpPtr> distinct;
+  // Join kind is part of the payload...
+  distinct.push_back(
+      std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_, Eq(key, rkey)));
+  distinct.push_back(
+      std::make_shared<JoinOp>(JoinKind::kLeftOuter, nation_, region_, Eq(key, rkey)));
+  distinct.push_back(
+      std::make_shared<JoinOp>(JoinKind::kLeftSemi, nation_, region_, Eq(key, rkey)));
+  // ...as is the predicate (including its absence)...
+  distinct.push_back(
+      std::make_shared<JoinOp>(JoinKind::kInner, nation_, region_, nullptr));
+  distinct.push_back(std::make_shared<JoinOp>(
+      JoinKind::kInner, nation_, region_,
+      Eq(Col(nation_->columns()[0], ValueType::kInt64), rkey)));
+  // ...and child order.
+  distinct.push_back(
+      std::make_shared<JoinOp>(JoinKind::kInner, region_, nation_, Eq(key, rkey)));
+  // Select predicates: constant payloads must separate.
+  distinct.push_back(SelectOnNation(1));
+  distinct.push_back(SelectOnNation(2));
+  // Projection lists: different column subsets and different output ids.
+  std::vector<ProjectItem> narrow{
+      {Col(nation_->columns()[0], ValueType::kInt64),
+       registry_->Allocate("p0", ValueType::kInt64)}};
+  std::vector<ProjectItem> wide = narrow;
+  wide.push_back({Col(nation_->columns()[1], ValueType::kString),
+                  registry_->Allocate("p1", ValueType::kString)});
+  distinct.push_back(std::make_shared<ProjectOp>(nation_, narrow));
+  distinct.push_back(std::make_shared<ProjectOp>(nation_, wide));
+
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    for (size_t j = i + 1; j < distinct.size(); ++j) {
+      EXPECT_NE(TreeFingerprint(*distinct[i]), TreeFingerprint(*distinct[j]))
+          << "fingerprint collision between variants " << i << " and " << j;
+    }
+  }
+}
+
+// Golden stability: fingerprints are explicit-mixing (no std::hash), so
+// their exact values are pinned here. A change to these constants is a
+// cache-key format change: plan caches and any persisted fingerprints stop
+// matching — bump deliberately, never silently (docs/architecture.md).
+TEST_F(InternerTest, FingerprintGoldenValues) {
+  static_assert(sizeof(size_t) == 8, "goldens assume 64-bit size_t");
+  EXPECT_EQ(TreeFingerprint(*nation_), 0xee3e689e156d2846ULL);
+  EXPECT_EQ(TreeFingerprint(*SelectOnNation(1)), 0xc694dcf5d6b5b258ULL);
+  EXPECT_EQ(TreeFingerprint(*std::make_shared<JoinOp>(
+                JoinKind::kInner, nation_, region_,
+                Eq(Col(nation_->columns()[2], ValueType::kInt64),
+                   Col(region_->columns()[0], ValueType::kInt64)))),
+            0x5e0c5f97db73f0d8ULL);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: rule application over interned trees preserves
+// correctness-runner results under deterministic fault injection.
+
+std::unique_ptr<RuleTestFramework> ChaosFramework(uint64_t seed) {
+  RuleTestFramework::Options options;
+  options.fault_injector.seed = seed;
+  options.fault_injector.fault_probability = 0.2;
+  return RuleTestFramework::Create(std::move(options)).value();
+}
+
+Result<TestSuite> CleanSuite(RuleTestFramework* fw) {
+  fw->fault_injector()->set_enabled(false);
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 1;
+  config.seed = 2026;
+  auto suite =
+      fw->suite_generator()->Generate(fw->LogicalRuleSingletons(6), 2, config);
+  fw->fault_injector()->set_enabled(true);
+  return suite;
+}
+
+TEST(InternerChaosTest, CorrectnessResultsUnchangedByInterningAtFaultSeeds) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    // Framework A: the suite as generated — every root canonical in A's
+    // interner, trees pointer-shared across queries.
+    auto fa = ChaosFramework(seed);
+    auto suite_a = CleanSuite(fa.get());
+    ASSERT_TRUE(suite_a.ok()) << suite_a.status().ToString();
+    auto report_a = fa->runner()->Run(*suite_a, suite_a->per_target);
+    ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+
+    // Framework B: same seed, same suite, but every query root replaced by
+    // a fresh uninterned deep clone — nothing shared, nothing cached.
+    auto fb = ChaosFramework(seed);
+    auto suite_b = CleanSuite(fb.get());
+    ASSERT_TRUE(suite_b.ok()) << suite_b.status().ToString();
+    for (TestCase& tc : suite_b->queries) {
+      tc.query.root = DeepClone(tc.query.root);
+    }
+    auto report_b = fb->runner()->Run(*suite_b, suite_b->per_target);
+    ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+
+    EXPECT_EQ(report_a->violations.size(), report_b->violations.size());
+    EXPECT_EQ(report_a->plans_executed, report_b->plans_executed);
+    EXPECT_EQ(report_a->skipped_identical_plans,
+              report_b->skipped_identical_plans);
+    EXPECT_EQ(report_a->skipped_unavailable, report_b->skipped_unavailable);
+
+    // Interning did real work on both paths, and the facade exposes the
+    // optimizer's interner.
+    ASSERT_NE(fa->interner(), nullptr);
+    EXPECT_GT(fa->metrics()->Snapshot().CounterValue("qtf.interner.hits"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace qtf

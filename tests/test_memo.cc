@@ -71,13 +71,13 @@ TEST_F(MemoTest, InsertIntoTargetGroupAddsEquivalentExpr) {
   auto commuted = std::make_shared<JoinOp>(
       JoinKind::kInner, expr.op->children()[1], expr.op->children()[0],
       join->predicate());
-  auto [group, added] = memo_->Insert(*commuted, root);
+  auto [group, added] = memo_->Insert(commuted, root);
   EXPECT_EQ(group, root);
   EXPECT_TRUE(added);
   EXPECT_EQ(memo_->group(root).exprs.size(), 2u);
 
   // Re-adding is a no-op.
-  auto [group2, added2] = memo_->Insert(*commuted, root);
+  auto [group2, added2] = memo_->Insert(commuted, root);
   EXPECT_EQ(group2, root);
   EXPECT_FALSE(added2);
 }
@@ -121,7 +121,7 @@ TEST_F(MemoTest, BindPatternTwoLevelEnumeratesChildExprs) {
                                            join_expr.op->children()[1],
                                            join_expr.op->children()[0],
                                            nullptr);
-  memo_->Insert(*commuted, join_group);
+  memo_->Insert(commuted, join_group);
 
   PatternNodePtr pattern = P::Op(
       LogicalOpKind::kSelect, {P::Join(JoinKind::kInner, P::Any(), P::Any())});
@@ -134,7 +134,7 @@ TEST_F(MemoTest, BindPatternTwoLevelEnumeratesChildExprs) {
 TEST_F(MemoTest, GroupRefInsertReturnsItsGroup) {
   int g = memo_->InsertTree(*nation_);
   LogicalOpPtr ref = memo_->MakeGroupRef(g);
-  auto [group, added] = memo_->Insert(*ref, -1);
+  auto [group, added] = memo_->Insert(ref, -1);
   EXPECT_EQ(group, g);
   EXPECT_FALSE(added);
 }

@@ -46,14 +46,28 @@ class PlanCacheTest : public ::testing::Test {
 
 TEST_F(PlanCacheTest, FingerprintStableAcrossEquivalentTrees) {
   Query a = MakeQuery(5);
-  Query b = MakeQuery(5);  // regenerated from scratch, equivalent tree
-  ASSERT_NE(a.root.get(), b.root.get());
-  ASSERT_TRUE(LogicalTreeEquals(*a.root, *b.root));
-  EXPECT_EQ(TreeFingerprint(*a.root), TreeFingerprint(*b.root));
+  // Regenerating the same seed through the same framework now returns the
+  // interner's canonical instance — hash-consing at work.
+  Query b = MakeQuery(5);
+  EXPECT_EQ(a.root.get(), b.root.get());
 
-  Query c = MakeQuery(6);
-  if (!LogicalTreeEquals(*a.root, *c.root)) {
-    EXPECT_NE(TreeFingerprint(*a.root), TreeFingerprint(*c.root));
+  // A second framework (separate interner) rebuilds the tree from scratch:
+  // distinct objects, equal structure, and — the cache-keying property —
+  // the same fingerprint.
+  auto fw2 = RuleTestFramework::Create({}).value();
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.seed = 5;
+  Query c =
+      fw2->generator()->Generate({fw2->LogicalRules()[0]}, config).value().query;
+  ASSERT_NE(a.root.get(), c.root.get());
+  ASSERT_TRUE(LogicalTreeEquals(*a.root, *c.root));
+  EXPECT_EQ(TreeFingerprint(*a.root), TreeFingerprint(*c.root));
+
+  Query d = MakeQuery(6);
+  if (!LogicalTreeEquals(*a.root, *d.root)) {
+    EXPECT_NE(TreeFingerprint(*a.root), TreeFingerprint(*d.root));
   }
 }
 
@@ -61,8 +75,16 @@ TEST_F(PlanCacheTest, HitRequiresEquivalentTreeNotSameObject) {
   PlanCache cache;
   Query a = MakeQuery(7);
   cache.Insert(a, {}, MakeResult(123.0));
-  // A separately constructed equivalent tree hits the same entry.
-  Query b = MakeQuery(7);
+  // An equivalent tree built by a different framework (so not the same
+  // canonical object) hits the same entry: keying is structural.
+  auto fw2 = RuleTestFramework::Create({}).value();
+  GenerationConfig config;
+  config.method = GenerationMethod::kPattern;
+  config.extra_ops = 2;
+  config.seed = 7;
+  Query b =
+      fw2->generator()->Generate({fw2->LogicalRules()[0]}, config).value().query;
+  ASSERT_NE(a.root.get(), b.root.get());
   auto hit = cache.Lookup(b, {});
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->cost, 123.0);
