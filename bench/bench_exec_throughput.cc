@@ -1,0 +1,244 @@
+// Executor throughput: the batched columnar Executor vs the row-at-a-time
+// ReferenceExecutor on two pipelines over a TPC-H-style database —
+// scan->filter and scan->filter->hash-join->hash-agg — at batch capacities
+// 1, 64 and 1024.
+//
+// Rows/s is operator output rows (the qtf.exec.rows_produced counter, read
+// via bench::CounterDelta) over wall time; both executors produce identical
+// operator outputs for a plan, so the work measure is implementation-
+// independent and the ratio is a clean speedup.
+//
+// Writes BENCH_exec.json (override the path with QTF_BENCH_EXEC_JSON) with
+// absolute rows/s and batched/reference speedup ratios. CI compares the
+// ratios — not the machine-dependent absolutes — against the committed
+// baseline and fails on a >20% speedup regression. QTF_BENCH_FULL=1 scales
+// the database up ~8x.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/executor.h"
+#include "exec/physical.h"
+#include "exec/reference_executor.h"
+#include "expr/expr.h"
+#include "obs/metrics.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace {
+
+struct Env {
+  std::unique_ptr<Database> db;
+  ColumnRegistryPtr registry;
+  PhysicalOpPtr scan_filter;
+  PhysicalOpPtr join_agg;
+};
+
+Env MakeEnv() {
+  TpchConfig config;
+  config.scale = bench::FullScale() ? 320 : 40;
+  Env env;
+  env.db = MakeTpchDatabase(config).value();
+  env.registry = std::make_shared<ColumnRegistry>();
+
+  auto lineitem = env.db->catalog().GetTable("lineitem").value();
+  auto orders = env.db->catalog().GetTable("orders").value();
+
+  ColumnId l_orderkey = env.registry->Allocate("l_orderkey", ValueType::kInt64);
+  ColumnId l_quantity = env.registry->Allocate("l_quantity", ValueType::kDouble);
+  ColumnId l_price =
+      env.registry->Allocate("l_extendedprice", ValueType::kDouble);
+  ColumnId l_flag = env.registry->Allocate("l_returnflag", ValueType::kString);
+  ColumnId o_orderkey = env.registry->Allocate("o_orderkey", ValueType::kInt64);
+  ColumnId o_totalprice =
+      env.registry->Allocate("o_totalprice", ValueType::kDouble);
+
+  // lineitem columns: orderkey(0) linenumber(1) partkey(2) suppkey(3)
+  // quantity(4) extendedprice(5) ...; scans carry (table column index ->
+  // query column id) positionally, so project the scan to the columns the
+  // pipeline touches via a TableDef view with matching positions.
+  auto lineitem_scan = std::make_shared<TableScanOp>(
+      lineitem, std::vector<ColumnId>{
+                    l_orderkey,
+                    env.registry->Allocate("l_linenumber", ValueType::kInt64),
+                    env.registry->Allocate("l_partkey", ValueType::kInt64),
+                    env.registry->Allocate("l_suppkey", ValueType::kInt64),
+                    l_quantity, l_price,
+                    env.registry->Allocate("l_discount", ValueType::kDouble),
+                    l_flag,
+                    env.registry->Allocate("l_shipdate", ValueType::kInt64)});
+  auto orders_scan = std::make_shared<TableScanOp>(
+      orders,
+      std::vector<ColumnId>{
+          o_orderkey, env.registry->Allocate("o_custkey", ValueType::kInt64),
+          env.registry->Allocate("o_orderstatus", ValueType::kString),
+          o_totalprice,
+          env.registry->Allocate("o_orderdate", ValueType::kInt64),
+          env.registry->Allocate("o_orderpriority", ValueType::kString)});
+
+  ExprPtr qty_pred = Cmp(CompareOp::kGt, Col(l_quantity, ValueType::kDouble),
+                         LitDouble(10.0));
+  env.scan_filter = std::make_shared<FilterOp>(lineitem_scan, qty_pred);
+
+  auto join = std::make_shared<HashJoinOp>(
+      JoinKind::kInner, env.scan_filter, orders_scan,
+      std::vector<std::pair<ColumnId, ColumnId>>{{l_orderkey, o_orderkey}},
+      nullptr);
+  std::vector<AggregateItem> aggs;
+  aggs.push_back(
+      {AggregateCall{AggKind::kSum, Col(l_price, ValueType::kDouble)},
+       env.registry->Allocate("sum_price", ValueType::kDouble)});
+  aggs.push_back({AggregateCall{AggKind::kCountStar, nullptr},
+                  env.registry->Allocate("cnt", ValueType::kInt64)});
+  aggs.push_back(
+      {AggregateCall{AggKind::kAvg, Col(o_totalprice, ValueType::kDouble)},
+       env.registry->Allocate("avg_total", ValueType::kDouble)});
+  env.join_agg = std::make_shared<HashAggregateOp>(
+      join, std::vector<ColumnId>{l_flag}, std::move(aggs));
+  return env;
+}
+
+/// One ~0.2s timing window of repeated executions; returns rows/s, and the
+/// per-execution row count through *rows_per_exec.
+template <typename Fn>
+double TimeWindow(Fn&& execute, int64_t* rows_per_exec) {
+  using Clock = std::chrono::steady_clock;
+  int64_t rows = 0;
+  const double min_elapsed = 0.2;
+  Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    int64_t got = execute();
+    if (rows_per_exec != nullptr) *rows_per_exec = got;
+    rows += got;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_elapsed);
+  return static_cast<double>(rows) / elapsed;
+}
+
+struct Comparison {
+  double reference_rows_per_s = 0.0;  // best window
+  double batched_rows_per_s = 0.0;    // best window
+  double speedup = 0.0;               // median of per-pair ratios
+  int64_t rows_per_exec = 0;
+};
+
+/// Seven alternating (reference window, batched window) pairs; the speedup
+/// is the MEDIAN of the per-pair ratios. On this single-core container an
+/// unrelated process can steal the CPU for whole seconds, so timing the
+/// two engines in separate passes makes their ratio flap by tens of
+/// percent between runs; adjacent windows see (nearly) the same
+/// contention, and the median drops the pairs a burst split. The CI gate
+/// compares these ratios, so they — not the absolute rows/s — are what
+/// must be reproducible.
+Comparison Compare(const Env& env, const PhysicalOp& plan, int capacity) {
+  ReferenceExecutor reference(env.db.get(), env.registry.get());
+  obs::MetricsRegistry metrics;
+  Executor batched(env.db.get(), env.registry.get());
+  batched.set_metrics(&metrics);
+  batched.set_batch_capacity(capacity);
+
+  int64_t last_ref = 0;
+  auto run_reference = [&] {
+    int64_t before = last_ref;
+    QTF_CHECK(reference.Execute(plan).ok());
+    last_ref = reference.rows_produced();
+    return last_ref - before;
+  };
+  auto run_batched = [&] {
+    obs::MetricsSnapshot before = metrics.Snapshot();
+    QTF_CHECK(batched.Execute(plan).ok());
+    return bench::CounterDelta(before, metrics.Snapshot(),
+                               "qtf.exec.rows_produced");
+  };
+
+  Comparison c;
+  int64_t batched_rows = 0;
+  c.rows_per_exec = run_reference();  // warm-up (and table caches)
+  batched_rows = run_batched();
+  QTF_CHECK(batched_rows == c.rows_per_exec)
+      << "batched and reference disagree on operator output rows";
+
+  std::vector<double> ratios;
+  for (int rep = 0; rep < 7; ++rep) {
+    double ref = TimeWindow(run_reference, nullptr);
+    double bat = TimeWindow(run_batched, nullptr);
+    if (ref > c.reference_rows_per_s) c.reference_rows_per_s = ref;
+    if (bat > c.batched_rows_per_s) c.batched_rows_per_s = bat;
+    ratios.push_back(bat / ref);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  c.speedup = ratios[ratios.size() / 2];
+  return c;
+}
+
+}  // namespace
+}  // namespace qtf
+
+int main() {
+  using namespace qtf;
+  bench::Banner("executor throughput",
+                "Batched columnar executor vs the reference row executor; "
+                "rows/s = operator output rows over wall time.");
+
+  Env env = MakeEnv();
+  const int capacities[] = {1, 64, 1024};
+  struct PipelineRow {
+    const char* name;
+    const PhysicalOp* plan;
+  };
+  const PipelineRow pipelines[] = {
+      {"scan_filter", env.scan_filter.get()},
+      {"join_agg", env.join_agg.get()},
+  };
+
+  std::string json = "{\n";
+  for (size_t p = 0; p < 2; ++p) {
+    Comparison results[3];
+    double ref_best = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      results[c] = Compare(env, *pipelines[p].plan, capacities[c]);
+      if (results[c].reference_rows_per_s > ref_best) {
+        ref_best = results[c].reference_rows_per_s;
+      }
+    }
+    std::printf("%-12s reference      %12.0f rows/s\n", pipelines[p].name,
+                ref_best);
+    json += "  \"" + std::string(pipelines[p].name) + "\": {\n";
+    json += "    \"reference_rows_per_s\": " + std::to_string(ref_best) +
+            ",\n";
+    json += "    \"rows_per_exec\": " +
+            std::to_string(results[0].rows_per_exec) +
+            ",\n    \"batched_rows_per_s\": {";
+    std::string speedups = "    \"speedup\": {";
+    for (size_t c = 0; c < 3; ++c) {
+      std::printf("%-12s batched@%-5d  %12.0f rows/s   %5.2fx\n",
+                  pipelines[p].name, capacities[c],
+                  results[c].batched_rows_per_s, results[c].speedup);
+      std::string key = "\"" + std::to_string(capacities[c]) + "\": ";
+      json +=
+          (c ? ", " : "") + key + std::to_string(results[c].batched_rows_per_s);
+      speedups += (c ? ", " : "") + key + std::to_string(results[c].speedup);
+    }
+    json += "},\n" + speedups + "}\n  }";
+    json += (p + 1 < 2) ? ",\n" : "\n";
+  }
+  json += "}\n";
+
+  const char* path = std::getenv("QTF_BENCH_EXEC_JSON");
+  if (path == nullptr) path = "BENCH_exec.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  return 0;
+}

@@ -84,6 +84,9 @@ void BM_ExecuteJoinQuery(benchmark::State& state) {
   Query query = MakeJoinQuery(env);
   auto plan = env.optimizer->Optimize(query).value().plan;
   Executor executor(env.db.get(), query.registry.get());
+  // qtf.exec.* counters land in the QTF_METRICS_JSON snapshot the CI
+  // metrics smoke step asserts on.
+  executor.set_metrics(env.optimizer->metrics());
   int64_t rows = 0;
   for (auto _ : state) {
     auto result = executor.Execute(*plan);

@@ -77,4 +77,14 @@ class Result {
   if (!result.ok()) return result.status();           \
   lhs = std::move(result).value()
 
+/// Evaluates `rexpr` (a Status); returns it on error.
+#define QTF_RETURN_IF_ERROR(rexpr)                                  \
+  QTF_RETURN_IF_ERROR_IMPL(QTF_CONCAT(_qtf_status_, __LINE__), rexpr)
+
+#define QTF_RETURN_IF_ERROR_IMPL(st, rexpr) \
+  do {                                      \
+    ::qtf::Status st = (rexpr);             \
+    if (!st.ok()) return st;                \
+  } while (0)
+
 #endif  // QTF_COMMON_RESULT_H_

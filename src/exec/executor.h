@@ -2,55 +2,136 @@
 #define QTF_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
 
+#include "common/arena.h"
 #include "common/fault_injection.h"
 #include "common/result.h"
 #include "exec/physical.h"
 #include "exec/result_set.h"
+#include "expr/program.h"
 #include "logical/column_registry.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace qtf {
 
-/// Executes physical plans against an in-memory Database. Operators are
-/// materialized (each produces its full output before the parent runs),
-/// which is simple and sufficient for correctness testing at test-database
-/// scale.
+namespace exec_internal {
+/// One base table columnized for scanning; lanes live in the executor's
+/// cache arena, string cells borrow the pinned TableData's rows.
+struct ColumnarTable {
+  std::shared_ptr<const TableData> pin;
+  std::vector<ColumnVector> cols;
+  int64_t rows = 0;
+};
+}  // namespace exec_internal
+
+/// Pull-based batched columnar executor.
+///
+/// A physical plan is translated into a tree of operator nodes exposing
+/// `Init()` / `Next(Batch*)`; data flows between them as fixed-capacity
+/// Batches of column vectors (see expr/column_vector.h) instead of one Row
+/// at a time. Predicates, projections and aggregate inputs are compiled
+/// once per operator into flat EvalPrograms (expr/program.h) executed over
+/// whole columns with a selection vector for filters; base tables are
+/// columnized once per executor and cached, so scans are lane memcpys.
+///
+/// All per-query physical state — batch buffers, hash-table chains, build
+/// sides, sort runs, aggregation state — is allocated from one Arena
+/// (common/arena.h) and freed in a single shot when the next Execute call
+/// resets it. `ResultSet` stays the boundary type, so correctness and
+/// compression callers are unchanged.
+///
+/// Fault injection: the `executor.next_batch` site is probed genuinely per
+/// batch — once per Next() call on every node — keyed by
+/// `salt ^ HashCombine(node_seq, batch_index)`. Node numbering is assigned
+/// in plan pre-order and restarts at zero on every Execute, so fault
+/// decisions are a pure function of (seed, salt, plan shape, batch index):
+/// a reused executor stays deterministic per plan. Callers that retry
+/// execution bump `salt` per attempt to re-roll the decisions (the salt
+/// contract documented at testing/correctness.cc's AttemptSalt).
+///
+/// Not thread-safe: use one Executor per thread. A shared, thread-safe
+/// EvalProgramCache may be plugged in with set_program_cache so concurrent
+/// executors reuse each other's compiled expressions.
 class Executor {
  public:
   /// `db` and `registry` must outlive the executor. The registry supplies
-  /// column types for NULL-extension in outer joins.
+  /// column types for every batch layout and for NULL-extension in outer
+  /// joins.
   Executor(const Database* db, const ColumnRegistry* registry)
       : db_(db), registry_(registry) {
     QTF_CHECK(db_ != nullptr && registry_ != nullptr);
   }
 
-  /// Runs the plan and returns its result set.
-  Result<ResultSet> Execute(const PhysicalOp& plan) const;
+  /// Runs the plan and returns its result set. Resets the query arena
+  /// (releasing the previous call's physical state) before building the
+  /// new operator tree.
+  Result<ResultSet> Execute(const PhysicalOp& plan);
 
-  /// Attaches a fault injector probed at the `executor.next_batch` site
-  /// once per operator materialization, keyed by `salt` and the node's
-  /// sequence number within this executor — so a given (salt, plan shape)
-  /// faults identically on every run. Borrowed, not owned; callers that
-  /// retry execution bump `salt` per attempt to re-roll the decisions.
+  /// Attaches a fault injector probed per batch at executor.next_batch;
+  /// see the class comment for the key scheme. Borrowed, not owned.
   void set_fault_injection(const FaultInjector* injector, uint64_t salt) {
     fault_injector_ = injector;
     fault_salt_ = salt;
   }
 
+  /// Reports executor work to `metrics` as qtf.exec.* counters:
+  /// rows_produced, batches, arena_bytes, eval_cache_{hits,misses} (the
+  /// last two only while the executor still owns its program cache).
+  /// Borrowed, not owned; pass nullptr to stop reporting.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Replaces the executor-private program cache with a shared one (e.g.
+  /// one cache per CorrectnessRunner so Plan(q) and Plan(q, ¬R) share
+  /// compiled predicates). Borrowed; must outlive the executor. The caller
+  /// owns the shared cache's metrics wiring.
+  void set_program_cache(EvalProgramCache* cache) {
+    QTF_CHECK(cache != nullptr);
+    programs_ = cache;
+  }
+
+  /// Rows per batch (default Batch::kDefaultCapacity = 1024). Exposed for
+  /// benchmarks and differential tests; must be >= 1.
+  void set_batch_capacity(int capacity) {
+    QTF_CHECK(capacity >= 1);
+    batch_capacity_ = capacity;
+  }
+  int batch_capacity() const { return batch_capacity_; }
+
   /// Total rows produced by all operators across all Execute calls
-  /// (monotonic counter for benchmarking).
+  /// (monotonic; also exported as qtf.exec.rows_produced when a metrics
+  /// registry is attached).
   int64_t rows_produced() const { return rows_produced_; }
 
+  /// Bytes handed out by the query arena during the most recent Execute.
+  int64_t last_arena_bytes() const { return last_arena_bytes_; }
+
  private:
-  Result<std::vector<Row>> ExecuteNode(const PhysicalOp& op) const;
+  Result<const exec_internal::ColumnarTable*> GetColumnarTable(
+      const TableDef& table);
 
   const Database* db_;
   const ColumnRegistry* registry_;
   const FaultInjector* fault_injector_ = nullptr;
   uint64_t fault_salt_ = 0;
-  mutable int64_t rows_produced_ = 0;
-  mutable uint64_t node_seq_ = 0;  // keys executor.next_batch probes
+  int batch_capacity_ = Batch::kDefaultCapacity;
+
+  Arena arena_;        // per-query state; reset at the top of every Execute
+  Arena cache_arena_;  // executor-lifetime columnar table cache
+  std::map<std::string, std::unique_ptr<exec_internal::ColumnarTable>>
+      table_cache_;
+
+  EvalProgramCache owned_programs_;
+  EvalProgramCache* programs_ = &owned_programs_;
+
+  int64_t rows_produced_ = 0;
+  int64_t last_arena_bytes_ = 0;
+  obs::Counter* m_rows_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_arena_bytes_ = nullptr;
 };
 
 }  // namespace qtf

@@ -225,7 +225,9 @@ std::string ConcatOp::Describe(const ColumnNameResolver*) const {
 
 bool ConcatOp::LocalEquals(const PhysicalOp& other) const {
   if (other.kind() != PhysicalOpKind::kConcat) return false;
-  return output_ids_ == static_cast<const ConcatOp&>(other).output_ids_;
+  const auto& o = static_cast<const ConcatOp&>(other);
+  return output_ids_ == o.output_ids_ && left_cols_ == o.left_cols_ &&
+         right_cols_ == o.right_cols_;
 }
 
 std::string HashDistinctOp::Describe(const ColumnNameResolver*) const {

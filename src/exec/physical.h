@@ -221,10 +221,31 @@ class SortOp final : public PhysicalOp {
 
 class ConcatOp final : public PhysicalOp {
  public:
+  /// `left_cols` / `right_cols` give the branch column that feeds each
+  /// output position: output_ids[k] is fed by left_cols[k] / right_cols[k].
+  /// The optimizer may hand us physical children whose column ORDER differs
+  /// from the logical union branches (e.g. after join commutativity), so
+  /// executors remap each child's columns by id through these lists rather
+  /// than concatenating positionally.
+  ConcatOp(PhysicalOpPtr left, PhysicalOpPtr right,
+           std::vector<ColumnId> output_ids, std::vector<ColumnId> left_cols,
+           std::vector<ColumnId> right_cols)
+      : PhysicalOp(PhysicalOpKind::kConcat, {std::move(left), std::move(right)}),
+        output_ids_(std::move(output_ids)),
+        left_cols_(std::move(left_cols)),
+        right_cols_(std::move(right_cols)) {}
+
+  /// Positional convenience: each child already emits output position k as
+  /// its own column k (direct construction in tests and examples).
   ConcatOp(PhysicalOpPtr left, PhysicalOpPtr right,
            std::vector<ColumnId> output_ids)
       : PhysicalOp(PhysicalOpKind::kConcat, {std::move(left), std::move(right)}),
-        output_ids_(std::move(output_ids)) {}
+        output_ids_(std::move(output_ids)),
+        left_cols_(child(0)->OutputColumns()),
+        right_cols_(child(1)->OutputColumns()) {}
+
+  const std::vector<ColumnId>& left_cols() const { return left_cols_; }
+  const std::vector<ColumnId>& right_cols() const { return right_cols_; }
 
   std::vector<ColumnId> OutputColumns() const override { return output_ids_; }
   std::string Describe(const ColumnNameResolver* resolver) const override;
@@ -232,6 +253,8 @@ class ConcatOp final : public PhysicalOp {
 
  private:
   std::vector<ColumnId> output_ids_;
+  std::vector<ColumnId> left_cols_;
+  std::vector<ColumnId> right_cols_;
 };
 
 class HashDistinctOp final : public PhysicalOp {

@@ -1,0 +1,463 @@
+#include "exec/reference_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/eval.h"
+
+namespace qtf {
+namespace {
+
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return CompareRows(a, b) == 0;
+  }
+};
+
+/// Accumulator for one aggregate over one group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const AggregateCall& call) : call_(&call) {}
+
+  Status Add(const ColumnBindings& bindings, const Row& row) {
+    if (call_->kind == AggKind::kCountStar) {
+      ++count_;
+      return Status::OK();
+    }
+    QTF_ASSIGN_OR_RETURN(Value v, Eval(*call_->arg, bindings, row));
+    if (v.is_null()) return Status::OK();  // aggregates skip NULLs
+    ++count_;
+    switch (call_->kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (v.type() == ValueType::kInt64) {
+          sum_int_ += v.int64();
+        } else {
+          sum_double_ += v.AsDouble();
+        }
+        break;
+      case AggKind::kMin:
+        if (!has_extreme_ || v.Compare(extreme_) < 0) extreme_ = v;
+        has_extreme_ = true;
+        break;
+      case AggKind::kMax:
+        if (!has_extreme_ || v.Compare(extreme_) > 0) extreme_ = v;
+        has_extreme_ = true;
+        break;
+    }
+    return Status::OK();
+  }
+
+  Value Finish() const {
+    ValueType result_type = call_->ResultType();
+    switch (call_->kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Value::Int64(count_);
+      case AggKind::kSum:
+        if (count_ == 0) return Value::Null(result_type);
+        if (result_type == ValueType::kInt64) return Value::Int64(sum_int_);
+        return Value::Double(sum_double_ + static_cast<double>(sum_int_));
+      case AggKind::kAvg: {
+        if (count_ == 0) return Value::Null(ValueType::kDouble);
+        double total = sum_double_ + static_cast<double>(sum_int_);
+        return Value::Double(total / static_cast<double>(count_));
+      }
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (!has_extreme_) return Value::Null(result_type);
+        return extreme_;
+    }
+    return Value::Null(result_type);
+  }
+
+ private:
+  const AggregateCall* call_;
+  int64_t count_ = 0;
+  int64_t sum_int_ = 0;
+  double sum_double_ = 0.0;
+  bool has_extreme_ = false;
+  Value extreme_;
+};
+
+/// Shared aggregation core: `groups` maps group-key rows to the source rows
+/// of that group; emits one output row per group.
+Result<std::vector<Row>> FinishGroups(
+    const std::vector<ColumnId>& group_cols,
+    const std::vector<AggregateItem>& aggregates,
+    const ColumnBindings& bindings,
+    const std::vector<std::pair<Row, std::vector<const Row*>>>& groups) {
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    std::vector<AggAccumulator> accs;
+    accs.reserve(aggregates.size());
+    for (const AggregateItem& item : aggregates) {
+      accs.emplace_back(item.call);
+    }
+    for (const Row* row : members) {
+      for (AggAccumulator& acc : accs) {
+        QTF_RETURN_NOT_OK(acc.Add(bindings, *row));
+      }
+    }
+    Row result_row;
+    result_row.reserve(group_cols.size() + aggregates.size());
+    for (const Value& v : key) result_row.push_back(v);
+    for (const AggAccumulator& acc : accs) result_row.push_back(acc.Finish());
+    out.push_back(std::move(result_row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ResultSet> ReferenceExecutor::Execute(const PhysicalOp& plan) {
+  // Restart node numbering so the fault keys of a plan depend only on
+  // (salt, plan shape), not on how many plans this executor ran before.
+  node_seq_ = 0;
+  QTF_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteNode(plan));
+  ResultSet result;
+  result.columns = plan.OutputColumns();
+  result.rows = std::move(rows);
+  return result;
+}
+
+Result<std::vector<Row>> ReferenceExecutor::ExecuteNode(const PhysicalOp& op) {
+  if (fault_injector_ != nullptr && fault_injector_->enabled()) {
+    // One probe per operator materialization (the engine's "batch"): keyed
+    // by the node's visit order, which is fixed by the plan shape, so a
+    // given (salt, plan) faults identically on every run.
+    QTF_RETURN_NOT_OK(fault_injector_->Probe(fault_sites::kExecutorNextBatch,
+                                             fault_salt_ ^ node_seq_++));
+  }
+  switch (op.kind()) {
+    case PhysicalOpKind::kTableScan: {
+      const auto& scan = static_cast<const TableScanOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::shared_ptr<const TableData> data,
+                           db_->GetTableData(scan.table().name()));
+      std::vector<Row> rows = data->rows();
+      rows_produced_ += static_cast<int64_t>(rows.size());
+      return rows;
+    }
+
+    case PhysicalOpKind::kFilter: {
+      const auto& filter = static_cast<const FilterOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      ColumnBindings bindings(op.child(0)->OutputColumns());
+      std::vector<Row> out;
+      for (Row& row : input) {
+        QTF_ASSIGN_OR_RETURN(Value v, Eval(*filter.predicate(), bindings, row));
+        if (IsTrue(v)) out.push_back(std::move(row));
+      }
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kCompute: {
+      const auto& compute = static_cast<const ComputeOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      ColumnBindings bindings(op.child(0)->OutputColumns());
+      std::vector<Row> out;
+      out.reserve(input.size());
+      for (const Row& row : input) {
+        Row result_row;
+        result_row.reserve(compute.items().size());
+        for (const ProjectItem& item : compute.items()) {
+          QTF_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, bindings, row));
+          result_row.push_back(std::move(v));
+        }
+        out.push_back(std::move(result_row));
+      }
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kNlJoin: {
+      const auto& join = static_cast<const NlJoinOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> left, ExecuteNode(*op.child(0)));
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> right, ExecuteNode(*op.child(1)));
+      std::vector<ColumnId> left_cols = op.child(0)->OutputColumns();
+      std::vector<ColumnId> right_cols = op.child(1)->OutputColumns();
+      std::vector<ColumnId> combined_cols = left_cols;
+      combined_cols.insert(combined_cols.end(), right_cols.begin(),
+                           right_cols.end());
+      ColumnBindings bindings(combined_cols);
+
+      std::vector<Row> out;
+      for (const Row& lrow : left) {
+        bool matched = false;
+        for (const Row& rrow : right) {
+          Row combined = lrow;
+          combined.insert(combined.end(), rrow.begin(), rrow.end());
+          bool pass = true;
+          if (join.predicate() != nullptr) {
+            QTF_ASSIGN_OR_RETURN(Value v,
+                                 Eval(*join.predicate(), bindings, combined));
+            pass = IsTrue(v);
+          }
+          if (!pass) continue;
+          matched = true;
+          switch (join.join_kind()) {
+            case JoinKind::kInner:
+            case JoinKind::kLeftOuter:
+              out.push_back(std::move(combined));
+              break;
+            case JoinKind::kLeftSemi:
+            case JoinKind::kLeftAnti:
+              break;  // membership handled below
+          }
+          if (join.join_kind() == JoinKind::kLeftSemi ||
+              join.join_kind() == JoinKind::kLeftAnti) {
+            break;  // one match decides
+          }
+        }
+        switch (join.join_kind()) {
+          case JoinKind::kInner:
+            break;
+          case JoinKind::kLeftOuter:
+            if (!matched) {
+              Row combined = lrow;
+              for (ColumnId id : right_cols) {
+                combined.push_back(Value::Null(registry_->TypeOf(id)));
+              }
+              out.push_back(std::move(combined));
+            }
+            break;
+          case JoinKind::kLeftSemi:
+            if (matched) out.push_back(lrow);
+            break;
+          case JoinKind::kLeftAnti:
+            if (!matched) out.push_back(lrow);
+            break;
+        }
+      }
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kHashJoin: {
+      const auto& join = static_cast<const HashJoinOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> left, ExecuteNode(*op.child(0)));
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> right, ExecuteNode(*op.child(1)));
+      std::vector<ColumnId> left_cols = op.child(0)->OutputColumns();
+      std::vector<ColumnId> right_cols = op.child(1)->OutputColumns();
+      ColumnBindings left_bind(left_cols);
+      ColumnBindings right_bind(right_cols);
+      std::vector<ColumnId> combined_cols = left_cols;
+      combined_cols.insert(combined_cols.end(), right_cols.begin(),
+                           right_cols.end());
+      ColumnBindings combined_bind(combined_cols);
+
+      // Build side: right input keyed by its equi columns. Rows with any
+      // NULL key never participate (SQL equality).
+      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> table;
+      for (const Row& rrow : right) {
+        Row key;
+        bool has_null = false;
+        for (const auto& [lcol, rcol] : join.equi_pairs()) {
+          const Value& v = rrow[static_cast<size_t>(right_bind.PositionOf(rcol))];
+          if (v.is_null()) {
+            has_null = true;
+            break;
+          }
+          key.push_back(v);
+        }
+        if (!has_null) table[std::move(key)].push_back(&rrow);
+      }
+
+      std::vector<Row> out;
+      for (const Row& lrow : left) {
+        Row key;
+        bool has_null = false;
+        for (const auto& [lcol, rcol] : join.equi_pairs()) {
+          const Value& v = lrow[static_cast<size_t>(left_bind.PositionOf(lcol))];
+          if (v.is_null()) {
+            has_null = true;
+            break;
+          }
+          key.push_back(v);
+        }
+        bool matched = false;
+        if (!has_null) {
+          auto it = table.find(key);
+          if (it != table.end()) {
+            for (const Row* rrow : it->second) {
+              Row combined = lrow;
+              combined.insert(combined.end(), rrow->begin(), rrow->end());
+              bool pass = true;
+              if (join.residual() != nullptr) {
+                QTF_ASSIGN_OR_RETURN(
+                    Value v, Eval(*join.residual(), combined_bind, combined));
+                pass = IsTrue(v);
+              }
+              if (!pass) continue;
+              matched = true;
+              if (join.join_kind() == JoinKind::kInner ||
+                  join.join_kind() == JoinKind::kLeftOuter) {
+                out.push_back(std::move(combined));
+              } else {
+                break;  // semi/anti: one match decides
+              }
+            }
+          }
+        }
+        switch (join.join_kind()) {
+          case JoinKind::kInner:
+            break;
+          case JoinKind::kLeftOuter:
+            if (!matched) {
+              Row combined = lrow;
+              for (ColumnId id : right_cols) {
+                combined.push_back(Value::Null(registry_->TypeOf(id)));
+              }
+              out.push_back(std::move(combined));
+            }
+            break;
+          case JoinKind::kLeftSemi:
+            if (matched) out.push_back(lrow);
+            break;
+          case JoinKind::kLeftAnti:
+            if (!matched) out.push_back(lrow);
+            break;
+        }
+      }
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kHashAggregate: {
+      const auto& agg = static_cast<const HashAggregateOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      ColumnBindings bindings(op.child(0)->OutputColumns());
+
+      // SQL GROUP BY puts all NULLs of a grouping column into one group,
+      // which matches Row hashing/equality (NULL == NULL there).
+      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> groups;
+      std::vector<Row> group_order;  // deterministic output order
+      for (const Row& row : input) {
+        Row key;
+        key.reserve(agg.group_cols().size());
+        for (ColumnId id : agg.group_cols()) {
+          key.push_back(row[static_cast<size_t>(bindings.PositionOf(id))]);
+        }
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted) group_order.push_back(key);
+        it->second.push_back(&row);
+      }
+      std::vector<std::pair<Row, std::vector<const Row*>>> ordered;
+      for (const Row& key : group_order) {
+        ordered.emplace_back(key, groups[key]);
+      }
+      // Scalar aggregate over an empty input still produces one row.
+      if (agg.group_cols().empty() && ordered.empty()) {
+        ordered.emplace_back(Row{}, std::vector<const Row*>{});
+      }
+      QTF_ASSIGN_OR_RETURN(
+          std::vector<Row> out,
+          FinishGroups(agg.group_cols(), agg.aggregates(), bindings, ordered));
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kStreamAggregate: {
+      const auto& agg = static_cast<const StreamAggregateOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      ColumnBindings bindings(op.child(0)->OutputColumns());
+
+      std::vector<std::pair<Row, std::vector<const Row*>>> ordered;
+      for (const Row& row : input) {
+        Row key;
+        key.reserve(agg.group_cols().size());
+        for (ColumnId id : agg.group_cols()) {
+          key.push_back(row[static_cast<size_t>(bindings.PositionOf(id))]);
+        }
+        if (ordered.empty() || CompareRows(ordered.back().first, key) != 0) {
+          ordered.emplace_back(std::move(key), std::vector<const Row*>{});
+        }
+        ordered.back().second.push_back(&row);
+      }
+      if (agg.group_cols().empty() && ordered.empty()) {
+        ordered.emplace_back(Row{}, std::vector<const Row*>{});
+      }
+      QTF_ASSIGN_OR_RETURN(
+          std::vector<Row> out,
+          FinishGroups(agg.group_cols(), agg.aggregates(), bindings, ordered));
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+
+    case PhysicalOpKind::kSort: {
+      const auto& sort = static_cast<const SortOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      ColumnBindings bindings(op.child(0)->OutputColumns());
+      std::vector<int> positions;
+      for (ColumnId id : sort.sort_cols()) {
+        positions.push_back(bindings.PositionOf(id));
+      }
+      std::stable_sort(input.begin(), input.end(),
+                       [&positions](const Row& a, const Row& b) {
+                         for (int pos : positions) {
+                           int c = a[static_cast<size_t>(pos)].Compare(
+                               b[static_cast<size_t>(pos)]);
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+      rows_produced_ += static_cast<int64_t>(input.size());
+      return input;
+    }
+
+    case PhysicalOpKind::kConcat: {
+      const auto& concat = static_cast<const ConcatOp&>(op);
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> left, ExecuteNode(*op.child(0)));
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> right, ExecuteNode(*op.child(1)));
+      // Each child may emit its columns in a different order than the
+      // union branch they implement; remap by id so output position k
+      // always carries left_cols[k] / right_cols[k].
+      auto remap = [](std::vector<Row>* rows, const PhysicalOp& child,
+                      const std::vector<ColumnId>& branch_cols) {
+        ColumnBindings bindings(child.OutputColumns());
+        std::vector<int> pos;
+        bool identity = true;
+        for (size_t k = 0; k < branch_cols.size(); ++k) {
+          pos.push_back(bindings.PositionOf(branch_cols[k]));
+          if (pos.back() != static_cast<int>(k)) identity = false;
+        }
+        if (identity) return;
+        for (Row& row : *rows) {
+          Row remapped;
+          remapped.reserve(pos.size());
+          for (int p : pos) remapped.push_back(row[static_cast<size_t>(p)]);
+          row = std::move(remapped);
+        }
+      };
+      remap(&left, *op.child(0), concat.left_cols());
+      remap(&right, *op.child(1), concat.right_cols());
+      left.insert(left.end(), std::make_move_iterator(right.begin()),
+                  std::make_move_iterator(right.end()));
+      rows_produced_ += static_cast<int64_t>(left.size());
+      return left;
+    }
+
+    case PhysicalOpKind::kHashDistinct: {
+      QTF_ASSIGN_OR_RETURN(std::vector<Row> input, ExecuteNode(*op.child(0)));
+      std::unordered_set<Row, RowHash, RowEq> seen;
+      std::vector<Row> out;
+      for (Row& row : input) {
+        if (seen.insert(row).second) out.push_back(std::move(row));
+      }
+      rows_produced_ += static_cast<int64_t>(out.size());
+      return out;
+    }
+  }
+  return Status::Internal("unknown physical operator");
+}
+
+}  // namespace qtf

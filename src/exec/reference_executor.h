@@ -1,0 +1,66 @@
+#ifndef QTF_EXEC_REFERENCE_EXECUTOR_H_
+#define QTF_EXEC_REFERENCE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/fault_injection.h"
+#include "common/result.h"
+#include "exec/physical.h"
+#include "exec/result_set.h"
+#include "logical/column_registry.h"
+#include "storage/database.h"
+
+namespace qtf {
+
+/// Row-at-a-time, fully materializing executor: each operator produces its
+/// complete output before the parent runs, and expressions are evaluated by
+/// the recursive interpreter in expr/eval.h.
+///
+/// This was the engine's only executor before the batched columnar
+/// Executor (exec/executor.h) replaced it on the hot path. It is kept as
+/// the differential-testing oracle (tests/test_exec_batch.cc executes every
+/// corpus plan on both engines and compares result bags) and as the
+/// baseline that bench_exec_throughput measures speedups against.
+class ReferenceExecutor {
+ public:
+  /// `db` and `registry` must outlive the executor. The registry supplies
+  /// column types for NULL-extension in outer joins.
+  ReferenceExecutor(const Database* db, const ColumnRegistry* registry)
+      : db_(db), registry_(registry) {
+    QTF_CHECK(db_ != nullptr && registry_ != nullptr);
+  }
+
+  /// Runs the plan and returns its result set.
+  Result<ResultSet> Execute(const PhysicalOp& plan);
+
+  /// Attaches a fault injector probed at the `executor.next_batch` site
+  /// once per operator materialization (this engine's "batch" is a whole
+  /// operator output), keyed by `salt` and the node's visit order within
+  /// one Execute call. Node numbering restarts at zero on every Execute, so
+  /// a given (salt, plan) faults identically no matter how many plans ran
+  /// through this executor before — callers that retry bump `salt` per
+  /// attempt to re-roll the decisions (see the salt contract in
+  /// testing/correctness.cc).
+  void set_fault_injection(const FaultInjector* injector, uint64_t salt) {
+    fault_injector_ = injector;
+    fault_salt_ = salt;
+  }
+
+  /// Total rows produced by all operators across all Execute calls
+  /// (monotonic counter for benchmarking).
+  int64_t rows_produced() const { return rows_produced_; }
+
+ private:
+  Result<std::vector<Row>> ExecuteNode(const PhysicalOp& op);
+
+  const Database* db_;
+  const ColumnRegistry* registry_;
+  const FaultInjector* fault_injector_ = nullptr;
+  uint64_t fault_salt_ = 0;
+  int64_t rows_produced_ = 0;
+  uint64_t node_seq_ = 0;  // keys executor.next_batch probes; reset per Execute
+};
+
+}  // namespace qtf
+
+#endif  // QTF_EXEC_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,191 @@
+#include "expr/column_vector.h"
+
+#include <cstring>
+
+namespace qtf {
+
+void ColumnVector::AppendValue(const Value& v) {
+  QTF_CHECK(v.type() == type_)
+      << "appending " << ValueTypeToString(v.type()) << " to a "
+      << ValueTypeToString(type_) << " column";
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      AppendInt(v.int64());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.dbl());
+      break;
+    case ValueType::kString:
+      AppendString(&v.str());
+      break;
+    case ValueType::kBool:
+      AppendBool(v.boolean());
+      break;
+  }
+}
+
+void ColumnVector::AppendValueCopy(const Value& v, Arena* arena) {
+  if (type_ == ValueType::kString && !v.is_null()) {
+    AppendString(arena->New<std::string>(v.str()));
+    return;
+  }
+  AppendValue(v);
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, int i) {
+  QTF_CHECK(src.type_ == type_);
+  size_t idx = static_cast<size_t>(i);
+  if (src.nulls_[idx] != 0) {
+    AppendNull();
+    return;
+  }
+  nulls_.push_back(0);
+  switch (LaneKind()) {
+    case Lane::kInt:
+      ints_.push_back(src.ints_[idx]);
+      break;
+    case Lane::kDouble:
+      doubles_.push_back(src.doubles_[idx]);
+      break;
+    case Lane::kString:
+      strings_.push_back(src.strings_[idx]);
+      break;
+  }
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, int64_t start,
+                               int count) {
+  QTF_CHECK(src.type_ == type_);
+  size_t s = static_cast<size_t>(start), n = static_cast<size_t>(count);
+  nulls_.insert(nulls_.end(), src.nulls_.begin() + s, src.nulls_.begin() + s + n);
+  switch (LaneKind()) {
+    case Lane::kInt:
+      ints_.insert(ints_.end(), src.ints_.begin() + s, src.ints_.begin() + s + n);
+      break;
+    case Lane::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + s,
+                      src.doubles_.begin() + s + n);
+      break;
+    case Lane::kString:
+      strings_.insert(strings_.end(), src.strings_.begin() + s,
+                      src.strings_.begin() + s + n);
+      break;
+  }
+}
+
+void ColumnVector::AppendGather(const ColumnVector& src, const int32_t* sel,
+                                int count) {
+  QTF_CHECK(src.type_ == type_);
+  size_t base = nulls_.size(), n = static_cast<size_t>(count);
+  nulls_.resize(base + n);
+  for (size_t i = 0; i < n; ++i) {
+    nulls_[base + i] = src.nulls_[static_cast<size_t>(sel[i])];
+  }
+  switch (LaneKind()) {
+    case Lane::kInt: {
+      ints_.resize(base + n);
+      for (size_t i = 0; i < n; ++i) {
+        ints_[base + i] = src.ints_[static_cast<size_t>(sel[i])];
+      }
+      break;
+    }
+    case Lane::kDouble: {
+      doubles_.resize(base + n);
+      for (size_t i = 0; i < n; ++i) {
+        doubles_[base + i] = src.doubles_[static_cast<size_t>(sel[i])];
+      }
+      break;
+    }
+    case Lane::kString: {
+      strings_.resize(base + n);
+      for (size_t i = 0; i < n; ++i) {
+        strings_[base + i] = src.strings_[static_cast<size_t>(sel[i])];
+      }
+      break;
+    }
+  }
+}
+
+Value ColumnVector::ToValue(int i) const {
+  size_t idx = static_cast<size_t>(i);
+  if (nulls_[idx] != 0) return Value::Null(type_);
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value::Int64(ints_[idx]);
+    case ValueType::kDouble:
+      return Value::Double(doubles_[idx]);
+    case ValueType::kString:
+      return Value::String(*strings_[idx]);
+    case ValueType::kBool:
+      return Value::Bool(ints_[idx] != 0);
+  }
+  return Value::Null(type_);
+}
+
+uint64_t ColumnVector::CellHash(int i) const {
+  size_t idx = static_cast<size_t>(i);
+  if (nulls_[idx] != 0) return 0x9e3779b97f4a7c15ULL;  // NULL sentinel
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+      return Mix64(static_cast<uint64_t>(ints_[idx]));
+    case ValueType::kDouble: {
+      double d = doubles_[idx];
+      if (d == 0.0) d = 0.0;  // -0.0 == 0.0 must hash equal
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return Fnv1a(*strings_[idx]);
+  }
+  return 0;
+}
+
+bool ColumnVector::CellEquals(int i, const ColumnVector& other, int j) const {
+  QTF_CHECK(type_ == other.type_);
+  size_t a = static_cast<size_t>(i), b = static_cast<size_t>(j);
+  bool an = nulls_[a] != 0, bn = other.nulls_[b] != 0;
+  if (an || bn) return an == bn;  // NULL == NULL for grouping
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool:
+      return ints_[a] == other.ints_[b];
+    case ValueType::kDouble:
+      return doubles_[a] == other.doubles_[b];
+    case ValueType::kString:
+      return *strings_[a] == *other.strings_[b];
+  }
+  return false;
+}
+
+int ColumnVector::CellCompare(int i, const ColumnVector& other, int j) const {
+  QTF_CHECK(type_ == other.type_);
+  size_t a = static_cast<size_t>(i), b = static_cast<size_t>(j);
+  bool an = nulls_[a] != 0, bn = other.nulls_[b] != 0;
+  if (an && bn) return 0;
+  if (an) return -1;
+  if (bn) return 1;
+  switch (type_) {
+    case ValueType::kInt64:
+    case ValueType::kBool: {
+      int64_t x = ints_[a], y = other.ints_[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double x = doubles_[a], y = other.doubles_[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString: {
+      int c = strings_[a]->compare(*other.strings_[b]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace qtf

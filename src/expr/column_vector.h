@@ -1,0 +1,256 @@
+#ifndef QTF_EXPR_COLUMN_VECTOR_H_
+#define QTF_EXPR_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace qtf {
+
+/// One column of a Batch: a typed value lane plus a null mask, both
+/// arena-backed. The unit vectorized expression evaluation and the batched
+/// executor operate on.
+///
+/// Lane layout by type:
+///   * kInt64 and kBool share the int64 lane (bools stored as 0/1);
+///   * kDouble uses the double lane;
+///   * kString stores `const std::string*` — *borrowed* pointers into
+///     storage that outlives the batch (base-table values, expression
+///     constants, or strings arena-allocated by the producer). This is the
+///     columnar engine's cheap string representation: gathers and joins
+///     move 8-byte pointers, never copy characters.
+///
+/// Value lanes under a set null bit hold an unspecified (but initialized)
+/// value; every consumer checks the mask first.
+class ColumnVector {
+ public:
+  ColumnVector(ValueType type, Arena* arena)
+      : type_(type),
+        nulls_(MakeArenaVector<uint8_t>(arena)),
+        ints_(MakeArenaVector<int64_t>(arena)),
+        doubles_(MakeArenaVector<double>(arena)),
+        strings_(MakeArenaVector<const std::string*>(arena)) {}
+
+  ColumnVector(ColumnVector&&) = default;
+  ColumnVector& operator=(ColumnVector&&) = default;
+  ColumnVector(const ColumnVector&) = delete;
+  ColumnVector& operator=(const ColumnVector&) = delete;
+
+  ValueType type() const { return type_; }
+  int size() const { return static_cast<int>(nulls_.size()); }
+
+  void Clear() {
+    nulls_.clear();
+    ints_.clear();
+    doubles_.clear();
+    strings_.clear();
+  }
+
+  void Reserve(int n) {
+    nulls_.reserve(static_cast<size_t>(n));
+    switch (LaneKind()) {
+      case Lane::kInt:
+        ints_.reserve(static_cast<size_t>(n));
+        break;
+      case Lane::kDouble:
+        doubles_.reserve(static_cast<size_t>(n));
+        break;
+      case Lane::kString:
+        strings_.reserve(static_cast<size_t>(n));
+        break;
+    }
+  }
+
+  /// Sizes the column to n rows for bulk kernel writes (lanes
+  /// uninitialized, null mask zeroed).
+  void ResizeForWrite(int n) {
+    nulls_.assign(static_cast<size_t>(n), 0);
+    switch (LaneKind()) {
+      case Lane::kInt:
+        ints_.resize(static_cast<size_t>(n));
+        break;
+      case Lane::kDouble:
+        doubles_.resize(static_cast<size_t>(n));
+        break;
+      case Lane::kString:
+        strings_.resize(static_cast<size_t>(n));
+        break;
+    }
+  }
+
+  bool IsNull(int i) const { return nulls_[static_cast<size_t>(i)] != 0; }
+
+  // Raw lanes for kernels.
+  uint8_t* nulls() { return nulls_.data(); }
+  const uint8_t* nulls() const { return nulls_.data(); }
+  int64_t* ints() { return ints_.data(); }
+  const int64_t* ints() const { return ints_.data(); }
+  double* doubles() { return doubles_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const std::string** strings() { return strings_.data(); }
+  const std::string* const* strings() const { return strings_.data(); }
+
+  /// Numeric view of cell i (int64 or double lane), mirroring
+  /// Value::AsDouble. Cell must be non-null.
+  double AsDouble(int i) const {
+    size_t idx = static_cast<size_t>(i);
+    return type_ == ValueType::kDouble ? doubles_[idx]
+                                       : static_cast<double>(ints_[idx]);
+  }
+
+  // ---- appends -----------------------------------------------------------
+
+  void AppendNull() {
+    nulls_.push_back(1);
+    PushDefaultLane();
+  }
+  void AppendInt(int64_t v) {
+    nulls_.push_back(0);
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    nulls_.push_back(0);
+    doubles_.push_back(v);
+  }
+  void AppendBool(bool v) {
+    nulls_.push_back(0);
+    ints_.push_back(v ? 1 : 0);
+  }
+  /// `s` must outlive the batch (borrowed; see class comment).
+  void AppendString(const std::string* s) {
+    nulls_.push_back(0);
+    strings_.push_back(s);
+  }
+
+  /// Boundary conversion from a Value. For strings the pointer borrows
+  /// `v`'s storage — the Value must outlive the batch (base-table rows and
+  /// expression constants qualify; for transient Values use
+  /// AppendValueCopy).
+  void AppendValue(const Value& v);
+
+  /// Like AppendValue but arena-copies string payloads, for Values that die
+  /// before the batch (e.g. aggregate extremes).
+  void AppendValueCopy(const Value& v, Arena* arena);
+
+  /// Gather: appends src's cell i (same type).
+  void AppendFrom(const ColumnVector& src, int i);
+
+  /// Bulk copy of src[start, start+count): one lane memcpy instead of
+  /// per-cell dispatch. The scan/pass-through hot path.
+  void AppendRange(const ColumnVector& src, int64_t start, int count);
+
+  /// Bulk gather of src rows sel[0..count): the filter/join hot path.
+  void AppendGather(const ColumnVector& src, const int32_t* sel, int count);
+
+  // ---- cell operations ---------------------------------------------------
+
+  /// Materializes cell i as a Value (copies string payloads).
+  Value ToValue(int i) const;
+
+  /// Hash consistent with CellEquals: NULL hashes to a fixed sentinel
+  /// (NULL == NULL for grouping/distinct), -0.0 normalized to 0.0.
+  uint64_t CellHash(int i) const;
+
+  /// Grouping equality: NULL == NULL is true. Types must match.
+  bool CellEquals(int i, const ColumnVector& other, int j) const;
+
+  /// Total order matching Value::Compare: NULL sorts first.
+  int CellCompare(int i, const ColumnVector& other, int j) const;
+
+ private:
+  enum class Lane { kInt, kDouble, kString };
+
+  Lane LaneKind() const {
+    switch (type_) {
+      case ValueType::kInt64:
+      case ValueType::kBool:
+        return Lane::kInt;
+      case ValueType::kDouble:
+        return Lane::kDouble;
+      case ValueType::kString:
+        return Lane::kString;
+    }
+    return Lane::kInt;
+  }
+
+  void PushDefaultLane() {
+    switch (LaneKind()) {
+      case Lane::kInt:
+        ints_.push_back(0);
+        break;
+      case Lane::kDouble:
+        doubles_.push_back(0.0);
+        break;
+      case Lane::kString:
+        strings_.push_back(nullptr);
+        break;
+    }
+  }
+
+  ValueType type_;
+  ArenaVector<uint8_t> nulls_;
+  ArenaVector<int64_t> ints_;
+  ArenaVector<double> doubles_;
+  ArenaVector<const std::string*> strings_;
+};
+
+/// A fixed-capacity chunk of rows in columnar layout: the unit of data flow
+/// between batched executor operators (ISSUE: peloton-style Init()/Next()
+/// over tuple batches). Column ids give the layout; all columns share the
+/// row count.
+class Batch {
+ public:
+  static constexpr int kDefaultCapacity = 1024;
+
+  explicit Batch(Arena* arena) : arena_(arena) {}
+  Batch(Batch&&) = default;
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+
+  /// (Re)configures the layout; drops existing columns.
+  void Configure(const std::vector<ColumnId>& ids,
+                 const std::vector<ValueType>& types) {
+    QTF_CHECK(ids.size() == types.size());
+    ids_ = ids;
+    cols_.clear();
+    cols_.reserve(ids.size());
+    for (ValueType t : types) cols_.emplace_back(t, arena_);
+  }
+
+  Arena* arena() const { return arena_; }
+  const std::vector<ColumnId>& ids() const { return ids_; }
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+  ColumnVector& col(int i) { return cols_[static_cast<size_t>(i)]; }
+  const ColumnVector& col(int i) const { return cols_[static_cast<size_t>(i)]; }
+
+  int num_rows() const { return rows_; }
+  void set_num_rows(int n) { rows_ = n; }
+
+  void Clear() {
+    for (ColumnVector& c : cols_) c.Clear();
+    rows_ = 0;
+  }
+
+  /// Boundary conversion: materializes row i (copies string payloads).
+  Row RowAt(int i) const {
+    Row row;
+    row.reserve(cols_.size());
+    for (const ColumnVector& c : cols_) row.push_back(c.ToValue(i));
+    return row;
+  }
+
+ private:
+  Arena* arena_;
+  std::vector<ColumnId> ids_;
+  std::vector<ColumnVector> cols_;
+  int rows_ = 0;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_EXPR_COLUMN_VECTOR_H_

@@ -1,0 +1,529 @@
+#include "expr/program.h"
+
+namespace qtf {
+
+uint64_t LayoutFingerprint(const std::vector<ColumnId>& layout) {
+  uint64_t h = Mix64(static_cast<uint64_t>(layout.size()));
+  for (ColumnId id : layout) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(id)));
+  }
+  return h;
+}
+
+// ---- compilation ----------------------------------------------------------
+
+Result<std::shared_ptr<const EvalProgram>> EvalProgram::Compile(
+    const ExprPtr& expr, const ColumnBindings& bindings) {
+  QTF_CHECK(expr != nullptr);
+  // make_shared needs a public ctor; std::shared_ptr(new ...) is fine from
+  // inside the class.
+  std::shared_ptr<EvalProgram> program(new EvalProgram());
+  program->root_ = expr;
+  int depth = 0;
+  QTF_RETURN_IF_ERROR(program->CompileNode(*expr, bindings, &depth));
+  QTF_CHECK(depth == 1) << "postfix compile left " << depth << " operands";
+  return std::shared_ptr<const EvalProgram>(std::move(program));
+}
+
+Status EvalProgram::CompileNode(const Expr& expr,
+                                const ColumnBindings& bindings,
+                                int* stack_depth) {
+  auto push = [&](int delta) {
+    *stack_depth += delta;
+    if (*stack_depth > max_stack_) max_stack_ = *stack_depth;
+  };
+  auto new_slot = [&](ValueType t) {
+    slot_types_.push_back(t);
+    return static_cast<int>(slot_types_.size()) - 1;
+  };
+
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      Instr instr;
+      instr.op = OpCode::kLoadColumn;
+      instr.col_pos = bindings.PositionOf(ref.id());
+      instrs_.push_back(instr);
+      push(+1);
+      return Status::OK();
+    }
+    case ExprKind::kConstant: {
+      const auto& c = static_cast<const ConstantExpr&>(expr);
+      Instr instr;
+      instr.op = OpCode::kLoadConst;
+      instr.constant = &c.value();
+      instr.out_type = c.value().type();
+      instr.slot = new_slot(instr.out_type);
+      instrs_.push_back(instr);
+      push(+1);
+      return Status::OK();
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      QTF_RETURN_IF_ERROR(CompileNode(*cmp.left(), bindings, stack_depth));
+      QTF_RETURN_IF_ERROR(CompileNode(*cmp.right(), bindings, stack_depth));
+      Instr instr;
+      instr.op = OpCode::kCompare;
+      instr.cmp = cmp.op();
+      instr.lhs_type = cmp.left()->type();
+      instr.rhs_type = cmp.right()->type();
+      instr.out_type = ValueType::kBool;
+      instr.slot = new_slot(ValueType::kBool);
+      instrs_.push_back(instr);
+      push(-1);
+      return Status::OK();
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      QTF_RETURN_IF_ERROR(
+          CompileNode(*expr.children()[0], bindings, stack_depth));
+      QTF_RETURN_IF_ERROR(
+          CompileNode(*expr.children()[1], bindings, stack_depth));
+      Instr instr;
+      instr.op = expr.kind() == ExprKind::kAnd ? OpCode::kAnd : OpCode::kOr;
+      instr.out_type = ValueType::kBool;
+      instr.slot = new_slot(ValueType::kBool);
+      instrs_.push_back(instr);
+      push(-1);
+      return Status::OK();
+    }
+    case ExprKind::kNot:
+    case ExprKind::kIsNull: {
+      QTF_RETURN_IF_ERROR(
+          CompileNode(*expr.children()[0], bindings, stack_depth));
+      Instr instr;
+      instr.op =
+          expr.kind() == ExprKind::kNot ? OpCode::kNot : OpCode::kIsNull;
+      instr.out_type = ValueType::kBool;
+      instr.slot = new_slot(ValueType::kBool);
+      instrs_.push_back(instr);
+      // pop 1, push 1: depth unchanged.
+      return Status::OK();
+    }
+    case ExprKind::kArithmetic: {
+      const auto& arith = static_cast<const ArithmeticExpr&>(expr);
+      QTF_RETURN_IF_ERROR(
+          CompileNode(*expr.children()[0], bindings, stack_depth));
+      QTF_RETURN_IF_ERROR(
+          CompileNode(*expr.children()[1], bindings, stack_depth));
+      Instr instr;
+      instr.op = OpCode::kArith;
+      instr.arith = arith.op();
+      instr.out_type = arith.type();
+      instr.lhs_type = expr.children()[0]->type();
+      instr.rhs_type = expr.children()[1]->type();
+      instr.slot = new_slot(instr.out_type);
+      instrs_.push_back(instr);
+      push(-1);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression kind in EvalProgram::Compile");
+}
+
+// ---- kernels --------------------------------------------------------------
+
+namespace {
+
+/// Fills `out` with `n` copies of `v` (strings borrow v's payload, which the
+/// program's pinned expression tree keeps alive).
+void FillConstant(const Value& v, int n, ColumnVector* out) {
+  out->ResizeForWrite(n);
+  if (v.is_null()) {
+    uint8_t* nulls = out->nulls();
+    for (int i = 0; i < n; ++i) nulls[i] = 1;
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64: {
+      int64_t* lane = out->ints();
+      int64_t x = v.int64();
+      for (int i = 0; i < n; ++i) lane[i] = x;
+      break;
+    }
+    case ValueType::kDouble: {
+      double* lane = out->doubles();
+      double x = v.dbl();
+      for (int i = 0; i < n; ++i) lane[i] = x;
+      break;
+    }
+    case ValueType::kString: {
+      const std::string** lane = out->strings();
+      const std::string* x = &v.str();
+      for (int i = 0; i < n; ++i) lane[i] = x;
+      break;
+    }
+    case ValueType::kBool: {
+      int64_t* lane = out->ints();
+      int64_t x = v.boolean() ? 1 : 0;
+      for (int i = 0; i < n; ++i) lane[i] = x;
+      break;
+    }
+  }
+}
+
+/// NULL-strict comparison loop: the op functor is resolved before the loop,
+/// so the hot path is mask checks + one typed compare per row.
+template <typename GetL, typename GetR, typename Op>
+void CmpLoop(int n, const uint8_t* ln, const uint8_t* rn, GetL gl, GetR gr,
+             Op op, ColumnVector* out) {
+  out->ResizeForWrite(n);
+  uint8_t* on = out->nulls();
+  int64_t* ov = out->ints();
+  for (int i = 0; i < n; ++i) {
+    if (ln[i] != 0 || rn[i] != 0) {
+      on[i] = 1;
+      ov[i] = 0;
+    } else {
+      ov[i] = op(gl(i), gr(i)) ? 1 : 0;
+    }
+  }
+}
+
+template <typename GetL, typename GetR>
+void CmpDispatchOp(CompareOp cmp, int n, const uint8_t* ln, const uint8_t* rn,
+                   GetL gl, GetR gr, ColumnVector* out) {
+  switch (cmp) {
+    case CompareOp::kEq:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a == b; }, out);
+      break;
+    case CompareOp::kNe:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a != b; }, out);
+      break;
+    case CompareOp::kLt:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a < b; }, out);
+      break;
+    case CompareOp::kLe:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a <= b; }, out);
+      break;
+    case CompareOp::kGt:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a > b; }, out);
+      break;
+    case CompareOp::kGe:
+      CmpLoop(n, ln, rn, gl, gr,
+              [](const auto& a, const auto& b) { return a >= b; }, out);
+      break;
+  }
+}
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+/// Typed comparison over two columns, mirroring eval.cc's CompareValues:
+/// same-type compares use the native lane; int64/double cross-compares
+/// promote to double.
+void CompareColumns(CompareOp cmp, ValueType lt, ValueType rt, int n,
+                    const ColumnVector& lhs, const ColumnVector& rhs,
+                    ColumnVector* out) {
+  const uint8_t* ln = lhs.nulls();
+  const uint8_t* rn = rhs.nulls();
+  if (lt == ValueType::kString) {
+    QTF_CHECK(rt == ValueType::kString) << "incomparable types";
+    const std::string* const* a = lhs.strings();
+    const std::string* const* b = rhs.strings();
+    CmpDispatchOp(
+        cmp, n, ln, rn,
+        [a](int i) -> const std::string& { return *a[i]; },
+        [b](int i) -> const std::string& { return *b[i]; }, out);
+    return;
+  }
+  if (lt == ValueType::kDouble || rt == ValueType::kDouble) {
+    QTF_CHECK(IsNumeric(lt) && IsNumeric(rt)) << "incomparable types";
+    if (lt == ValueType::kDouble && rt == ValueType::kDouble) {
+      const double* a = lhs.doubles();
+      const double* b = rhs.doubles();
+      CmpDispatchOp(
+          cmp, n, ln, rn, [a](int i) { return a[i]; },
+          [b](int i) { return b[i]; }, out);
+    } else if (lt == ValueType::kDouble) {
+      const double* a = lhs.doubles();
+      const int64_t* b = rhs.ints();
+      CmpDispatchOp(
+          cmp, n, ln, rn, [a](int i) { return a[i]; },
+          [b](int i) { return static_cast<double>(b[i]); }, out);
+    } else {
+      const int64_t* a = lhs.ints();
+      const double* b = rhs.doubles();
+      CmpDispatchOp(
+          cmp, n, ln, rn, [a](int i) { return static_cast<double>(a[i]); },
+          [b](int i) { return b[i]; }, out);
+    }
+    return;
+  }
+  // Same-type int64/int64 or bool/bool: both live in the int lane.
+  QTF_CHECK(lt == rt) << "incomparable types";
+  const int64_t* a = lhs.ints();
+  const int64_t* b = rhs.ints();
+  CmpDispatchOp(
+      cmp, n, ln, rn, [a](int i) { return a[i]; },
+      [b](int i) { return b[i]; }, out);
+}
+
+/// NULL-strict arithmetic; division by zero yields NULL (same documented
+/// semantics as the row interpreter).
+void ArithColumns(ArithOp op, ValueType out_type, int n,
+                  const ColumnVector& lhs, const ColumnVector& rhs,
+                  ColumnVector* out) {
+  out->ResizeForWrite(n);
+  const uint8_t* ln = lhs.nulls();
+  const uint8_t* rn = rhs.nulls();
+  uint8_t* on = out->nulls();
+  if (out_type == ValueType::kInt64) {
+    // The planner types an arithmetic node kInt64 only when both inputs are
+    // int64 (mirrors eval.cc using .int64() directly).
+    const int64_t* a = lhs.ints();
+    const int64_t* b = rhs.ints();
+    int64_t* ov = out->ints();
+    auto loop = [&](auto fn) {
+      for (int i = 0; i < n; ++i) {
+        if (ln[i] != 0 || rn[i] != 0) {
+          on[i] = 1;
+          ov[i] = 0;
+        } else {
+          ov[i] = fn(a[i], b[i]);
+        }
+      }
+    };
+    switch (op) {
+      case ArithOp::kAdd:
+        loop([](int64_t x, int64_t y) { return x + y; });
+        break;
+      case ArithOp::kSub:
+        loop([](int64_t x, int64_t y) { return x - y; });
+        break;
+      case ArithOp::kMul:
+        loop([](int64_t x, int64_t y) { return x * y; });
+        break;
+      case ArithOp::kDiv:
+        for (int i = 0; i < n; ++i) {
+          if (ln[i] != 0 || rn[i] != 0 || b[i] == 0) {
+            on[i] = 1;
+            ov[i] = 0;
+          } else {
+            ov[i] = a[i] / b[i];
+          }
+        }
+        break;
+    }
+    return;
+  }
+  // Double result: operands may be int64 or double (Value::AsDouble view).
+  auto lval = [&](int i) { return lhs.AsDouble(i); };
+  auto rval = [&](int i) { return rhs.AsDouble(i); };
+  double* ov = out->doubles();
+  auto loop = [&](auto fn) {
+    for (int i = 0; i < n; ++i) {
+      if (ln[i] != 0 || rn[i] != 0) {
+        on[i] = 1;
+        ov[i] = 0.0;
+      } else {
+        ov[i] = fn(lval(i), rval(i));
+      }
+    }
+  };
+  switch (op) {
+    case ArithOp::kAdd:
+      loop([](double x, double y) { return x + y; });
+      break;
+    case ArithOp::kSub:
+      loop([](double x, double y) { return x - y; });
+      break;
+    case ArithOp::kMul:
+      loop([](double x, double y) { return x * y; });
+      break;
+    case ArithOp::kDiv:
+      for (int i = 0; i < n; ++i) {
+        if (ln[i] != 0 || rn[i] != 0 || rval(i) == 0.0) {
+          on[i] = 1;
+          ov[i] = 0.0;
+        } else {
+          ov[i] = lval(i) / rval(i);
+        }
+      }
+      break;
+  }
+}
+
+/// Kleene AND over bool columns: FALSE dominates NULL.
+void AndColumns(int n, const ColumnVector& lhs, const ColumnVector& rhs,
+                ColumnVector* out) {
+  out->ResizeForWrite(n);
+  const uint8_t* ln = lhs.nulls();
+  const uint8_t* rn = rhs.nulls();
+  const int64_t* a = lhs.ints();
+  const int64_t* b = rhs.ints();
+  uint8_t* on = out->nulls();
+  int64_t* ov = out->ints();
+  for (int i = 0; i < n; ++i) {
+    bool lf = ln[i] == 0 && a[i] == 0;  // definitely false
+    bool rf = rn[i] == 0 && b[i] == 0;
+    if (lf || rf) {
+      ov[i] = 0;
+    } else if (ln[i] != 0 || rn[i] != 0) {
+      on[i] = 1;
+      ov[i] = 0;
+    } else {
+      ov[i] = 1;
+    }
+  }
+}
+
+/// Kleene OR over bool columns: TRUE dominates NULL.
+void OrColumns(int n, const ColumnVector& lhs, const ColumnVector& rhs,
+               ColumnVector* out) {
+  out->ResizeForWrite(n);
+  const uint8_t* ln = lhs.nulls();
+  const uint8_t* rn = rhs.nulls();
+  const int64_t* a = lhs.ints();
+  const int64_t* b = rhs.ints();
+  uint8_t* on = out->nulls();
+  int64_t* ov = out->ints();
+  for (int i = 0; i < n; ++i) {
+    bool lt = ln[i] == 0 && a[i] != 0;  // definitely true
+    bool rt = rn[i] == 0 && b[i] != 0;
+    if (lt || rt) {
+      ov[i] = 1;
+    } else if (ln[i] != 0 || rn[i] != 0) {
+      on[i] = 1;
+      ov[i] = 0;
+    } else {
+      ov[i] = 0;
+    }
+  }
+}
+
+void NotColumn(int n, const ColumnVector& in, ColumnVector* out) {
+  out->ResizeForWrite(n);
+  const uint8_t* xn = in.nulls();
+  const int64_t* x = in.ints();
+  uint8_t* on = out->nulls();
+  int64_t* ov = out->ints();
+  for (int i = 0; i < n; ++i) {
+    if (xn[i] != 0) {
+      on[i] = 1;
+      ov[i] = 0;
+    } else {
+      ov[i] = x[i] == 0 ? 1 : 0;
+    }
+  }
+}
+
+void IsNullColumn(int n, const ColumnVector& in, ColumnVector* out) {
+  out->ResizeForWrite(n);
+  const uint8_t* xn = in.nulls();
+  int64_t* ov = out->ints();
+  for (int i = 0; i < n; ++i) ov[i] = xn[i] != 0 ? 1 : 0;
+}
+
+}  // namespace
+
+// ---- execution ------------------------------------------------------------
+
+Result<const ColumnVector*> EvalProgram::Run(const Batch& input,
+                                             EvalScratch* scratch) const {
+  QTF_CHECK(scratch->slots_.size() == slot_types_.size())
+      << "scratch not prepared for this program";
+  const int n = input.num_rows();
+  std::vector<const ColumnVector*>& stack = scratch->stack_;
+  int sp = 0;
+  for (const Instr& instr : instrs_) {
+    switch (instr.op) {
+      case OpCode::kLoadColumn:
+        stack[static_cast<size_t>(sp++)] = &input.col(instr.col_pos);
+        break;
+      case OpCode::kLoadConst: {
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        FillConstant(*instr.constant, n, out);
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+      case OpCode::kCompare: {
+        const ColumnVector* rhs = stack[static_cast<size_t>(--sp)];
+        const ColumnVector* lhs = stack[static_cast<size_t>(--sp)];
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        CompareColumns(instr.cmp, instr.lhs_type, instr.rhs_type, n, *lhs,
+                       *rhs, out);
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        const ColumnVector* rhs = stack[static_cast<size_t>(--sp)];
+        const ColumnVector* lhs = stack[static_cast<size_t>(--sp)];
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        if (instr.op == OpCode::kAnd) {
+          AndColumns(n, *lhs, *rhs, out);
+        } else {
+          OrColumns(n, *lhs, *rhs, out);
+        }
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+      case OpCode::kNot: {
+        const ColumnVector* in = stack[static_cast<size_t>(--sp)];
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        NotColumn(n, *in, out);
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+      case OpCode::kIsNull: {
+        const ColumnVector* in = stack[static_cast<size_t>(--sp)];
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        IsNullColumn(n, *in, out);
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+      case OpCode::kArith: {
+        const ColumnVector* rhs = stack[static_cast<size_t>(--sp)];
+        const ColumnVector* lhs = stack[static_cast<size_t>(--sp)];
+        ColumnVector* out =
+            &scratch->slots_[static_cast<size_t>(instr.slot)];
+        ArithColumns(instr.arith, instr.out_type, n, *lhs, *rhs, out);
+        stack[static_cast<size_t>(sp++)] = out;
+        break;
+      }
+    }
+  }
+  QTF_CHECK(sp == 1) << "program finished with " << sp << " operands";
+  return stack[0];
+}
+
+// ---- cache ----------------------------------------------------------------
+
+Result<std::shared_ptr<const EvalProgram>> EvalProgramCache::GetOrCompile(
+    const ExprPtr& expr, const ColumnBindings& bindings,
+    uint64_t layout_fingerprint) {
+  Key key{expr.get(), layout_fingerprint};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (hits_ != nullptr) hits_->Increment();
+      return it->second;
+    }
+  }
+  // Compile outside the lock: compilation is pure and losing a race only
+  // costs a duplicate compile, never an inconsistent entry.
+  QTF_ASSIGN_OR_RETURN(std::shared_ptr<const EvalProgram> program,
+                       EvalProgram::Compile(expr, bindings));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (misses_ != nullptr) misses_->Increment();
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second;  // racer won; keep theirs
+  if (map_.size() >= kMaxEntries) map_.clear();
+  map_.emplace(key, program);
+  return program;
+}
+
+}  // namespace qtf

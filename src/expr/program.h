@@ -1,0 +1,177 @@
+#ifndef QTF_EXPR_PROGRAM_H_
+#define QTF_EXPR_PROGRAM_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/column_vector.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "obs/metrics.h"
+
+namespace qtf {
+
+/// A scalar expression compiled once per operator into a flat postfix
+/// instruction sequence, then executed over whole column vectors — the
+/// batched replacement for the per-row recursive interpreter in
+/// expr/eval.h. Semantics are bit-identical to Eval(): NULL-strict
+/// comparisons/arithmetic, Kleene AND/OR, NOT(NULL) = NULL, IS NULL always
+/// boolean, division by zero yields NULL.
+///
+/// A compiled program is immutable and shareable across threads; all
+/// per-execution state (temporary columns, the operand stack) lives in an
+/// EvalScratch owned by the calling operator, so cached programs can be
+/// run concurrently.
+class EvalScratch;
+
+class EvalProgram {
+ public:
+  /// Compiles `expr` against `bindings` (ColumnId -> input batch position).
+  /// Keeps a reference to `expr`, pinning every node (and the constants the
+  /// instructions point into) for the program's lifetime.
+  static Result<std::shared_ptr<const EvalProgram>> Compile(
+      const ExprPtr& expr, const ColumnBindings& bindings);
+
+  /// Evaluates over `input`, returning the result column: either a column
+  /// of `input` (bare column reference — zero copy) or a scratch slot.
+  /// The pointer is valid until the next Run on the same scratch.
+  Result<const ColumnVector*> Run(const Batch& input,
+                                  EvalScratch* scratch) const;
+
+  ValueType result_type() const { return root_->type(); }
+  int num_slots() const { return static_cast<int>(slot_types_.size()); }
+  ValueType slot_type(int i) const {
+    return slot_types_[static_cast<size_t>(i)];
+  }
+  int max_stack_depth() const { return max_stack_; }
+
+ private:
+  enum class OpCode : uint8_t {
+    kLoadColumn,  // push input column col_pos
+    kLoadConst,   // fill slot with *constant, push
+    kCompare,     // pop rhs, lhs; typed compare -> bool slot
+    kAnd,         // Kleene
+    kOr,          // Kleene
+    kNot,
+    kIsNull,
+    kArith,       // typed arithmetic -> out_type slot
+  };
+
+  struct Instr {
+    OpCode op;
+    CompareOp cmp = CompareOp::kEq;
+    ArithOp arith = ArithOp::kAdd;
+    ValueType out_type = ValueType::kBool;
+    ValueType lhs_type = ValueType::kInt64;  // kCompare lane selection
+    ValueType rhs_type = ValueType::kInt64;
+    int col_pos = -1;                  // kLoadColumn
+    const Value* constant = nullptr;   // kLoadConst; points into root_
+    int slot = -1;                     // producing instrs: scratch slot
+  };
+
+  EvalProgram() = default;
+
+  Status CompileNode(const Expr& expr, const ColumnBindings& bindings,
+                     int* stack_depth);
+
+  std::vector<Instr> instrs_;
+  std::vector<ValueType> slot_types_;
+  int max_stack_ = 0;
+  ExprPtr root_;  // pins shared expression nodes and their constants
+
+  friend class EvalScratch;
+};
+
+/// Per-operator evaluation workspace: one ColumnVector per producing
+/// instruction plus the operand stack, all arena-backed. Reused across
+/// batches; Prepare() is idempotent per program.
+class EvalScratch {
+ public:
+  explicit EvalScratch(Arena* arena) : arena_(arena) {}
+
+  /// Sizes slots/stack for `program`. Must be called (once) before Run.
+  void Prepare(const EvalProgram& program) {
+    slots_.clear();
+    slots_.reserve(program.slot_types_.size());
+    for (ValueType t : program.slot_types_) slots_.emplace_back(t, arena_);
+    stack_.assign(static_cast<size_t>(program.max_stack_), nullptr);
+  }
+
+ private:
+  Arena* arena_;
+  std::vector<ColumnVector> slots_;
+  std::vector<const ColumnVector*> stack_;
+
+  friend class EvalProgram;
+};
+
+/// Thread-safe cache of compiled programs keyed by (expression node,
+/// input-layout fingerprint). Each cached entry pins its expression via
+/// the program's root reference, so a key's address cannot be recycled
+/// while the entry lives — lookups never alias a dead expression.
+///
+/// Shared by CorrectnessRunner across every plan of a run: Plan(q) and
+/// Plan(q, ¬R) share predicate/projection subtrees, so the second
+/// compilation of every shared expression is a hit (reported as
+/// qtf.exec.eval_cache_{hits,misses}).
+class EvalProgramCache {
+ public:
+  EvalProgramCache() = default;
+  EvalProgramCache(const EvalProgramCache&) = delete;
+  EvalProgramCache& operator=(const EvalProgramCache&) = delete;
+
+  /// Wires hit/miss counters (borrowed; may be nullptr).
+  void set_metrics(obs::Counter* hits, obs::Counter* misses) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = hits;
+    misses_ = misses;
+  }
+
+  /// Returns the cached program for (expr, layout_fingerprint) or compiles
+  /// and caches it. `layout_fingerprint` must identify the ColumnId layout
+  /// `bindings` was built from.
+  Result<std::shared_ptr<const EvalProgram>> GetOrCompile(
+      const ExprPtr& expr, const ColumnBindings& bindings,
+      uint64_t layout_fingerprint);
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Key {
+    const Expr* expr;
+    uint64_t layout;
+    bool operator==(const Key& other) const {
+      return expr == other.expr && layout == other.layout;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(HashCombine(
+          reinterpret_cast<uintptr_t>(k.expr), k.layout));
+    }
+  };
+
+  /// Safety valve for very long-lived caches; far above any single
+  /// correctness run's distinct-expression count.
+  static constexpr size_t kMaxEntries = 65536;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const EvalProgram>, KeyHash> map_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+};
+
+/// Fingerprint of a physical row layout (order-sensitive), for program
+/// cache keys.
+uint64_t LayoutFingerprint(const std::vector<ColumnId>& layout);
+
+}  // namespace qtf
+
+#endif  // QTF_EXPR_PROGRAM_H_

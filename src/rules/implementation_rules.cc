@@ -207,8 +207,15 @@ class UnionAllToConcat final : public ImplementationRule {
     alt.local_cost = cost_model.Concat(left.props().cardinality,
                                        right.props().cardinality);
     std::vector<ColumnId> output_ids = u.output_ids();
-    alt.build = [output_ids](const std::vector<PhysicalOpPtr>& children) {
-      return std::make_shared<ConcatOp>(children[0], children[1], output_ids);
+    // The chosen physical child may emit the branch columns in a different
+    // order than the logical branch (join commutativity etc.), so record
+    // which branch column feeds each output position; executors remap by id.
+    std::vector<ColumnId> left_cols = u.child(0)->OutputColumns();
+    std::vector<ColumnId> right_cols = u.child(1)->OutputColumns();
+    alt.build = [output_ids, left_cols,
+                 right_cols](const std::vector<PhysicalOpPtr>& children) {
+      return std::make_shared<ConcatOp>(children[0], children[1], output_ids,
+                                        left_cols, right_cols);
     };
     out->push_back(std::move(alt));
   }

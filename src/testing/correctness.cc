@@ -54,6 +54,8 @@ Result<ResultSet> CorrectnessRunner::ExecuteWithRetry(
     }
     const uint64_t salt = AttemptSalt(salt_base, attempt);
     Executor executor(db_, query.registry.get());
+    executor.set_program_cache(&program_cache_);
+    executor.set_metrics(optimizer_->metrics());
     if (injector != nullptr) executor.set_fault_injection(injector, salt);
     result = executor.Execute(plan);
     if (result.ok() || !IsTransient(result.status())) return result;

@@ -59,6 +59,8 @@ class CorrectnessRunner {
     violations_ = metrics->counter("qtf.correctness.violations");
     skipped_unavailable_ =
         metrics->counter("qtf.robustness.skipped_validations");
+    program_cache_.set_metrics(metrics->counter("qtf.exec.eval_cache_hits"),
+                               metrics->counter("qtf.exec.eval_cache_misses"));
   }
 
   /// Cancellation token checked between validations and passed into every
@@ -94,6 +96,11 @@ class CorrectnessRunner {
   const Database* db_;
   Optimizer* optimizer_;
   CancellationToken cancel_;
+  /// Shared across every per-attempt Executor (serial and parallel runs):
+  /// Plan(q) and Plan(q, ¬target) overwhelmingly reuse the same predicate
+  /// and projection expressions, so compiled EvalPrograms are built once.
+  /// Thread-safe; hit/miss counters land in qtf.exec.eval_cache_*.
+  EvalProgramCache program_cache_;
   obs::Counter* runs_ = nullptr;
   obs::Counter* plans_executed_ = nullptr;
   obs::Counter* skipped_identical_ = nullptr;

@@ -1,0 +1,268 @@
+// Differential suite for the batched columnar executor (docs/execution.md):
+// the pull-based Executor must produce the same result bag as the
+// row-at-a-time ReferenceExecutor on every plan of a generated corpus —
+// base plans and all Plan(q, ¬target) rule edges — at batch capacities 1,
+// 64 and 1024, serially and from concurrent threads sharing one
+// EvalProgramCache, and under fault injection at seeds 1–3.
+//
+// CI runs this binary in the regular matrix and under TSan and ASan+UBSan
+// (the shared-cache test is the interesting TSan subject; the arena and
+// borrowed-string lanes are the ASan subjects).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/hash.h"
+#include "exec/executor.h"
+#include "exec/reference_executor.h"
+#include "qgen/generation.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace {
+
+constexpr int kBatchSizes[] = {1, 64, 1024};
+
+struct CorpusPlan {
+  const Query* query;
+  PhysicalOpPtr plan;
+  std::string label;
+};
+
+/// One framework + corpus for the whole binary: every base plan of a
+/// 6-target pattern-generated suite plus the restricted plan of every
+/// (target, query) edge.
+class ExecBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RuleTestFramework::Options options;
+    options.threads = 2;
+    fw_ = RuleTestFramework::Create(std::move(options)).value().release();
+
+    GenerationConfig config;
+    config.method = GenerationMethod::kPattern;
+    config.extra_ops = 1;
+    config.seed = 2026;
+    suite_ = new TestSuite(
+        fw_->suite_generator()
+            ->Generate(fw_->LogicalRuleSingletons(6), /*k=*/2, config)
+            .value());
+
+    corpus_ = new std::vector<CorpusPlan>();
+    for (size_t q = 0; q < suite_->queries.size(); ++q) {
+      const Query& query = suite_->queries[q].query;
+      corpus_->push_back({&query,
+                          fw_->optimizer()->Optimize(query).value().plan,
+                          "base plan of query " + std::to_string(q)});
+    }
+    for (size_t t = 0; t < suite_->targets.size(); ++t) {
+      OptimizerOptions restricted;
+      for (RuleId id : suite_->targets[t].rules) {
+        restricted.disabled_rules.insert(id);
+      }
+      for (int q : suite_->per_target[t]) {
+        const Query& query = suite_->queries[static_cast<size_t>(q)].query;
+        corpus_->push_back(
+            {&query,
+             fw_->optimizer()->Optimize(query, restricted).value().plan,
+             "edge plan (target " + std::to_string(t) + ", query " +
+                 std::to_string(q) + ")"});
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+    delete suite_;
+    suite_ = nullptr;
+    delete fw_;
+    fw_ = nullptr;
+  }
+
+  static ResultSet ReferenceRun(const CorpusPlan& p) {
+    ReferenceExecutor reference(&fw_->db(), p.query->registry.get());
+    return reference.Execute(*p.plan).value();
+  }
+
+  /// Distinct queries of the corpus, in first-appearance order.
+  static std::vector<const Query*> CorpusQueries() {
+    std::vector<const Query*> queries;
+    for (const CorpusPlan& p : *corpus_) {
+      if (queries.empty() || queries.back() != p.query) {
+        bool seen = false;
+        for (const Query* q : queries) seen = seen || q == p.query;
+        if (!seen) queries.push_back(p.query);
+      }
+    }
+    return queries;
+  }
+
+  static RuleTestFramework* fw_;
+  static TestSuite* suite_;
+  static std::vector<CorpusPlan>* corpus_;
+};
+
+RuleTestFramework* ExecBatchTest::fw_ = nullptr;
+TestSuite* ExecBatchTest::suite_ = nullptr;
+std::vector<CorpusPlan>* ExecBatchTest::corpus_ = nullptr;
+
+TEST_F(ExecBatchTest, CorpusCoversEveryRuleEdge) {
+  // 6 singleton targets x k=2 edges + 12 base plans.
+  ASSERT_EQ(suite_->targets.size(), 6u);
+  EXPECT_EQ(corpus_->size(), suite_->queries.size() + 12u);
+}
+
+// The tentpole acceptance bar: identical result bags (up to row order) at
+// every batch capacity, including capacity 1 (degenerate row-at-a-time) and
+// capacities that split and exactly fit the row counts.
+TEST_F(ExecBatchTest, BatchedMatchesReferenceAtAllBatchSizes) {
+  for (const CorpusPlan& p : *corpus_) {
+    SCOPED_TRACE(p.label);
+    ResultSet expected = ReferenceRun(p);
+    for (int capacity : kBatchSizes) {
+      SCOPED_TRACE("batch capacity " + std::to_string(capacity));
+      Executor executor(&fw_->db(), p.query->registry.get());
+      executor.set_batch_capacity(capacity);
+      auto got = executor.Execute(*p.plan);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->columns, expected.columns);
+      EXPECT_TRUE(ResultBagEquals(*got, expected))
+          << "batched result diverged from reference";
+    }
+  }
+}
+
+// One executor instance reused across the whole corpus (arena reset per
+// Execute, cached columnar tables, one program cache) must behave exactly
+// like a fresh executor per plan.
+TEST_F(ExecBatchTest, ReusedExecutorMatchesFreshExecutors) {
+  // Each query carries its own column registry, so an executor may be
+  // reused across every plan of one query (its base plan and edge plans) —
+  // run each group twice to also cover re-running the same plan after the
+  // arena reset.
+  for (const Query* query : CorpusQueries()) {
+    Executor reused(&fw_->db(), query->registry.get());
+    for (int round = 0; round < 2; ++round) {
+      for (const CorpusPlan& p : *corpus_) {
+        if (p.query != query) continue;
+        SCOPED_TRACE(p.label + " round " + std::to_string(round));
+        ResultSet expected = ReferenceRun(p);
+        auto got = reused.Execute(*p.plan);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_TRUE(ResultBagEquals(*got, expected));
+        EXPECT_GT(reused.last_arena_bytes(), 0);
+      }
+    }
+    EXPECT_GT(reused.rows_produced(), 0);
+  }
+}
+
+// Concurrent executors sharing one EvalProgramCache (the CorrectnessRunner
+// configuration) must agree with the serial reference on every plan. This
+// is the TSan subject for the compile-outside-lock cache path.
+TEST_F(ExecBatchTest, ParallelSharedCacheMatchesReference) {
+  ASSERT_NE(fw_->thread_pool(), nullptr);
+  EvalProgramCache shared_cache;
+  std::vector<std::future<bool>> oks;
+  std::vector<ResultSet> expected(corpus_->size());
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    expected[i] = ReferenceRun((*corpus_)[i]);
+  }
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    oks.push_back(fw_->thread_pool()->Submit([i, &shared_cache, &expected] {
+      const CorpusPlan& p = (*corpus_)[i];
+      Executor executor(&fw_->db(), p.query->registry.get());
+      executor.set_program_cache(&shared_cache);
+      auto got = executor.Execute(*p.plan);
+      return got.ok() && ResultBagEquals(*got, expected[i]);
+    }));
+  }
+  for (size_t i = 0; i < oks.size(); ++i) {
+    SCOPED_TRACE((*corpus_)[i].label);
+    EXPECT_TRUE(oks[i].get());
+  }
+  EXPECT_GT(shared_cache.size(), 0u);
+}
+
+// Fault seeds 1-3: per-batch probes must be deterministic — the same
+// (seed, salt, plan) always reproduces the same outcome, on fresh AND
+// reused executors — and any execution that succeeds under injection must
+// still match the no-fault reference bag exactly.
+TEST_F(ExecBatchTest, FaultSeedsAreDeterministicAndPreserveResults) {
+  for (uint64_t seed : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    FaultInjector::Config config;
+    config.seed = seed;
+    config.fault_probability = 0.05;
+    FaultInjector injector(config);
+
+    int succeeded = 0;
+    for (const Query* query : CorpusQueries()) {
+      // One executor reused across every plan and attempt of this query:
+      // the per-Execute node numbering reset must make its fault stream
+      // identical to a fresh executor's.
+      Executor reused(&fw_->db(), query->registry.get());
+      for (size_t i = 0; i < corpus_->size(); ++i) {
+        const CorpusPlan& p = (*corpus_)[i];
+        if (p.query != query) continue;
+        SCOPED_TRACE(p.label);
+        ResultSet expected = ReferenceRun(p);
+        for (uint64_t attempt = 0; attempt < 4; ++attempt) {
+          uint64_t salt = HashCombine(HashCombine(seed, i), attempt);
+
+          Executor fresh(&fw_->db(), p.query->registry.get());
+          fresh.set_fault_injection(&injector, salt);
+          auto first = fresh.Execute(*p.plan);
+
+          reused.set_fault_injection(&injector, salt);
+          auto again = reused.Execute(*p.plan);
+          ASSERT_EQ(first.ok(), again.ok());
+          if (first.ok()) {
+            EXPECT_TRUE(ResultBagEquals(*first, *again));
+            EXPECT_TRUE(ResultBagEquals(*first, expected))
+                << "fault-free portion of an injected run diverged";
+            ++succeeded;
+            break;
+          }
+          EXPECT_EQ(first.status().code(), again.status().code());
+          EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+        }
+      }
+    }
+    // 5% per-batch probes on small plans: most executions pass within the
+    // salted retry budget. Persistent failures are acceptable (callers
+    // skip and count them) but must not dominate.
+    EXPECT_GT(succeeded, static_cast<int>(corpus_->size()) / 2);
+  }
+}
+
+// qtf.exec.* metrics surface the executor's work; the CI metrics-smoke
+// step asserts qtf.exec.batches > 0 from the bench binary the same way.
+TEST_F(ExecBatchTest, MetricsReportRowsBatchesAndArenaBytes) {
+  obs::MetricsRegistry metrics;
+  const Query* query = (*corpus_)[0].query;
+  Executor executor(&fw_->db(), query->registry.get());
+  executor.set_metrics(&metrics);
+  for (const CorpusPlan& p : *corpus_) {
+    if (p.query != query) continue;
+    ASSERT_TRUE(executor.Execute(*p.plan).ok());
+  }
+  obs::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_GT(snapshot.CounterValue("qtf.exec.batches"), 0);
+  EXPECT_GT(snapshot.CounterValue("qtf.exec.rows_produced"), 0);
+  EXPECT_GT(snapshot.CounterValue("qtf.exec.arena_bytes"), 0);
+  EXPECT_GT(snapshot.CounterValue("qtf.exec.eval_cache_hits") +
+                snapshot.CounterValue("qtf.exec.eval_cache_misses"),
+            0);
+  EXPECT_EQ(snapshot.CounterValue("qtf.exec.rows_produced"),
+            executor.rows_produced());
+}
+
+}  // namespace
+}  // namespace qtf
