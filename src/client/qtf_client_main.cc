@@ -1,0 +1,127 @@
+// qtfctl — command-line client for a running qtfd.
+//
+//   qtfctl [--host 127.0.0.1] [--port 7433] COMMAND
+//
+// Commands:
+//   smoke     generate -> optimize -> compress -> metrics against the
+//             server, verifying each response and that the server counted
+//             the requests (qtf.service.requests > 0). Exit 0 iff all pass.
+//             This is what the CI serving job runs.
+//   metrics   print the server's metrics snapshot (JSON).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "client/client.h"
+
+namespace {
+
+int Fail(const char* what, const qtf::Status& status) {
+  std::fprintf(stderr, "qtfctl: %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+/// Pulls the integer value of `"name":` out of the metrics JSON; -1 when
+/// the metric is absent.
+long MetricValue(const std::string& json, const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtol(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+int RunSmoke(qtf::client::ServiceClient* client) {
+  // Generate: one query for the first logical rule.
+  qtf::service::GenerateRequest generate;
+  generate.targets = {0};
+  generate.seed = 7;
+  auto generated = client->Generate(generate);
+  if (!generated.ok()) return Fail("generate", generated.status());
+  if (!generated.value().success || generated.value().sql.empty()) {
+    std::fprintf(stderr, "qtfctl: generate produced no query\n");
+    return 1;
+  }
+  std::printf("generate: ok (%d operators, cost %.3f)\n",
+              generated.value().operator_count, generated.value().cost);
+
+  // Optimize: a seed-determined random query.
+  qtf::service::OptimizeRequest optimize;
+  optimize.seed = 11;
+  auto optimized = client->Optimize(optimize);
+  if (!optimized.ok()) return Fail("optimize", optimized.status());
+  if (optimized.value().sql.empty() || optimized.value().group_count <= 0) {
+    std::fprintf(stderr, "qtfctl: optimize returned an empty plan\n");
+    return 1;
+  }
+  std::printf("optimize: ok (%d groups, cost %.3f)\n",
+              optimized.value().group_count, optimized.value().cost);
+
+  // Compress: a small suite over 3 rules.
+  qtf::service::CompressSuiteRequest compress;
+  compress.suite.n_rules = 3;
+  compress.suite.k = 1;
+  compress.suite.seed = 5;
+  auto compressed = client->CompressSuite(compress);
+  if (!compressed.ok()) return Fail("compress", compressed.status());
+  if (compressed.value().assignment.empty()) {
+    std::fprintf(stderr, "qtfctl: compression produced no assignment\n");
+    return 1;
+  }
+  std::printf("compress: ok (%d suite queries, total cost %.3f)\n",
+              compressed.value().suite_queries, compressed.value().total_cost);
+
+  // Metrics: the server must have counted the requests above.
+  auto metrics = client->Metrics(qtf::service::MetricsRequest{});
+  if (!metrics.ok()) return Fail("metrics", metrics.status());
+  const long requests =
+      MetricValue(metrics.value().body, "qtf.service.requests");
+  if (requests <= 0) {
+    std::fprintf(stderr,
+                 "qtfctl: expected qtf.service.requests > 0, got %ld\n",
+                 requests);
+    return 1;
+  }
+  std::printf("metrics: ok (qtf.service.requests = %ld)\n", requests);
+  std::printf("smoke: all checks passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7433;
+  std::string command;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
+      command = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host IP] [--port N] {smoke|metrics}\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto client_or = qtf::client::ServiceClient::Connect(host, port);
+  if (!client_or.ok()) return Fail("connect", client_or.status());
+  qtf::client::ServiceClient* client = client_or.value().get();
+
+  if (command == "smoke") return RunSmoke(client);
+  if (command == "metrics" || command.empty()) {
+    auto metrics = client->Metrics(qtf::service::MetricsRequest{});
+    if (!metrics.ok()) return Fail("metrics", metrics.status());
+    std::printf("%s\n", metrics.value().body.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "qtfctl: unknown command \"%s\"\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,41 @@
+#ifndef QTF_COMMON_LIMITS_H_
+#define QTF_COMMON_LIMITS_H_
+
+#include <cstddef>
+
+#include "common/budget.h"
+#include "common/fault_injection.h"
+
+namespace qtf {
+
+/// Resource-governance knobs shared by the in-process framework facade and
+/// the serving layer. Extracted from RuleTestFramework::Options (which now
+/// derives from this struct, keeping the old field names valid) so that
+/// per-request admission control — RuleTestService and any transport in
+/// front of it — reuses exactly the limits the framework was built with
+/// instead of growing a parallel set (see docs/serving.md).
+struct ServiceLimits {
+  /// Search budget every optimization falls back to when its own options
+  /// carry an unlimited one. Unlimited by default. When a limit trips the
+  /// optimizer returns its best-so-far plan with `budget_exhausted` set
+  /// (see OptimizerOptions::budget).
+  SearchBudget default_budget;
+  /// Whole-request deadline applied by the serving layer when a request
+  /// does not carry its own; <= 0 (the default) means none. Checked
+  /// between request phases (suite generation, compression, correctness
+  /// execution), so an expired deadline surfaces as kDeadlineExceeded at
+  /// the next phase boundary rather than mid-search.
+  double default_deadline_seconds = 0.0;
+  /// How components retry transient (kUnavailable) failures.
+  RetryPolicy retry_policy;
+  /// Admission bound of the serving layer: the maximum number of requests
+  /// accepted-but-unfinished at once. Requests beyond it are shed
+  /// immediately with kResourceExhausted (never queued indefinitely, never
+  /// a hang — see docs/serving.md). Ignored by the in-process facade
+  /// itself; RuleTestService enforces it for every transport.
+  size_t max_queue_depth = 128;
+};
+
+}  // namespace qtf
+
+#endif  // QTF_COMMON_LIMITS_H_

@@ -32,6 +32,67 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+int32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kAlreadyExists:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kUnimplemented:
+      return 5;
+    case StatusCode::kInternal:
+      return 6;
+    case StatusCode::kExecutionError:
+      return 7;
+    case StatusCode::kDeadlineExceeded:
+      return 8;
+    case StatusCode::kCancelled:
+      return 9;
+    case StatusCode::kResourceExhausted:
+      return 10;
+    case StatusCode::kUnavailable:
+      return 11;
+  }
+  return 6;  // unknown codes travel as Internal
+}
+
+StatusCode StatusCodeFromWire(int32_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kAlreadyExists;
+    case 4:
+      return StatusCode::kOutOfRange;
+    case 5:
+      return StatusCode::kUnimplemented;
+    case 6:
+      return StatusCode::kInternal;
+    case 7:
+      return StatusCode::kExecutionError;
+    case 8:
+      return StatusCode::kDeadlineExceeded;
+    case 9:
+      return StatusCode::kCancelled;
+    case 10:
+      return StatusCode::kResourceExhausted;
+    case 11:
+      return StatusCode::kUnavailable;
+    default:
+      return StatusCode::kInternal;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

@@ -1,6 +1,7 @@
 #ifndef QTF_COMMON_STATUS_H_
 #define QTF_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -26,6 +27,17 @@ enum class StatusCode {
 
 /// Returns a short human-readable name for `code` ("OK", "Internal", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// Stable on-the-wire numbering of StatusCode for the serving protocol
+/// (src/net/wire.h). The enum above may be reordered or grown freely; this
+/// mapping is frozen — new codes get new numbers, old numbers are never
+/// reused — so old clients keep decoding errors from new servers.
+int32_t StatusCodeToWire(StatusCode code);
+
+/// Inverse of StatusCodeToWire. Unknown numbers (a newer peer) decode as
+/// kInternal rather than failing, so an unrecognized error still surfaces
+/// as an error.
+StatusCode StatusCodeFromWire(int32_t wire);
 
 /// Outcome of an operation that can fail. The framework does not use
 /// exceptions (see DESIGN.md); fallible functions return Status or

@@ -1,0 +1,121 @@
+#ifndef QTF_NET_SERVER_H_
+#define QTF_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "net/wire.h"
+#include "service/service.h"
+
+namespace qtf {
+namespace net {
+
+struct ServerConfig {
+  /// Numeric IP to bind ("127.0.0.1" or "0.0.0.0"); no name resolution.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; the bound port is reported by port().
+  uint16_t port = 0;
+  /// Worker threads executing decoded requests. Session reader threads only
+  /// parse frames and shed; all service work happens here.
+  int workers = 4;
+};
+
+/// TCP front end for a RuleTestService: one accept loop, one reader thread
+/// per connection, a shared worker pool executing requests. Frames are the
+/// wire.h protocol; each request frame is answered by exactly one response
+/// frame carrying its request id (responses may interleave out of request
+/// order — the pool completes them as it pleases).
+///
+/// Admission: the reader thread sheds at frame-receipt time through the
+/// service's AdmissionGate, answering kResourceExhausted immediately when
+/// max_queue_depth requests are in flight — the worker queue therefore
+/// never holds more than max_queue_depth admitted requests and Submit
+/// never blocks the reader. Metrics requests bypass the gate and run
+/// inline on the reader so the registry stays observable under overload.
+///
+/// Errors: a malformed payload answers kError(kInvalidArgument) and the
+/// connection survives; a malformed frame header (bad magic/version/
+/// reserved bits/oversized payload) counts qtf.service.bad_frames and
+/// closes the connection, because the stream is unsynchronized.
+///
+/// Shutdown() (also from the destructor) is a graceful drain: stop
+/// accepting, wake every session reader, finish every admitted request,
+/// write its response, then join — SIGTERM handling in qtfd_main is just a
+/// call to this.
+class ServiceServer {
+ public:
+  /// Binds, listens, and starts the accept loop. The service must outlive
+  /// the returned server.
+  static Result<std::unique_ptr<ServiceServer>> Start(
+      service::RuleTestService* service, ServerConfig config);
+
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// The port actually bound (useful with config.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; idempotent and safe from signal-notified threads
+  /// (but not from handlers themselves — it locks and joins).
+  void Shutdown();
+
+ private:
+  /// Per-connection state shared between the reader thread and worker
+  /// tasks still writing responses after the reader moved on.
+  struct Session {
+    int fd = -1;
+    /// Serializes response frames (a frame write must not interleave with
+    /// another response to the same connection) and guards `pending`.
+    std::mutex write_mu;
+    std::condition_variable drained;
+    /// Worker tasks not yet finished for this connection; the reader waits
+    /// for zero before closing the fd.
+    int pending = 0;
+  };
+
+  ServiceServer(service::RuleTestService* service, ServerConfig config);
+
+  Status Bind();
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Session> session);
+  /// Decodes and executes one request frame; writes the response or error
+  /// frame. Runs on the reader (metrics, decode errors) or a worker
+  /// (admitted requests).
+  void HandleFrame(const std::shared_ptr<Session>& session, Frame frame);
+  void WriteFrame(const std::shared_ptr<Session>& session, MessageType type,
+                  uint32_t request_id, std::string_view payload);
+
+  service::RuleTestService* service_;
+  const ServerConfig config_;
+  uint16_t port_ = 0;
+  /// Atomic because Shutdown() closes it while the accept loop reads it.
+  std::atomic<int> listen_fd_{-1};
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::mutex shutdown_mu_;  // serializes Shutdown() callers
+  std::mutex mu_;           // guards sessions_ / session_threads_ / stopping_
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  bool stopping_ = false;
+
+  obs::Gauge* active_sessions_ = nullptr;   // qtf.service.active_sessions
+  obs::Counter* sessions_total_ = nullptr;  // qtf.service.sessions_total
+  obs::Counter* bad_frames_ = nullptr;      // qtf.service.bad_frames
+  obs::Counter* bytes_in_ = nullptr;        // qtf.service.bytes_in
+  obs::Counter* bytes_out_ = nullptr;       // qtf.service.bytes_out
+};
+
+}  // namespace net
+}  // namespace qtf
+
+#endif  // QTF_NET_SERVER_H_

@@ -1,0 +1,735 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace qtf {
+namespace net {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+}  // namespace
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kError:
+      return "error";
+    case MessageType::kGenerateRequest:
+      return "generate_request";
+    case MessageType::kGenerateResponse:
+      return "generate_response";
+    case MessageType::kOptimizeRequest:
+      return "optimize_request";
+    case MessageType::kOptimizeResponse:
+      return "optimize_response";
+    case MessageType::kCompressSuiteRequest:
+      return "compress_suite_request";
+    case MessageType::kCompressSuiteResponse:
+      return "compress_suite_response";
+    case MessageType::kCorrectnessRequest:
+      return "correctness_request";
+    case MessageType::kCorrectnessResponse:
+      return "correctness_response";
+    case MessageType::kMetricsRequest:
+      return "metrics_request";
+    case MessageType::kMetricsResponse:
+      return "metrics_response";
+  }
+  return "unknown";
+}
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kGenerateRequest:
+    case MessageType::kOptimizeRequest:
+    case MessageType::kCompressSuiteRequest:
+    case MessageType::kCorrectnessRequest:
+    case MessageType::kMetricsRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MessageType ResponseTypeFor(MessageType request_type) {
+  // Request/response pairs are adjacent in the numbering: response = req + 1.
+  QTF_CHECK(IsRequestType(request_type));
+  return static_cast<MessageType>(static_cast<uint8_t>(request_type) + 1);
+}
+
+std::string EncodeFrame(MessageType type, uint32_t request_id,
+                        std::string_view payload) {
+  QTF_CHECK(payload.size() <= kMaxPayloadBytes);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  AppendU32(&out, request_id);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<bool> FrameDecoder::Next(Frame* frame) {
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  const char* p = buffer_.data();
+  const uint32_t magic = ReadU32(p);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("wire: bad frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(p[4]);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  const uint8_t type = static_cast<uint8_t>(p[5]);
+  if (type > kMaxMessageType) {
+    return Status::InvalidArgument("wire: unknown message type " +
+                                   std::to_string(type));
+  }
+  if (p[6] != 0 || p[7] != 0) {
+    return Status::InvalidArgument("wire: nonzero reserved header bits");
+  }
+  const uint32_t payload_bytes = ReadU32(p + 12);
+  if (payload_bytes > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: payload of " +
+                                   std::to_string(payload_bytes) +
+                                   " bytes exceeds frame limit");
+  }
+  if (buffer_.size() < kFrameHeaderBytes + payload_bytes) return false;
+  frame->type = static_cast<MessageType>(type);
+  frame->request_id = ReadU32(p + 8);
+  frame->payload.assign(buffer_, kFrameHeaderBytes, payload_bytes);
+  buffer_.erase(0, kFrameHeaderBytes + payload_bytes);
+  return true;
+}
+
+// --- PayloadWriter / PayloadReader ---------------------------------------
+
+void PayloadWriter::U32(uint32_t v) { AppendU32(&out_, v); }
+
+void PayloadWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xffffffffu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void PayloadWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void PayloadWriter::Str(std::string_view v) {
+  U32(static_cast<uint32_t>(v.size()));
+  out_.append(v);
+}
+
+void PayloadWriter::RuleIds(const std::vector<RuleId>& ids) {
+  U32(static_cast<uint32_t>(ids.size()));
+  for (RuleId id : ids) I32(static_cast<int32_t>(id));
+}
+
+bool PayloadReader::Take(size_t n, const char** out) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+uint8_t PayloadReader::U8() {
+  const char* p;
+  if (!Take(1, &p)) return 0;
+  return static_cast<uint8_t>(*p);
+}
+
+uint32_t PayloadReader::U32() {
+  const char* p;
+  if (!Take(4, &p)) return 0;
+  return ReadU32(p);
+}
+
+uint64_t PayloadReader::U64() {
+  const uint64_t lo = U32();
+  const uint64_t hi = U32();
+  return lo | (hi << 32);
+}
+
+double PayloadReader::F64() {
+  const uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::Str() {
+  const uint32_t n = U32();
+  // Length validated against the bytes actually present: a garbage count
+  // fails the read instead of triggering a giant allocation.
+  const char* p;
+  if (!Take(n, &p)) return std::string();
+  return std::string(p, n);
+}
+
+std::vector<RuleId> PayloadReader::RuleIds() {
+  const uint32_t n = U32();
+  if (failed_ || remaining() / 4 < n) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<RuleId> ids;
+  ids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) ids.push_back(static_cast<RuleId>(I32()));
+  return ids;
+}
+
+Status PayloadReader::Finish(const char* what) const {
+  if (!failed_ && AtEnd()) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("wire: malformed ") + what + " payload" +
+      (failed_ ? " (truncated)" : " (trailing bytes)"));
+}
+
+// --- Request options ------------------------------------------------------
+
+namespace {
+
+void WriteOptions(PayloadWriter* w, const service::RequestOptions& options) {
+  // `cancel` deliberately does not travel: remote cancellation is closing
+  // the connection.
+  w->F64(options.budget.wall_seconds);
+  w->I32(options.budget.max_memo_groups);
+  w->I64(options.budget.max_memo_exprs);
+  w->F64(options.deadline_seconds);
+}
+
+void ReadOptions(PayloadReader* r, service::RequestOptions* options) {
+  options->budget.wall_seconds = r->F64();
+  options->budget.max_memo_groups = r->I32();
+  options->budget.max_memo_exprs = r->I64();
+  options->deadline_seconds = r->F64();
+}
+
+void WriteSuiteSpec(PayloadWriter* w, const service::SuiteSpec& spec) {
+  w->I32(spec.n_rules);
+  w->Bool(spec.pairs);
+  w->I32(spec.k);
+  w->U8(static_cast<uint8_t>(spec.method));
+  w->I32(spec.max_trials);
+  w->I32(spec.extra_ops);
+  w->U64(spec.seed);
+}
+
+Status ReadSuiteSpec(PayloadReader* r, service::SuiteSpec* spec) {
+  spec->n_rules = r->I32();
+  spec->pairs = r->Bool();
+  spec->k = r->I32();
+  const uint8_t method = r->U8();
+  if (r->ok() && method > static_cast<uint8_t>(GenerationMethod::kPattern)) {
+    return Status::InvalidArgument("wire: unknown generation method " +
+                                   std::to_string(method));
+  }
+  spec->method = static_cast<GenerationMethod>(method);
+  spec->max_trials = r->I32();
+  spec->extra_ops = r->I32();
+  spec->seed = r->U64();
+  return Status::OK();
+}
+
+Result<service::CompressionAlgorithm> ReadAlgorithm(PayloadReader* r) {
+  const uint8_t algorithm = r->U8();
+  if (r->ok() &&
+      algorithm >
+          static_cast<uint8_t>(
+              service::CompressionAlgorithm::kNoSharingMatching)) {
+    return Status::InvalidArgument("wire: unknown compression algorithm " +
+                                   std::to_string(algorithm));
+  }
+  return static_cast<service::CompressionAlgorithm>(algorithm);
+}
+
+}  // namespace
+
+// --- Generate -------------------------------------------------------------
+
+std::string EncodeGenerateRequest(const service::GenerateRequest& request) {
+  PayloadWriter w;
+  w.RuleIds(request.targets);
+  w.U8(static_cast<uint8_t>(request.method));
+  w.I32(request.max_trials);
+  w.I32(request.extra_ops);
+  w.U64(request.seed);
+  w.Bool(request.require_relevant);
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::GenerateRequest> DecodeGenerateRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::GenerateRequest request;
+  request.targets = r.RuleIds();
+  const uint8_t method = r.U8();
+  if (r.ok() && method > static_cast<uint8_t>(GenerationMethod::kPattern)) {
+    return Status::InvalidArgument("wire: unknown generation method " +
+                                   std::to_string(method));
+  }
+  request.method = static_cast<GenerationMethod>(method);
+  request.max_trials = r.I32();
+  request.extra_ops = r.I32();
+  request.seed = r.U64();
+  request.require_relevant = r.Bool();
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("generate request"));
+  return request;
+}
+
+std::string EncodeGenerateResponse(const service::GenerateResponse& response) {
+  PayloadWriter w;
+  w.Bool(response.success);
+  w.Str(response.sql);
+  w.RuleIds(response.rule_set);
+  w.F64(response.cost);
+  w.I32(response.operator_count);
+  w.I32(response.trials);
+  return w.Take();
+}
+
+Result<service::GenerateResponse> DecodeGenerateResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::GenerateResponse response;
+  response.success = r.Bool();
+  response.sql = r.Str();
+  response.rule_set = r.RuleIds();
+  response.cost = r.F64();
+  response.operator_count = r.I32();
+  response.trials = r.I32();
+  QTF_RETURN_NOT_OK(r.Finish("generate response"));
+  return response;
+}
+
+// --- Optimize -------------------------------------------------------------
+
+std::string EncodeOptimizeRequest(const service::OptimizeRequest& request) {
+  PayloadWriter w;
+  w.U64(request.seed);
+  w.I32(request.min_ops);
+  w.I32(request.max_ops);
+  w.RuleIds(request.disabled_rules);
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::OptimizeRequest> DecodeOptimizeRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::OptimizeRequest request;
+  request.seed = r.U64();
+  request.min_ops = r.I32();
+  request.max_ops = r.I32();
+  request.disabled_rules = r.RuleIds();
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("optimize request"));
+  return request;
+}
+
+std::string EncodeOptimizeResponse(const service::OptimizeResponse& response) {
+  PayloadWriter w;
+  w.Str(response.sql);
+  w.F64(response.cost);
+  w.RuleIds(response.exercised_rules);
+  w.I32(response.group_count);
+  w.I64(response.expr_count);
+  w.Bool(response.budget_exhausted);
+  return w.Take();
+}
+
+Result<service::OptimizeResponse> DecodeOptimizeResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::OptimizeResponse response;
+  response.sql = r.Str();
+  response.cost = r.F64();
+  response.exercised_rules = r.RuleIds();
+  response.group_count = r.I32();
+  response.expr_count = r.I64();
+  response.budget_exhausted = r.Bool();
+  QTF_RETURN_NOT_OK(r.Finish("optimize response"));
+  return response;
+}
+
+// --- CompressSuite --------------------------------------------------------
+
+std::string EncodeCompressSuiteRequest(
+    const service::CompressSuiteRequest& request) {
+  PayloadWriter w;
+  WriteSuiteSpec(&w, request.suite);
+  w.U8(static_cast<uint8_t>(request.algorithm));
+  w.Bool(request.exploit_monotonicity);
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::CompressSuiteRequest> DecodeCompressSuiteRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::CompressSuiteRequest request;
+  QTF_RETURN_NOT_OK(ReadSuiteSpec(&r, &request.suite));
+  QTF_ASSIGN_OR_RETURN(request.algorithm, ReadAlgorithm(&r));
+  request.exploit_monotonicity = r.Bool();
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("compress suite request"));
+  return request;
+}
+
+std::string EncodeCompressSuiteResponse(
+    const service::CompressSuiteResponse& response) {
+  PayloadWriter w;
+  w.I32(response.suite_queries);
+  w.U32(static_cast<uint32_t>(response.assignment.size()));
+  for (const std::vector<int32_t>& queries : response.assignment) {
+    w.U32(static_cast<uint32_t>(queries.size()));
+    for (int32_t q : queries) w.I32(q);
+  }
+  w.F64(response.total_cost);
+  w.I64(response.optimizer_calls);
+  w.I32(response.degraded_targets);
+  w.I32(response.estimated_edges);
+  return w.Take();
+}
+
+Result<service::CompressSuiteResponse> DecodeCompressSuiteResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::CompressSuiteResponse response;
+  response.suite_queries = r.I32();
+  const uint32_t targets = r.U32();
+  // Each target costs at least a 4-byte count; cap against remaining bytes
+  // so a garbage count cannot drive a huge reserve/loop.
+  if (!r.ok() || r.remaining() / 4 < targets) {
+    return Status::InvalidArgument(
+        "wire: malformed compress suite response payload (truncated)");
+  }
+  response.assignment.reserve(targets);
+  for (uint32_t t = 0; t < targets; ++t) {
+    const uint32_t count = r.U32();
+    if (!r.ok() || r.remaining() / 4 < count) {
+      return Status::InvalidArgument(
+          "wire: malformed compress suite response payload (truncated)");
+    }
+    std::vector<int32_t> queries;
+    queries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) queries.push_back(r.I32());
+    response.assignment.push_back(std::move(queries));
+  }
+  response.total_cost = r.F64();
+  response.optimizer_calls = r.I64();
+  response.degraded_targets = r.I32();
+  response.estimated_edges = r.I32();
+  QTF_RETURN_NOT_OK(r.Finish("compress suite response"));
+  return response;
+}
+
+// --- Correctness ----------------------------------------------------------
+
+std::string EncodeCorrectnessRequest(
+    const service::CorrectnessRequest& request) {
+  PayloadWriter w;
+  WriteSuiteSpec(&w, request.suite);
+  w.U8(static_cast<uint8_t>(request.algorithm));
+  w.Bool(request.exploit_monotonicity);
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::CorrectnessRequest> DecodeCorrectnessRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::CorrectnessRequest request;
+  QTF_RETURN_NOT_OK(ReadSuiteSpec(&r, &request.suite));
+  QTF_ASSIGN_OR_RETURN(request.algorithm, ReadAlgorithm(&r));
+  request.exploit_monotonicity = r.Bool();
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("correctness request"));
+  return request;
+}
+
+std::string EncodeCorrectnessResponse(
+    const service::CorrectnessResponse& response) {
+  PayloadWriter w;
+  w.I32(response.plans_executed);
+  w.I32(response.skipped_identical_plans);
+  w.I32(response.skipped_unavailable);
+  w.U32(static_cast<uint32_t>(response.violations.size()));
+  for (const service::ViolationSummary& v : response.violations) {
+    w.I32(v.target);
+    w.I32(v.query);
+    w.Str(v.target_name);
+    w.Str(v.sql);
+    w.I64(v.base_rows);
+    w.I64(v.restricted_rows);
+  }
+  return w.Take();
+}
+
+Result<service::CorrectnessResponse> DecodeCorrectnessResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::CorrectnessResponse response;
+  response.plans_executed = r.I32();
+  response.skipped_identical_plans = r.I32();
+  response.skipped_unavailable = r.I32();
+  const uint32_t violations = r.U32();
+  // A violation is at least 32 bytes on the wire; bound the count by that.
+  if (!r.ok() || r.remaining() / 32 < violations) {
+    return Status::InvalidArgument(
+        "wire: malformed correctness response payload (truncated)");
+  }
+  response.violations.reserve(violations);
+  for (uint32_t i = 0; i < violations; ++i) {
+    service::ViolationSummary v;
+    v.target = r.I32();
+    v.query = r.I32();
+    v.target_name = r.Str();
+    v.sql = r.Str();
+    v.base_rows = r.I64();
+    v.restricted_rows = r.I64();
+    response.violations.push_back(std::move(v));
+  }
+  QTF_RETURN_NOT_OK(r.Finish("correctness response"));
+  return response;
+}
+
+// --- Metrics --------------------------------------------------------------
+
+std::string EncodeMetricsRequest(const service::MetricsRequest& request) {
+  PayloadWriter w;
+  w.Bool(request.text);
+  return w.Take();
+}
+
+Result<service::MetricsRequest> DecodeMetricsRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::MetricsRequest request;
+  request.text = r.Bool();
+  QTF_RETURN_NOT_OK(r.Finish("metrics request"));
+  return request;
+}
+
+std::string EncodeMetricsResponse(const service::MetricsResponse& response) {
+  PayloadWriter w;
+  w.Str(response.body);
+  return w.Take();
+}
+
+Result<service::MetricsResponse> DecodeMetricsResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::MetricsResponse response;
+  response.body = r.Str();
+  QTF_RETURN_NOT_OK(r.Finish("metrics response"));
+  return response;
+}
+
+// --- Error ----------------------------------------------------------------
+
+std::string EncodeError(const Status& status) {
+  PayloadWriter w;
+  w.I32(StatusCodeToWire(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+Status DecodeError(std::string_view payload, Status* error) {
+  PayloadReader r(payload);
+  const StatusCode code = StatusCodeFromWire(r.I32());
+  std::string message = r.Str();
+  QTF_RETURN_NOT_OK(r.Finish("error"));
+  *error = Status(code, std::move(message));
+  return Status::OK();
+}
+
+// --- Variant-level dispatch ----------------------------------------------
+
+MessageType RequestType(const service::ServiceRequest& request) {
+  struct Visitor {
+    MessageType operator()(const service::GenerateRequest&) const {
+      return MessageType::kGenerateRequest;
+    }
+    MessageType operator()(const service::OptimizeRequest&) const {
+      return MessageType::kOptimizeRequest;
+    }
+    MessageType operator()(const service::CompressSuiteRequest&) const {
+      return MessageType::kCompressSuiteRequest;
+    }
+    MessageType operator()(const service::CorrectnessRequest&) const {
+      return MessageType::kCorrectnessRequest;
+    }
+    MessageType operator()(const service::MetricsRequest&) const {
+      return MessageType::kMetricsRequest;
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+MessageType ResponseType(const service::ServiceResponse& response) {
+  struct Visitor {
+    MessageType operator()(const service::GenerateResponse&) const {
+      return MessageType::kGenerateResponse;
+    }
+    MessageType operator()(const service::OptimizeResponse&) const {
+      return MessageType::kOptimizeResponse;
+    }
+    MessageType operator()(const service::CompressSuiteResponse&) const {
+      return MessageType::kCompressSuiteResponse;
+    }
+    MessageType operator()(const service::CorrectnessResponse&) const {
+      return MessageType::kCorrectnessResponse;
+    }
+    MessageType operator()(const service::MetricsResponse&) const {
+      return MessageType::kMetricsResponse;
+    }
+  };
+  return std::visit(Visitor{}, response);
+}
+
+std::string EncodeRequest(const service::ServiceRequest& request) {
+  struct Visitor {
+    std::string operator()(const service::GenerateRequest& r) const {
+      return EncodeGenerateRequest(r);
+    }
+    std::string operator()(const service::OptimizeRequest& r) const {
+      return EncodeOptimizeRequest(r);
+    }
+    std::string operator()(const service::CompressSuiteRequest& r) const {
+      return EncodeCompressSuiteRequest(r);
+    }
+    std::string operator()(const service::CorrectnessRequest& r) const {
+      return EncodeCorrectnessRequest(r);
+    }
+    std::string operator()(const service::MetricsRequest& r) const {
+      return EncodeMetricsRequest(r);
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+Result<service::ServiceRequest> DecodeRequest(MessageType type,
+                                              std::string_view payload) {
+  switch (type) {
+    case MessageType::kGenerateRequest: {
+      QTF_ASSIGN_OR_RETURN(service::GenerateRequest r,
+                           DecodeGenerateRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    case MessageType::kOptimizeRequest: {
+      QTF_ASSIGN_OR_RETURN(service::OptimizeRequest r,
+                           DecodeOptimizeRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    case MessageType::kCompressSuiteRequest: {
+      QTF_ASSIGN_OR_RETURN(service::CompressSuiteRequest r,
+                           DecodeCompressSuiteRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    case MessageType::kCorrectnessRequest: {
+      QTF_ASSIGN_OR_RETURN(service::CorrectnessRequest r,
+                           DecodeCorrectnessRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    case MessageType::kMetricsRequest: {
+      QTF_ASSIGN_OR_RETURN(service::MetricsRequest r,
+                           DecodeMetricsRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("wire: not a request message type: ") +
+          MessageTypeToString(type));
+  }
+}
+
+std::string EncodeResponse(const service::ServiceResponse& response) {
+  struct Visitor {
+    std::string operator()(const service::GenerateResponse& r) const {
+      return EncodeGenerateResponse(r);
+    }
+    std::string operator()(const service::OptimizeResponse& r) const {
+      return EncodeOptimizeResponse(r);
+    }
+    std::string operator()(const service::CompressSuiteResponse& r) const {
+      return EncodeCompressSuiteResponse(r);
+    }
+    std::string operator()(const service::CorrectnessResponse& r) const {
+      return EncodeCorrectnessResponse(r);
+    }
+    std::string operator()(const service::MetricsResponse& r) const {
+      return EncodeMetricsResponse(r);
+    }
+  };
+  return std::visit(Visitor{}, response);
+}
+
+Result<service::ServiceResponse> DecodeResponse(MessageType type,
+                                                std::string_view payload) {
+  switch (type) {
+    case MessageType::kGenerateResponse: {
+      QTF_ASSIGN_OR_RETURN(service::GenerateResponse r,
+                           DecodeGenerateResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kOptimizeResponse: {
+      QTF_ASSIGN_OR_RETURN(service::OptimizeResponse r,
+                           DecodeOptimizeResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kCompressSuiteResponse: {
+      QTF_ASSIGN_OR_RETURN(service::CompressSuiteResponse r,
+                           DecodeCompressSuiteResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kCorrectnessResponse: {
+      QTF_ASSIGN_OR_RETURN(service::CorrectnessResponse r,
+                           DecodeCorrectnessResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kMetricsResponse: {
+      QTF_ASSIGN_OR_RETURN(service::MetricsResponse r,
+                           DecodeMetricsResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("wire: not a response message type: ") +
+          MessageTypeToString(type));
+  }
+}
+
+}  // namespace net
+}  // namespace qtf

@@ -1,0 +1,221 @@
+#ifndef QTF_NET_WIRE_H_
+#define QTF_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "service/api.h"
+
+namespace qtf {
+namespace net {
+
+/// The qtfd wire protocol: length-prefixed binary frames over a byte
+/// stream (docs/serving.md has the full layout). Everything here is pure
+/// serialization — no sockets — so the whole protocol is unit- and
+/// fuzz-testable in-process (tests/test_wire.cc).
+///
+/// Frame header, 16 bytes, little-endian:
+///
+///   offset 0  u32  magic         0x51544657 ("QTFW")
+///   offset 4  u8   version       kWireVersion
+///   offset 5  u8   type          MessageType
+///   offset 6  u16  reserved      must be 0
+///   offset 8  u32  request_id    echoed verbatim in the response frame
+///   offset 12 u32  payload_bytes length of the payload that follows
+///
+/// The request id exists for out-of-order completion: a server executing
+/// requests on a worker pool writes each response frame as it finishes,
+/// tagged with the id of the request it answers, so one connection can
+/// have many requests in flight.
+inline constexpr uint32_t kFrameMagic = 0x51544657;  // "QTFW"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on a frame payload. Anything larger is a protocol error
+/// (the connection is closed), which also caps what a hostile peer can
+/// make the server buffer.
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  /// Error response: payload is {i32 wire status code, string message}.
+  kError = 0,
+  kGenerateRequest = 1,
+  kGenerateResponse = 2,
+  kOptimizeRequest = 3,
+  kOptimizeResponse = 4,
+  kCompressSuiteRequest = 5,
+  kCompressSuiteResponse = 6,
+  kCorrectnessRequest = 7,
+  kCorrectnessResponse = 8,
+  kMetricsRequest = 9,
+  kMetricsResponse = 10,
+};
+inline constexpr uint8_t kMaxMessageType =
+    static_cast<uint8_t>(MessageType::kMetricsResponse);
+
+const char* MessageTypeToString(MessageType type);
+bool IsRequestType(MessageType type);
+/// The response type answering a given request type (kError aside).
+MessageType ResponseTypeFor(MessageType request_type);
+
+/// One complete decoded frame.
+struct Frame {
+  MessageType type = MessageType::kError;
+  uint32_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes a complete frame (header + payload).
+std::string EncodeFrame(MessageType type, uint32_t request_id,
+                        std::string_view payload);
+
+/// Incremental frame extractor for a byte stream. Feed() whatever arrived;
+/// Next() yields complete frames. Any malformed header — wrong magic,
+/// unknown version or type, nonzero reserved bits, oversized payload —
+/// returns kInvalidArgument, after which the stream is unsynchronized and
+/// the connection must be closed. Truncation is not an error, just "need
+/// more bytes".
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// True + *frame filled when a complete frame was extracted; false when
+  /// more bytes are needed; kInvalidArgument on a malformed header.
+  Result<bool> Next(Frame* frame);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Append-only payload builder. All integers little-endian; doubles as
+/// their IEEE-754 bit pattern; strings and vectors length-prefixed with
+/// u32 counts.
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(std::string_view v);
+  void RuleIds(const std::vector<RuleId>& ids);
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked payload consumer. Reads past the end set the failed
+/// flag and return zero values; every Decode* function finishes with
+/// Finish(), which demands ok() and full consumption, so truncated,
+/// oversized and garbage payloads all surface as kInvalidArgument instead
+/// of crashes or silent misparses.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  bool Bool() { return U8() != 0; }
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  std::string Str();
+  std::vector<RuleId> RuleIds();
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// kInvalidArgument naming `what` unless the payload parsed cleanly and
+  /// completely.
+  Status Finish(const char* what) const;
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- Per-message serialization -------------------------------------------
+//
+// Encode* are deterministic (same struct -> same bytes); Decode* accept
+// exactly what Encode* produce and reject everything else with
+// kInvalidArgument. This is what makes "byte-identical across transports"
+// testable: the in-process response, encoded, must equal the wire payload.
+
+std::string EncodeGenerateRequest(const service::GenerateRequest& request);
+Result<service::GenerateRequest> DecodeGenerateRequest(
+    std::string_view payload);
+std::string EncodeGenerateResponse(const service::GenerateResponse& response);
+Result<service::GenerateResponse> DecodeGenerateResponse(
+    std::string_view payload);
+
+std::string EncodeOptimizeRequest(const service::OptimizeRequest& request);
+Result<service::OptimizeRequest> DecodeOptimizeRequest(
+    std::string_view payload);
+std::string EncodeOptimizeResponse(const service::OptimizeResponse& response);
+Result<service::OptimizeResponse> DecodeOptimizeResponse(
+    std::string_view payload);
+
+std::string EncodeCompressSuiteRequest(
+    const service::CompressSuiteRequest& request);
+Result<service::CompressSuiteRequest> DecodeCompressSuiteRequest(
+    std::string_view payload);
+std::string EncodeCompressSuiteResponse(
+    const service::CompressSuiteResponse& response);
+Result<service::CompressSuiteResponse> DecodeCompressSuiteResponse(
+    std::string_view payload);
+
+std::string EncodeCorrectnessRequest(
+    const service::CorrectnessRequest& request);
+Result<service::CorrectnessRequest> DecodeCorrectnessRequest(
+    std::string_view payload);
+std::string EncodeCorrectnessResponse(
+    const service::CorrectnessResponse& response);
+Result<service::CorrectnessResponse> DecodeCorrectnessResponse(
+    std::string_view payload);
+
+std::string EncodeMetricsRequest(const service::MetricsRequest& request);
+Result<service::MetricsRequest> DecodeMetricsRequest(
+    std::string_view payload);
+std::string EncodeMetricsResponse(const service::MetricsResponse& response);
+Result<service::MetricsResponse> DecodeMetricsResponse(
+    std::string_view payload);
+
+/// kError payload: the Status a request failed with, via the frozen
+/// StatusCodeToWire numbering (common/status.h).
+std::string EncodeError(const Status& status);
+/// Reconstructs the error Status carried by a kError payload into *error;
+/// the return value is the decode outcome (Result<Status> would be
+/// ambiguous — both alternatives are a Status).
+Status DecodeError(std::string_view payload, Status* error);
+
+// --- Variant-level dispatch ----------------------------------------------
+
+/// Message type a given request/response variant travels as.
+MessageType RequestType(const service::ServiceRequest& request);
+MessageType ResponseType(const service::ServiceResponse& response);
+
+std::string EncodeRequest(const service::ServiceRequest& request);
+/// Decodes a request payload of the given type; kInvalidArgument for
+/// non-request types or malformed payloads.
+Result<service::ServiceRequest> DecodeRequest(MessageType type,
+                                              std::string_view payload);
+std::string EncodeResponse(const service::ServiceResponse& response);
+Result<service::ServiceResponse> DecodeResponse(MessageType type,
+                                                std::string_view payload);
+
+}  // namespace net
+}  // namespace qtf
+
+#endif  // QTF_NET_WIRE_H_

@@ -17,6 +17,7 @@
 #include "qgen/generation.h"
 #include "qgen/sqlgen.h"
 #include "rules/buggy_rules.h"
+#include "service/service.h"
 #include "testing/framework.h"
 
 #endif  // QTF_QTF_H_

@@ -1,0 +1,175 @@
+#ifndef QTF_SERVICE_API_H_
+#define QTF_SERVICE_API_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/budget.h"
+#include "qgen/generation.h"
+
+namespace qtf {
+namespace service {
+
+/// Per-request governance knobs, the request-side mirror of ServiceLimits:
+/// every field that is left at its "unset" default falls back to the
+/// service's configured limit. Transport-neutral — the same struct is
+/// populated by in-process callers and decoded off the wire (where `cancel`
+/// does not travel: remote cancellation is closing the connection, local
+/// callers hand a real token).
+struct RequestOptions {
+  /// Per-optimization search budget; unlimited (all zero) falls back to
+  /// ServiceLimits::default_budget.
+  SearchBudget budget;
+  /// Whole-request deadline, seconds from admission; <= 0 falls back to
+  /// ServiceLimits::default_deadline_seconds (0 there = none). Checked at
+  /// request phase boundaries — an expired deadline returns
+  /// kDeadlineExceeded for the whole request.
+  double deadline_seconds = 0.0;
+  /// Checked by every phase of the request; a triggered token returns
+  /// kCancelled. Never serialized.
+  CancellationToken cancel;
+};
+
+/// Ask the resident framework for one query exercising `targets`
+/// (singleton rule or rule pair) — TargetedQueryGenerator over the wire.
+struct GenerateRequest {
+  std::vector<RuleId> targets;
+  GenerationMethod method = GenerationMethod::kPattern;
+  int32_t max_trials = 2000;
+  int32_t extra_ops = 0;
+  uint64_t seed = 1;
+  /// Singleton targets only: additionally require the rule to be relevant
+  /// (disabling it changes the plan — paper Section 7).
+  bool require_relevant = false;
+  RequestOptions options;
+};
+
+/// Everything deterministic about a generation outcome. Wall-clock time is
+/// deliberately absent — request latency lands in qtf.service.request_seconds
+/// — so responses for the same seed are byte-identical across transports,
+/// runs and machines.
+struct GenerateResponse {
+  bool success = false;
+  std::string sql;
+  std::vector<RuleId> rule_set;  // RuleSet(query), ascending
+  double cost = 0.0;
+  int32_t operator_count = 0;
+  int32_t trials = 0;
+};
+
+/// Optimize one seed-determined random query, optionally with rules
+/// disabled — the remote probe for Plan(q, ¬R) behaviour. The query is
+/// grown by the service's RandomQueryGenerator from `seed` (the transport
+/// cannot ship logical trees until the SQL frontend lands; see ROADMAP
+/// item 2), so the same seed always optimizes the same query.
+struct OptimizeRequest {
+  uint64_t seed = 1;
+  int32_t min_ops = 2;
+  int32_t max_ops = 9;
+  std::vector<RuleId> disabled_rules;
+  RequestOptions options;
+};
+
+struct OptimizeResponse {
+  /// SQL rendering of the query that was optimized (seed-determined).
+  std::string sql;
+  double cost = 0.0;
+  std::vector<RuleId> exercised_rules;  // ascending
+  int32_t group_count = 0;
+  int64_t expr_count = 0;
+  bool budget_exhausted = false;
+};
+
+/// How a CompressSuiteRequest / CorrectnessRequest builds its test suite:
+/// first `n_rules` logical rules as singleton targets (or all pairs over
+/// them), k queries per target.
+struct SuiteSpec {
+  int32_t n_rules = 4;
+  bool pairs = false;
+  int32_t k = 2;
+  GenerationMethod method = GenerationMethod::kPattern;
+  int32_t max_trials = 2000;
+  int32_t extra_ops = 0;
+  uint64_t seed = 1;
+};
+
+enum class CompressionAlgorithm : uint8_t {
+  kBaseline = 0,
+  kSetMultiCover = 1,
+  kTopKIndependent = 2,
+  kNoSharingMatching = 3,
+};
+
+const char* CompressionAlgorithmToString(CompressionAlgorithm algorithm);
+
+/// Generate a suite per `suite` and compress it with `algorithm`.
+struct CompressSuiteRequest {
+  SuiteSpec suite;
+  CompressionAlgorithm algorithm = CompressionAlgorithm::kTopKIndependent;
+  /// TopKIndependent only (Section 5.3.1).
+  bool exploit_monotonicity = true;
+  RequestOptions options;
+};
+
+struct CompressSuiteResponse {
+  int32_t suite_queries = 0;
+  /// Per target: query indices into the generated suite.
+  std::vector<std::vector<int32_t>> assignment;
+  double total_cost = 0.0;
+  int64_t optimizer_calls = 0;
+  int32_t degraded_targets = 0;
+  int32_t estimated_edges = 0;
+};
+
+/// Generate a suite, compress it, and execute the compressed assignment
+/// for correctness — the paper's full pipeline as one request.
+struct CorrectnessRequest {
+  SuiteSpec suite;
+  CompressionAlgorithm algorithm = CompressionAlgorithm::kTopKIndependent;
+  bool exploit_monotonicity = true;
+  RequestOptions options;
+};
+
+struct ViolationSummary {
+  int32_t target = -1;
+  int32_t query = -1;
+  std::string target_name;
+  std::string sql;
+  int64_t base_rows = 0;
+  int64_t restricted_rows = 0;
+};
+
+struct CorrectnessResponse {
+  int32_t plans_executed = 0;
+  int32_t skipped_identical_plans = 0;
+  int32_t skipped_unavailable = 0;
+  std::vector<ViolationSummary> violations;
+};
+
+/// Snapshot of the resident framework's metrics registry — the service's
+/// `/metrics` endpoint. Never shed by admission control, so the registry
+/// stays observable exactly when the service is overloaded.
+struct MetricsRequest {
+  /// false (default): MetricsSnapshot JSON; true: the aligned text form.
+  bool text = false;
+};
+
+struct MetricsResponse {
+  std::string body;
+};
+
+/// The transport-neutral request/response surface: everything a transport
+/// can carry, everything RuleTestService can execute.
+using ServiceRequest =
+    std::variant<GenerateRequest, OptimizeRequest, CompressSuiteRequest,
+                 CorrectnessRequest, MetricsRequest>;
+using ServiceResponse =
+    std::variant<GenerateResponse, OptimizeResponse, CompressSuiteResponse,
+                 CorrectnessResponse, MetricsResponse>;
+
+}  // namespace service
+}  // namespace qtf
+
+#endif  // QTF_SERVICE_API_H_

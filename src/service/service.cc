@@ -1,0 +1,434 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "compress/compression.h"
+#include "compress/edge_costs.h"
+#include "compress/matching.h"
+#include "qgen/generators.h"
+#include "qgen/sqlgen.h"
+
+namespace qtf {
+namespace service {
+
+const char* CompressionAlgorithmToString(CompressionAlgorithm algorithm) {
+  switch (algorithm) {
+    case CompressionAlgorithm::kBaseline:
+      return "BASELINE";
+    case CompressionAlgorithm::kSetMultiCover:
+      return "SetMultiCover";
+    case CompressionAlgorithm::kTopKIndependent:
+      return "TopKIndependent";
+    case CompressionAlgorithm::kNoSharingMatching:
+      return "NoSharingMatching";
+  }
+  return "?";
+}
+
+/// Per-request governance state: the resolved deadline, the effective
+/// search budget, the caller's cancellation token, and the latency
+/// observation (recorded on destruction, so shed-free error paths are
+/// measured like successes).
+class RuleTestService::RequestScope {
+ public:
+  RequestScope(const RequestOptions& options, const ServiceLimits& limits,
+               obs::Histogram* latency)
+      : cancel_(options.cancel),
+        budget_(options.budget.unlimited() ? limits.default_budget
+                                           : options.budget),
+        latency_(latency),
+        start_(std::chrono::steady_clock::now()) {
+    const double seconds = options.deadline_seconds > 0.0
+                               ? options.deadline_seconds
+                               : limits.default_deadline_seconds;
+    if (seconds > 0.0) deadline_ = Deadline::After(seconds);
+  }
+
+  ~RequestScope() {
+    if (latency_ != nullptr) {
+      latency_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+    }
+  }
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  const CancellationToken& cancel() const { return cancel_; }
+
+  /// Effective per-phase search budget. When a deadline is active its
+  /// remaining time also caps the budget's wall clock, so a single long
+  /// search cannot overrun the whole-request deadline by much.
+  SearchBudget budget() const {
+    SearchBudget budget = budget_;
+    if (!deadline_.never()) {
+      const double remaining = deadline_.remaining_seconds();
+      if (budget.wall_seconds <= 0.0 || remaining < budget.wall_seconds) {
+        budget.wall_seconds = std::max(remaining, 1e-9);
+      }
+    }
+    return budget;
+  }
+
+  /// Phase-boundary check: kDeadlineExceeded / kCancelled, or OK.
+  Status Check(const char* phase) const {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled(std::string("request cancelled before ") +
+                               phase);
+    }
+    if (deadline_.expired()) {
+      return Status::DeadlineExceeded(
+          std::string("request deadline expired before ") + phase);
+    }
+    return Status::OK();
+  }
+
+ private:
+  CancellationToken cancel_;
+  SearchBudget budget_;
+  Deadline deadline_;
+  obs::Histogram* latency_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+RuleTestService::RuleTestService(std::unique_ptr<RuleTestFramework> framework)
+    : framework_(std::move(framework)),
+      gate_(framework_->limits().max_queue_depth, framework_->metrics()) {
+  obs::MetricsRegistry* metrics = framework_->metrics();
+  requests_ = metrics->counter("qtf.service.requests");
+  request_errors_ = metrics->counter("qtf.service.request_errors");
+  request_seconds_ = metrics->histogram("qtf.service.request_seconds");
+}
+
+Result<std::unique_ptr<RuleTestService>> RuleTestService::Create(
+    Config config) {
+  QTF_ASSIGN_OR_RETURN(std::unique_ptr<RuleTestFramework> framework,
+                       RuleTestFramework::Create(std::move(config.framework)));
+  return std::unique_ptr<RuleTestService>(
+      new RuleTestService(std::move(framework)));
+}
+
+Status RuleTestService::ValidateRuleIds(const std::vector<RuleId>& ids,
+                                        const char* field) const {
+  const int n = framework_->rules().size();
+  for (RuleId id : ids) {
+    if (id < 0 || id >= n) {
+      return Status::InvalidArgument(
+          std::string(field) + " holds rule id " + std::to_string(id) +
+          ", valid ids are [0, " + std::to_string(n) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status RuleTestService::ValidateSuiteSpec(const SuiteSpec& spec) const {
+  const int logical =
+      static_cast<int>(framework_->LogicalRules().size());
+  if (spec.n_rules < 1 || spec.n_rules > logical) {
+    return Status::InvalidArgument(
+        "SuiteSpec::n_rules must be in [1, " + std::to_string(logical) +
+        "], got " + std::to_string(spec.n_rules));
+  }
+  if (spec.pairs && spec.n_rules < 2) {
+    return Status::InvalidArgument(
+        "SuiteSpec::pairs needs n_rules >= 2, got " +
+        std::to_string(spec.n_rules));
+  }
+  if (spec.k < 1) {
+    return Status::InvalidArgument("SuiteSpec::k must be >= 1, got " +
+                                   std::to_string(spec.k));
+  }
+  if (spec.max_trials < 1) {
+    return Status::InvalidArgument(
+        "SuiteSpec::max_trials must be >= 1, got " +
+        std::to_string(spec.max_trials));
+  }
+  if (spec.extra_ops < 0) {
+    return Status::InvalidArgument(
+        "SuiteSpec::extra_ops must be >= 0, got " +
+        std::to_string(spec.extra_ops));
+  }
+  return Status::OK();
+}
+
+Result<GenerateResponse> RuleTestService::DoGenerate(
+    const GenerateRequest& request) {
+  if (request.targets.empty() || request.targets.size() > 2) {
+    return Status::InvalidArgument(
+        "GenerateRequest::targets must hold 1 rule id (singleton) or 2 "
+        "(rule pair), got " + std::to_string(request.targets.size()));
+  }
+  QTF_RETURN_NOT_OK(
+      ValidateRuleIds(request.targets, "GenerateRequest::targets"));
+  if (request.require_relevant && request.targets.size() != 1) {
+    return Status::InvalidArgument(
+        "GenerateRequest::require_relevant is only meaningful for "
+        "singleton targets");
+  }
+  if (request.max_trials < 1) {
+    return Status::InvalidArgument(
+        "GenerateRequest::max_trials must be >= 1, got " +
+        std::to_string(request.max_trials));
+  }
+  if (request.extra_ops < 0) {
+    return Status::InvalidArgument(
+        "GenerateRequest::extra_ops must be >= 0, got " +
+        std::to_string(request.extra_ops));
+  }
+
+  RequestScope scope(request.options, limits(), request_seconds_);
+  QTF_RETURN_NOT_OK(scope.Check("generation"));
+  GenerationConfig config;
+  config.method = request.method;
+  config.max_trials = request.max_trials;
+  config.extra_ops = request.extra_ops;
+  config.seed = request.seed;
+  config.cancel = scope.cancel();
+  config.budget = scope.budget();
+  Result<GenerationOutcome> outcome =
+      request.require_relevant
+          ? framework_->generator()->GenerateRelevant(request.targets[0],
+                                                      config)
+          : framework_->generator()->Generate(request.targets, config);
+  QTF_RETURN_NOT_OK(outcome.status());
+
+  GenerateResponse response;
+  response.success = outcome->success;
+  response.sql = outcome->sql;
+  response.rule_set.assign(outcome->rule_set.begin(),
+                           outcome->rule_set.end());
+  response.cost = outcome->cost;
+  response.operator_count = outcome->operator_count;
+  response.trials = outcome->trials;
+  return response;
+}
+
+Result<OptimizeResponse> RuleTestService::DoOptimize(
+    const OptimizeRequest& request) {
+  if (request.min_ops < 1 || request.max_ops < request.min_ops ||
+      request.max_ops > 64) {
+    return Status::InvalidArgument(
+        "OptimizeRequest needs 1 <= min_ops <= max_ops <= 64, got [" +
+        std::to_string(request.min_ops) + ", " +
+        std::to_string(request.max_ops) + "]");
+  }
+  QTF_RETURN_NOT_OK(ValidateRuleIds(request.disabled_rules,
+                                    "OptimizeRequest::disabled_rules"));
+
+  RequestScope scope(request.options, limits(), request_seconds_);
+  QTF_RETURN_NOT_OK(scope.Check("optimization"));
+  RandomGeneratorConfig random_config;
+  random_config.min_ops = request.min_ops;
+  random_config.max_ops = request.max_ops;
+  TreeBuilderOptions builder_options;
+  builder_options.interner = framework_->interner();
+  RandomQueryGenerator generator(&framework_->catalog(), request.seed,
+                                 random_config, builder_options);
+  Query query = generator.Generate();
+
+  OptimizerOptions options;
+  options.disabled_rules.insert(request.disabled_rules.begin(),
+                                request.disabled_rules.end());
+  options.budget = scope.budget();
+  options.cancel = scope.cancel();
+  QTF_ASSIGN_OR_RETURN(OptimizeResult result,
+                       framework_->optimizer()->Optimize(query, options));
+
+  OptimizeResponse response;
+  response.sql = GenerateSql(query);
+  response.cost = result.cost;
+  response.exercised_rules.assign(result.exercised_rules.begin(),
+                                  result.exercised_rules.end());
+  response.group_count = result.group_count;
+  response.expr_count = result.expr_count;
+  response.budget_exhausted = result.budget_exhausted;
+  return response;
+}
+
+Status RuleTestService::BuildCompressedSuite(
+    const SuiteSpec& spec, CompressionAlgorithm algorithm,
+    bool exploit_monotonicity, RequestScope* scope, TestSuite* suite,
+    CompressionSolution* solution) {
+  QTF_RETURN_NOT_OK(ValidateSuiteSpec(spec));
+  QTF_RETURN_NOT_OK(scope->Check("suite generation"));
+
+  std::vector<RuleTarget> targets =
+      spec.pairs ? framework_->LogicalRulePairs(spec.n_rules)
+                 : framework_->LogicalRuleSingletons(spec.n_rules);
+  GenerationConfig config;
+  config.method = spec.method;
+  config.max_trials = spec.max_trials;
+  config.extra_ops = spec.extra_ops;
+  config.seed = spec.seed;
+  config.cancel = scope->cancel();
+  config.budget = scope->budget();
+  QTF_ASSIGN_OR_RETURN(
+      *suite, framework_->suite_generator()->Generate(targets, spec.k,
+                                                      config));
+
+  QTF_RETURN_NOT_OK(scope->Check("compression"));
+  EdgeCostProvider provider(framework_->optimizer(), suite);
+  provider.set_thread_pool(framework_->thread_pool());
+  provider.set_cancellation(scope->cancel());
+  Result<CompressionSolution> compressed =
+      Status::Internal("unreachable: unhandled compression algorithm");
+  switch (algorithm) {
+    case CompressionAlgorithm::kBaseline:
+      compressed = CompressBaseline(&provider);
+      break;
+    case CompressionAlgorithm::kSetMultiCover:
+      compressed = CompressSetMultiCover(&provider, spec.k);
+      break;
+    case CompressionAlgorithm::kTopKIndependent:
+      compressed =
+          CompressTopKIndependent(&provider, spec.k, exploit_monotonicity);
+      break;
+    case CompressionAlgorithm::kNoSharingMatching:
+      compressed = CompressNoSharingMatching(&provider, spec.k);
+      break;
+  }
+  QTF_RETURN_NOT_OK(compressed.status());
+  *solution = *std::move(compressed);
+  return Status::OK();
+}
+
+Result<CompressSuiteResponse> RuleTestService::DoCompressSuite(
+    const CompressSuiteRequest& request) {
+  RequestScope scope(request.options, limits(), request_seconds_);
+  TestSuite suite;
+  CompressionSolution solution;
+  QTF_RETURN_NOT_OK(BuildCompressedSuite(request.suite, request.algorithm,
+                                         request.exploit_monotonicity,
+                                         &scope, &suite, &solution));
+  CompressSuiteResponse response;
+  response.suite_queries = static_cast<int32_t>(suite.queries.size());
+  response.assignment.reserve(solution.assignment.size());
+  for (const std::vector<int>& queries : solution.assignment) {
+    response.assignment.emplace_back(queries.begin(), queries.end());
+  }
+  response.total_cost = solution.total_cost;
+  response.optimizer_calls = solution.optimizer_calls;
+  response.degraded_targets = solution.degraded_targets;
+  response.estimated_edges = solution.estimated_edges;
+  return response;
+}
+
+Result<CorrectnessResponse> RuleTestService::DoRunCorrectness(
+    const CorrectnessRequest& request) {
+  RequestScope scope(request.options, limits(), request_seconds_);
+  TestSuite suite;
+  CompressionSolution solution;
+  QTF_RETURN_NOT_OK(BuildCompressedSuite(request.suite, request.algorithm,
+                                         request.exploit_monotonicity,
+                                         &scope, &suite, &solution));
+  QTF_RETURN_NOT_OK(scope.Check("correctness execution"));
+  QTF_ASSIGN_OR_RETURN(
+      CorrectnessReport report,
+      framework_->runner()->Run(suite, solution.assignment, scope.cancel()));
+
+  CorrectnessResponse response;
+  response.plans_executed = report.plans_executed;
+  response.skipped_identical_plans = report.skipped_identical_plans;
+  response.skipped_unavailable = report.skipped_unavailable;
+  response.violations.reserve(report.violations.size());
+  for (const CorrectnessViolation& violation : report.violations) {
+    ViolationSummary summary;
+    summary.target = violation.target;
+    summary.query = violation.query;
+    summary.target_name = violation.target_name;
+    summary.sql = violation.sql;
+    summary.base_rows = violation.base_rows;
+    summary.restricted_rows = violation.restricted_rows;
+    response.violations.push_back(std::move(summary));
+  }
+  return response;
+}
+
+Result<MetricsResponse> RuleTestService::DoMetrics(
+    const MetricsRequest& request) {
+  obs::MetricsSnapshot snapshot = framework_->metrics()->Snapshot();
+  MetricsResponse response;
+  response.body = request.text ? snapshot.ToText() : snapshot.ToJson();
+  return response;
+}
+
+Result<ServiceResponse> RuleTestService::ExecuteAdmitted(
+    const ServiceRequest& request) {
+  requests_->Increment();
+  Result<ServiceResponse> result = std::visit(
+      [this](const auto& typed) -> Result<ServiceResponse> {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, GenerateRequest>) {
+          QTF_ASSIGN_OR_RETURN(GenerateResponse response, DoGenerate(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, OptimizeRequest>) {
+          QTF_ASSIGN_OR_RETURN(OptimizeResponse response, DoOptimize(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, CompressSuiteRequest>) {
+          QTF_ASSIGN_OR_RETURN(CompressSuiteResponse response,
+                               DoCompressSuite(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, CorrectnessRequest>) {
+          QTF_ASSIGN_OR_RETURN(CorrectnessResponse response,
+                               DoRunCorrectness(typed));
+          return ServiceResponse(std::move(response));
+        } else {
+          QTF_ASSIGN_OR_RETURN(MetricsResponse response, DoMetrics(typed));
+          return ServiceResponse(std::move(response));
+        }
+      },
+      request);
+  if (!result.ok()) request_errors_->Increment();
+  return result;
+}
+
+Result<ServiceResponse> RuleTestService::Execute(
+    const ServiceRequest& request) {
+  if (std::holds_alternative<MetricsRequest>(request)) {
+    return ExecuteAdmitted(request);
+  }
+  AdmissionGate::Ticket ticket = gate_.TryEnter();
+  if (!ticket) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(gate_.max_depth()) +
+        " requests in flight); retry with backoff");
+  }
+  return ExecuteAdmitted(request);
+}
+
+Result<GenerateResponse> RuleTestService::Generate(
+    const GenerateRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<GenerateResponse>(std::move(response));
+}
+
+Result<OptimizeResponse> RuleTestService::Optimize(
+    const OptimizeRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<OptimizeResponse>(std::move(response));
+}
+
+Result<CompressSuiteResponse> RuleTestService::CompressSuite(
+    const CompressSuiteRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<CompressSuiteResponse>(std::move(response));
+}
+
+Result<CorrectnessResponse> RuleTestService::RunCorrectness(
+    const CorrectnessRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<CorrectnessResponse>(std::move(response));
+}
+
+Result<MetricsResponse> RuleTestService::Metrics(
+    const MetricsRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<MetricsResponse>(std::move(response));
+}
+
+}  // namespace service
+}  // namespace qtf

@@ -1,0 +1,108 @@
+#ifndef QTF_SERVICE_SERVICE_H_
+#define QTF_SERVICE_SERVICE_H_
+
+#include <memory>
+
+#include "service/admission.h"
+#include "service/api.h"
+#include "testing/framework.h"
+
+namespace qtf {
+namespace service {
+
+/// The rule-testing framework as a multi-tenant service: one resident
+/// RuleTestFramework executing plain request/response structs (service/api.h)
+/// behind admission control, budgets, deadlines and cancellation. Callable
+/// in-process (tests and embedders call the typed methods directly) and over
+/// the wire identically — the TCP transport (src/net/) decodes a request,
+/// runs it through Execute, and encodes whatever comes back, so a remote
+/// call returns byte-identical payloads to a local one for the same seeds.
+///
+/// Residency is the point (ROADMAP item 1): the shared PlanCache,
+/// NodeInterner and EvalProgramCache warm up across requests, so a busy
+/// service answers repeat seeds from cache instead of re-searching.
+///
+/// Thread-safety: every method may be called concurrently. Requests execute
+/// on the caller's thread (transports bring their own worker pool); shared
+/// mutable state is confined to the framework's thread-safe components.
+class RuleTestService {
+ public:
+  struct Config {
+    /// The resident framework's configuration. Its ServiceLimits base
+    /// doubles as this service's per-request admission control: default
+    /// budget, default deadline, retry policy, max_queue_depth.
+    RuleTestFramework::Options framework;
+  };
+
+  /// Validates the configuration (see RuleTestFramework::Create) and builds
+  /// the resident framework.
+  static Result<std::unique_ptr<RuleTestService>> Create(Config config);
+
+  /// Typed entry points. Each admits through the gate (shedding with
+  /// kResourceExhausted when max_queue_depth requests are in flight),
+  /// resolves budget/deadline fallbacks from limits(), and executes.
+  Result<GenerateResponse> Generate(const GenerateRequest& request);
+  Result<OptimizeResponse> Optimize(const OptimizeRequest& request);
+  Result<CompressSuiteResponse> CompressSuite(
+      const CompressSuiteRequest& request);
+  Result<CorrectnessResponse> RunCorrectness(
+      const CorrectnessRequest& request);
+  /// Metrics bypass admission entirely: the registry must stay observable
+  /// exactly when the service is saturated and shedding.
+  Result<MetricsResponse> Metrics(const MetricsRequest& request);
+
+  /// Variant entry point for transports and generic callers: admits (except
+  /// MetricsRequest), then dispatches.
+  Result<ServiceResponse> Execute(const ServiceRequest& request);
+
+  /// As Execute, but the caller already holds an admission ticket — this is
+  /// what a transport calls after shedding at frame-receipt time, so a
+  /// request is never counted against the gate twice. MetricsRequest needs
+  /// (and consumes) no ticket.
+  Result<ServiceResponse> ExecuteAdmitted(const ServiceRequest& request);
+
+  /// The admission gate transports shed through before queueing work.
+  AdmissionGate* admission() { return &gate_; }
+  const ServiceLimits& limits() const { return framework_->limits(); }
+  /// The resident framework (shared caches, metrics registry, rules).
+  RuleTestFramework* framework() { return framework_.get(); }
+  obs::MetricsRegistry* metrics() { return framework_->metrics(); }
+
+ private:
+  /// Deadline/budget/cancel resolution for one admitted request, plus its
+  /// latency observation (qtf.service.request_seconds, counted on scope
+  /// destruction so error paths are measured too).
+  class RequestScope;
+
+  explicit RuleTestService(std::unique_ptr<RuleTestFramework> framework);
+
+  Status ValidateRuleIds(const std::vector<RuleId>& ids,
+                         const char* field) const;
+  Status ValidateSuiteSpec(const SuiteSpec& spec) const;
+  /// Generates the suite and compresses it — the shared front half of
+  /// CompressSuite and RunCorrectness. On success `suite` and `solution`
+  /// are filled.
+  Status BuildCompressedSuite(const SuiteSpec& spec,
+                              CompressionAlgorithm algorithm,
+                              bool exploit_monotonicity, RequestScope* scope,
+                              TestSuite* suite, CompressionSolution* solution);
+
+  Result<GenerateResponse> DoGenerate(const GenerateRequest& request);
+  Result<OptimizeResponse> DoOptimize(const OptimizeRequest& request);
+  Result<CompressSuiteResponse> DoCompressSuite(
+      const CompressSuiteRequest& request);
+  Result<CorrectnessResponse> DoRunCorrectness(
+      const CorrectnessRequest& request);
+  Result<MetricsResponse> DoMetrics(const MetricsRequest& request);
+
+  std::unique_ptr<RuleTestFramework> framework_;
+  AdmissionGate gate_;
+  obs::Counter* requests_ = nullptr;        // qtf.service.requests
+  obs::Counter* request_errors_ = nullptr;  // qtf.service.request_errors
+  obs::Histogram* request_seconds_ = nullptr;
+};
+
+}  // namespace service
+}  // namespace qtf
+
+#endif  // QTF_SERVICE_SERVICE_H_

@@ -19,8 +19,9 @@ uint64_t AttemptSalt(uint64_t base, int attempt) {
 }  // namespace
 
 Result<OptimizeResult> CorrectnessRunner::OptimizeWithRetry(
-    const Query& query, OptimizerOptions options, uint64_t salt_base) {
-  options.cancel = cancel_;
+    const Query& query, OptimizerOptions options, uint64_t salt_base,
+    const CancellationToken& cancel) {
+  options.cancel = cancel;
   FaultInjector* injector = optimizer_->fault_injector();
   const RetryPolicy& policy = optimizer_->retry_policy();
   const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
@@ -42,14 +43,15 @@ Result<OptimizeResult> CorrectnessRunner::OptimizeWithRetry(
 }
 
 Result<ResultSet> CorrectnessRunner::ExecuteWithRetry(
-    const Query& query, const PhysicalOp& plan, uint64_t salt_base) {
+    const Query& query, const PhysicalOp& plan, uint64_t salt_base,
+    const CancellationToken& cancel) {
   const FaultInjector* injector = optimizer_->fault_injector();
   const RetryPolicy& policy = optimizer_->retry_policy();
   const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
   Result<ResultSet> result =
       Status::Internal("execute retry loop made no attempt");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (cancel_.cancelled()) {
+    if (cancel.cancelled()) {
       return Status::Cancelled("correctness run cancelled");
     }
     const uint64_t salt = AttemptSalt(salt_base, attempt);
@@ -71,7 +73,8 @@ Result<ResultSet> CorrectnessRunner::ExecuteWithRetry(
 
 Result<CorrectnessReport> CorrectnessRunner::Run(
     const TestSuite& suite,
-    const std::vector<std::vector<int>>& assignment) {
+    const std::vector<std::vector<int>>& assignment,
+    CancellationToken cancel) {
   QTF_CHECK(assignment.size() == suite.targets.size());
   obs::PhaseSpan span(optimizer_->metrics(), "correctness.run");
   runs_->Increment();
@@ -89,14 +92,15 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
   std::map<int, ResultSet> base_results;
   std::set<int> base_unavailable;
   for (int q : used) {
-    if (cancel_.cancelled()) {
+    if (cancel.cancelled()) {
       return Status::Cancelled("correctness run cancelled");
     }
     const TestCase& test_case = suite.queries[static_cast<size_t>(q)];
     const uint64_t salt_base =
         FaultInjector::EdgeKey(/*target=*/-1, q, /*attempt=*/0);
     Result<OptimizeResult> optimized =
-        OptimizeWithRetry(test_case.query, OptimizerOptions{}, salt_base);
+        OptimizeWithRetry(test_case.query, OptimizerOptions{}, salt_base,
+                          cancel);
     if (!optimized.ok()) {
       if (IsTransient(optimized.status())) {
         base_unavailable.insert(q);
@@ -105,7 +109,8 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
       return optimized.status();
     }
     Result<ResultSet> result =
-        ExecuteWithRetry(test_case.query, *optimized->plan, salt_base);
+        ExecuteWithRetry(test_case.query, *optimized->plan, salt_base,
+                         cancel);
     if (!result.ok()) {
       if (IsTransient(result.status())) {
         base_unavailable.insert(q);
@@ -125,7 +130,7 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
       options.disabled_rules.insert(id);
     }
     for (int q : assignment[t]) {
-      if (cancel_.cancelled()) {
+      if (cancel.cancelled()) {
         return Status::Cancelled("correctness run cancelled");
       }
       if (base_unavailable.count(q) > 0) {
@@ -136,7 +141,7 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
       const uint64_t salt_base =
           FaultInjector::EdgeKey(static_cast<int>(t), q, /*attempt=*/0);
       Result<OptimizeResult> restricted =
-          OptimizeWithRetry(test_case.query, options, salt_base);
+          OptimizeWithRetry(test_case.query, options, salt_base, cancel);
       if (!restricted.ok()) {
         if (IsTransient(restricted.status())) {
           ++report.skipped_unavailable;
@@ -151,7 +156,8 @@ Result<CorrectnessReport> CorrectnessRunner::Run(
         continue;
       }
       Result<ResultSet> result =
-          ExecuteWithRetry(test_case.query, *restricted->plan, salt_base);
+          ExecuteWithRetry(test_case.query, *restricted->plan, salt_base,
+                           cancel);
       if (!result.ok()) {
         if (IsTransient(result.status())) {
           ++report.skipped_unavailable;

@@ -64,7 +64,11 @@ class CorrectnessRunner {
   }
 
   /// Cancellation token checked between validations and passed into every
-  /// optimization; a triggered token makes Run return kCancelled.
+  /// optimization; a triggered token makes Run return kCancelled. This is
+  /// the instance-wide default — concurrent callers that each need their
+  /// own token (one runner serving many requests, see docs/serving.md)
+  /// should pass it to the three-argument Run instead of racing on this
+  /// setter.
   void set_cancellation(CancellationToken cancel) {
     cancel_ = std::move(cancel);
   }
@@ -79,19 +83,32 @@ class CorrectnessRunner {
   /// (CorrectnessReport::skipped_unavailable) rather than failing the run.
   Result<CorrectnessReport> Run(
       const TestSuite& suite,
-      const std::vector<std::vector<int>>& assignment);
+      const std::vector<std::vector<int>>& assignment) {
+    return Run(suite, assignment, cancel_);
+  }
+
+  /// As above with an explicit per-call cancellation token. Re-entrant:
+  /// all mutable state is per-call (the shared EvalProgramCache and the
+  /// metrics counters are thread-safe), so one resident runner can serve
+  /// concurrent requests, each cancellable independently.
+  Result<CorrectnessReport> Run(
+      const TestSuite& suite,
+      const std::vector<std::vector<int>>& assignment,
+      CancellationToken cancel);
 
  private:
   /// Optimize with transient-failure retries; `salt_base` keys the fault
   /// decisions of each attempt.
   Result<OptimizeResult> OptimizeWithRetry(const Query& query,
                                            OptimizerOptions options,
-                                           uint64_t salt_base);
+                                           uint64_t salt_base,
+                                           const CancellationToken& cancel);
   /// Execute with transient-failure retries (fresh Executor per attempt so
   /// the node-sequence keys restart from zero each time).
   Result<ResultSet> ExecuteWithRetry(const Query& query,
                                      const PhysicalOp& plan,
-                                     uint64_t salt_base);
+                                     uint64_t salt_base,
+                                     const CancellationToken& cancel);
 
   const Database* db_;
   Optimizer* optimizer_;

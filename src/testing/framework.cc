@@ -2,11 +2,66 @@
 
 namespace qtf {
 
+namespace {
+
+/// Rejects option values that would otherwise be accepted silently and
+/// misbehave later (a 0-capacity cache that caches nothing, a negative
+/// thread count that underflows the pool). Messages name the field so a
+/// remote caller can fix their request without reading source.
+Status ValidateOptions(const RuleTestFramework::Options& options) {
+  if (options.threads < 1) {
+    return Status::InvalidArgument(
+        "Options::threads must be >= 1, got " +
+        std::to_string(options.threads));
+  }
+  if (options.plan_cache_capacity == 0) {
+    return Status::InvalidArgument(
+        "Options::plan_cache_capacity must be > 0 (a zero-capacity cache "
+        "caches nothing; omit the field for the default)");
+  }
+  if (options.max_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "Options::max_queue_depth must be > 0 (a zero-depth admission "
+        "queue would shed every request)");
+  }
+  if (options.default_deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "Options::default_deadline_seconds must be >= 0, got " +
+        std::to_string(options.default_deadline_seconds));
+  }
+  if (options.default_budget.wall_seconds < 0.0 ||
+      options.default_budget.max_memo_groups < 0 ||
+      options.default_budget.max_memo_exprs < 0) {
+    return Status::InvalidArgument(
+        "Options::default_budget dimensions must be >= 0 (0 = unlimited)");
+  }
+  if (options.retry_policy.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "Options::retry_policy.max_attempts must be >= 1, got " +
+        std::to_string(options.retry_policy.max_attempts));
+  }
+  if (options.fault_injector.fault_probability < 0.0 ||
+      options.fault_injector.fault_probability > 1.0) {
+    return Status::InvalidArgument(
+        "Options::fault_injector.fault_probability must be in [0, 1], got " +
+        std::to_string(options.fault_injector.fault_probability));
+  }
+  if (options.tpch.scale < 1) {
+    return Status::InvalidArgument(
+        "Options::tpch.scale must be >= 1, got " +
+        std::to_string(options.tpch.scale));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RuleTestFramework>> RuleTestFramework::Create(
     Options options) {
-  QTF_CHECK(options.threads >= 1) << "Options::threads must be positive";
+  QTF_RETURN_NOT_OK(ValidateOptions(options));
   auto framework =
       std::unique_ptr<RuleTestFramework>(new RuleTestFramework());
+  framework->limits_ = options;
   framework->metrics_.set_trace_sink(options.trace_sink);
   if (options.fault_injector.seed != 0) {
     framework->fault_injector_ =

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/limits.h"
 #include "common/thread_pool.h"
 #include "compress/compression.h"
 #include "compress/matching.h"
@@ -27,7 +28,14 @@ class RuleTestFramework {
   /// Everything configurable about a framework instance, in one place.
   /// Replaces the old positional Create() arguments and the
   /// QTF_BENCH_THREADS environment variable.
-  struct Options {
+  ///
+  /// The resource-governance fields (default_budget, retry_policy, plus the
+  /// serving layer's deadline and admission knobs) live in the ServiceLimits
+  /// base so RuleTestService reuses them verbatim for per-request admission
+  /// control; inheriting keeps the historical member names
+  /// (`options.default_budget = ...`) valid. Extract the slice with
+  /// `ServiceLimits limits = options;`.
+  struct Options : ServiceLimits {
     /// Scale of the TPC-H-style test database.
     TpchConfig tpch;
     /// Rule registry; null means MakeDefaultRuleRegistry() (pass a custom
@@ -41,24 +49,25 @@ class RuleTestFramework {
     /// Optional receiver for PhaseSpan begin/end events. Borrowed, must be
     /// thread-safe and outlive the framework; null disables tracing.
     obs::TraceSink* trace_sink = nullptr;
-    /// Search budget every optimization falls back to when its own options
-    /// carry an unlimited one. Unlimited by default. When a limit trips the
-    /// optimizer returns its best-so-far plan with `budget_exhausted` set
-    /// (see OptimizerOptions::budget).
-    SearchBudget default_budget;
     /// Deterministic fault injection (docs/robustness.md). seed == 0 (the
     /// default) builds no injector at all; a nonzero seed wires an injector
     /// owned by the framework into the optimizer, edge-cost provider paths,
     /// and correctness execution, reporting into qtf.robustness.* metrics.
     FaultInjector::Config fault_injector;
-    /// How components retry transient (kUnavailable) failures.
-    RetryPolicy retry_policy;
   };
 
-  /// Builds the framework as configured. (The legacy positional
-  /// Create(TpchConfig, registry) overload was removed after its PR-3
-  /// deprecation window; populate Options instead.)
+  /// Builds the framework as configured, after validating the options:
+  /// nonsensical values (non-positive `threads`, zero
+  /// `plan_cache_capacity`, zero `max_queue_depth`, a negative deadline or
+  /// an out-of-range fault probability) return kInvalidArgument naming the
+  /// offending field instead of being accepted silently. (The legacy
+  /// positional Create(TpchConfig, registry) overload was removed after its
+  /// PR-3 deprecation window; populate Options instead.)
   static Result<std::unique_ptr<RuleTestFramework>> Create(Options options);
+
+  /// The ServiceLimits slice this framework was created with (what the
+  /// serving layer enforces per request; see docs/serving.md).
+  const ServiceLimits& limits() const { return limits_; }
 
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return db_->catalog(); }
@@ -108,6 +117,7 @@ class RuleTestFramework {
   // metrics_ is declared first (destroyed last): every component below
   // holds pointers into it.
   obs::MetricsRegistry metrics_;
+  ServiceLimits limits_;
   // fault_injector_ before optimizer_: the optimizer (and everything built
   // on it) borrows the injector.
   std::unique_ptr<FaultInjector> fault_injector_;
