@@ -18,7 +18,7 @@
 #include "optimizer/memo.h"
 #include "optimizer/optimizer.h"
 #include "qgen/generators.h"
-#include "qgen/sqlgen.h"
+#include "sql/render.h"
 #include "rules/default_rules.h"
 #include "storage/tpch.h"
 

@@ -150,6 +150,13 @@ Result<service::CorrectnessResponse> ServiceClient::RunCorrectness(
   return std::get<service::CorrectnessResponse>(std::move(response));
 }
 
+Result<service::SqlResponse> ServiceClient::Sql(
+    const service::SqlRequest& request) {
+  QTF_ASSIGN_OR_RETURN(service::ServiceResponse response,
+                       Call(service::ServiceRequest(request)));
+  return std::get<service::SqlResponse>(std::move(response));
+}
+
 Result<service::MetricsResponse> ServiceClient::Metrics(
     const service::MetricsRequest& request) {
   QTF_ASSIGN_OR_RETURN(service::ServiceResponse response,

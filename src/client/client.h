@@ -37,6 +37,7 @@ class ServiceClient {
       const service::CompressSuiteRequest& request);
   Result<service::CorrectnessResponse> RunCorrectness(
       const service::CorrectnessRequest& request);
+  Result<service::SqlResponse> Sql(const service::SqlRequest& request);
   Result<service::MetricsResponse> Metrics(
       const service::MetricsRequest& request);
 

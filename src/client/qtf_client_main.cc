@@ -3,16 +3,21 @@
 //   qtfctl [--host 127.0.0.1] [--port 7433] COMMAND
 //
 // Commands:
-//   smoke     generate -> optimize -> compress -> metrics against the
-//             server, verifying each response and that the server counted
-//             the requests (qtf.service.requests > 0). Exit 0 iff all pass.
-//             This is what the CI serving job runs.
+//   smoke     generate -> optimize -> compress -> sql -> metrics against
+//             the server, verifying each response and that the server
+//             counted the requests (qtf.service.requests > 0). Exit 0 iff
+//             all pass. This is what the CI serving job runs.
+//   sql SQL   parse, bind and (per --mode) optimize or correctness-test a
+//             SQL statement on the server:
+//               qtfctl sql "SELECT l_orderkey FROM lineitem" --mode optimize
+//             --mode parse|optimize|correctness (default parse).
 //   metrics   print the server's metrics snapshot (JSON).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "client/client.h"
 
@@ -72,6 +77,34 @@ int RunSmoke(qtf::client::ServiceClient* client) {
   std::printf("compress: ok (%d suite queries, total cost %.3f)\n",
               compressed.value().suite_queries, compressed.value().total_cost);
 
+  // Sql: a hand-written statement through the SQL frontend; re-submitting
+  // the canonical rendering must report the same fingerprint.
+  qtf::service::SqlRequest sql;
+  sql.sql = "SELECT l_orderkey, l_extendedprice FROM lineitem "
+            "WHERE l_quantity < 25";
+  auto parsed = client->Sql(sql);
+  if (!parsed.ok()) return Fail("sql", parsed.status());
+  if (parsed.value().fingerprint == 0 ||
+      parsed.value().canonical_sql.empty()) {
+    std::fprintf(stderr, "qtfctl: sql bound to an empty tree\n");
+    return 1;
+  }
+  qtf::service::SqlRequest again;
+  again.sql = parsed.value().canonical_sql;
+  auto rebound = client->Sql(again);
+  if (!rebound.ok()) return Fail("sql (canonical re-parse)", rebound.status());
+  if (rebound.value().fingerprint != parsed.value().fingerprint) {
+    std::fprintf(stderr,
+                 "qtfctl: canonical SQL re-bound to fingerprint %llx, "
+                 "expected %llx\n",
+                 static_cast<unsigned long long>(rebound.value().fingerprint),
+                 static_cast<unsigned long long>(parsed.value().fingerprint));
+    return 1;
+  }
+  std::printf("sql: ok (%d operators, fingerprint %016llx)\n",
+              parsed.value().operator_count,
+              static_cast<unsigned long long>(parsed.value().fingerprint));
+
   // Metrics: the server must have counted the requests above.
   auto metrics = client->Metrics(qtf::service::MetricsRequest{});
   if (!metrics.ok()) return Fail("metrics", metrics.status());
@@ -83,8 +116,56 @@ int RunSmoke(qtf::client::ServiceClient* client) {
                  requests);
     return 1;
   }
-  std::printf("metrics: ok (qtf.service.requests = %ld)\n", requests);
+  const long sql_parsed = MetricValue(metrics.value().body, "qtf.sql.parsed");
+  if (sql_parsed <= 0) {
+    std::fprintf(stderr, "qtfctl: expected qtf.sql.parsed > 0, got %ld\n",
+                 sql_parsed);
+    return 1;
+  }
+  std::printf("metrics: ok (qtf.service.requests = %ld, qtf.sql.parsed = "
+              "%ld)\n",
+              requests, sql_parsed);
   std::printf("smoke: all checks passed\n");
+  return 0;
+}
+
+int RunSql(qtf::client::ServiceClient* client, const std::string& statement,
+           qtf::service::SqlMode mode) {
+  qtf::service::SqlRequest request;
+  request.sql = statement;
+  request.mode = mode;
+  auto response = client->Sql(request);
+  if (!response.ok()) return Fail("sql", response.status());
+  const qtf::service::SqlResponse& r = response.value();
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(r.fingerprint));
+  std::printf("operators: %d\n", r.operator_count);
+  std::printf("canonical: %s\n", r.canonical_sql.c_str());
+  if (mode != qtf::service::SqlMode::kParseOnly) {
+    std::printf("cost: %.6f\n", r.cost);
+    std::printf("memo: %d groups, %lld exprs%s\n", r.group_count,
+                static_cast<long long>(r.expr_count),
+                r.budget_exhausted ? " (budget exhausted)" : "");
+    std::string rules;
+    for (qtf::RuleId id : r.exercised_rules) {
+      if (!rules.empty()) rules += ", ";
+      rules += std::to_string(id);
+    }
+    std::printf("exercised rules: [%s]\n", rules.c_str());
+  }
+  if (mode == qtf::service::SqlMode::kCorrectness) {
+    std::printf("correctness: %d plans executed, %d identical skipped, "
+                "%d unavailable, %zu violations\n",
+                r.plans_executed, r.skipped_identical_plans,
+                r.skipped_unavailable, r.violations.size());
+    for (const qtf::service::ViolationSummary& v : r.violations) {
+      std::printf("violation: target %d (%s): %lld rows vs %lld rows\n",
+                  v.target, v.target_name.c_str(),
+                  static_cast<long long>(v.base_rows),
+                  static_cast<long long>(v.restricted_rows));
+    }
+    if (!r.violations.empty()) return 1;
+  }
   return 0;
 }
 
@@ -93,29 +174,53 @@ int RunSmoke(qtf::client::ServiceClient* client) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7433;
-  std::string command;
+  std::string mode_name = "parse";
+  std::vector<std::string> positional;
 
+  const char* usage =
+      "usage: %s [--host IP] [--port N] "
+      "{smoke | metrics | sql SQL [--mode parse|optimize|correctness]}\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
-    } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
-      command = arg;
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode_name = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-' && positional.size() < 2) {
+      positional.push_back(arg);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--host IP] [--port N] {smoke|metrics}\n",
-                   argv[0]);
+      std::fprintf(stderr, usage, argv[0]);
       return 2;
     }
   }
+  const std::string command = positional.empty() ? "" : positional[0];
 
   auto client_or = qtf::client::ServiceClient::Connect(host, port);
   if (!client_or.ok()) return Fail("connect", client_or.status());
   qtf::client::ServiceClient* client = client_or.value().get();
 
   if (command == "smoke") return RunSmoke(client);
+  if (command == "sql") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, usage, argv[0]);
+      return 2;
+    }
+    qtf::service::SqlMode mode;
+    if (mode_name == "parse") {
+      mode = qtf::service::SqlMode::kParseOnly;
+    } else if (mode_name == "optimize") {
+      mode = qtf::service::SqlMode::kOptimize;
+    } else if (mode_name == "correctness") {
+      mode = qtf::service::SqlMode::kCorrectness;
+    } else {
+      std::fprintf(stderr, "qtfctl: unknown --mode \"%s\"\n",
+                   mode_name.c_str());
+      return 2;
+    }
+    return RunSql(client, positional[1], mode);
+  }
   if (command == "metrics" || command.empty()) {
     auto metrics = client->Metrics(qtf::service::MetricsRequest{});
     if (!metrics.ok()) return Fail("metrics", metrics.status());

@@ -1,6 +1,7 @@
 #include "common/str_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace qtf {
 
@@ -25,8 +26,14 @@ std::string SqlQuote(const std::string& s) {
 }
 
 std::string FormatDouble(double value) {
+  // Shortest of %.12g / %.15g / %.17g that parses back to the same bits:
+  // keeps the friendly "1.5"/"0.25" renderings while guaranteeing that the
+  // SQL round trip (render, then re-parse with strtod) is lossless.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  for (int precision : {12, 15, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   return buf;
 }
 

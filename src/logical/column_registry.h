@@ -35,6 +35,20 @@ class ColumnRegistry {
     return static_cast<ColumnId>(columns_.size() - 1);
   }
 
+  /// Registers a column under a caller-chosen id, growing the registry with
+  /// unnamed placeholder slots as needed. Used by the SQL binder to honor
+  /// the canonical `c<id>` aliases GenerateSql emits, so a re-parsed query
+  /// reuses the original tree's column identities exactly. The caller is
+  /// responsible for not assigning the same id twice (the binder tracks
+  /// definitions and reports a bind error instead of calling in again).
+  void AllocateAt(ColumnId id, std::string name, ValueType type) {
+    QTF_CHECK(id >= 0) << "negative column id " << id;
+    if (static_cast<size_t>(id) >= columns_.size()) {
+      columns_.resize(static_cast<size_t>(id) + 1);
+    }
+    columns_[static_cast<size_t>(id)] = ColumnInfo{std::move(name), type};
+  }
+
   const ColumnInfo& Get(ColumnId id) const {
     QTF_CHECK(id >= 0 && static_cast<size_t>(id) < columns_.size())
         << "unknown column id " << id;

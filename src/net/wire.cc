@@ -52,6 +52,10 @@ const char* MessageTypeToString(MessageType type) {
       return "metrics_request";
     case MessageType::kMetricsResponse:
       return "metrics_response";
+    case MessageType::kSqlRequest:
+      return "sql_request";
+    case MessageType::kSqlResponse:
+      return "sql_response";
   }
   return "unknown";
 }
@@ -63,6 +67,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kCompressSuiteRequest:
     case MessageType::kCorrectnessRequest:
     case MessageType::kMetricsRequest:
+    case MessageType::kSqlRequest:
       return true;
     default:
       return false;
@@ -525,6 +530,91 @@ Result<service::CorrectnessResponse> DecodeCorrectnessResponse(
   return response;
 }
 
+// --- Sql ------------------------------------------------------------------
+
+std::string EncodeSqlRequest(const service::SqlRequest& request) {
+  PayloadWriter w;
+  w.Str(request.sql);
+  w.U8(static_cast<uint8_t>(request.mode));
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::SqlRequest> DecodeSqlRequest(std::string_view payload) {
+  PayloadReader r(payload);
+  service::SqlRequest request;
+  request.sql = r.Str();
+  const uint8_t mode = r.U8();
+  if (r.ok() && mode > static_cast<uint8_t>(service::SqlMode::kCorrectness)) {
+    return Status::InvalidArgument("wire: unknown sql mode " +
+                                   std::to_string(mode));
+  }
+  request.mode = static_cast<service::SqlMode>(mode);
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("sql request"));
+  return request;
+}
+
+std::string EncodeSqlResponse(const service::SqlResponse& response) {
+  PayloadWriter w;
+  w.U64(response.fingerprint);
+  w.Str(response.canonical_sql);
+  w.I32(response.operator_count);
+  w.F64(response.cost);
+  w.RuleIds(response.exercised_rules);
+  w.I32(response.group_count);
+  w.I64(response.expr_count);
+  w.Bool(response.budget_exhausted);
+  w.I32(response.plans_executed);
+  w.I32(response.skipped_identical_plans);
+  w.I32(response.skipped_unavailable);
+  w.U32(static_cast<uint32_t>(response.violations.size()));
+  for (const service::ViolationSummary& v : response.violations) {
+    w.I32(v.target);
+    w.I32(v.query);
+    w.Str(v.target_name);
+    w.Str(v.sql);
+    w.I64(v.base_rows);
+    w.I64(v.restricted_rows);
+  }
+  return w.Take();
+}
+
+Result<service::SqlResponse> DecodeSqlResponse(std::string_view payload) {
+  PayloadReader r(payload);
+  service::SqlResponse response;
+  response.fingerprint = r.U64();
+  response.canonical_sql = r.Str();
+  response.operator_count = r.I32();
+  response.cost = r.F64();
+  response.exercised_rules = r.RuleIds();
+  response.group_count = r.I32();
+  response.expr_count = r.I64();
+  response.budget_exhausted = r.Bool();
+  response.plans_executed = r.I32();
+  response.skipped_identical_plans = r.I32();
+  response.skipped_unavailable = r.I32();
+  const uint32_t violations = r.U32();
+  // A violation is at least 32 bytes on the wire; bound the count by that.
+  if (!r.ok() || r.remaining() / 32 < violations) {
+    return Status::InvalidArgument(
+        "wire: malformed sql response payload (truncated)");
+  }
+  response.violations.reserve(violations);
+  for (uint32_t i = 0; i < violations; ++i) {
+    service::ViolationSummary v;
+    v.target = r.I32();
+    v.query = r.I32();
+    v.target_name = r.Str();
+    v.sql = r.Str();
+    v.base_rows = r.I64();
+    v.restricted_rows = r.I64();
+    response.violations.push_back(std::move(v));
+  }
+  QTF_RETURN_NOT_OK(r.Finish("sql response"));
+  return response;
+}
+
 // --- Metrics --------------------------------------------------------------
 
 std::string EncodeMetricsRequest(const service::MetricsRequest& request) {
@@ -591,6 +681,9 @@ MessageType RequestType(const service::ServiceRequest& request) {
     MessageType operator()(const service::CorrectnessRequest&) const {
       return MessageType::kCorrectnessRequest;
     }
+    MessageType operator()(const service::SqlRequest&) const {
+      return MessageType::kSqlRequest;
+    }
     MessageType operator()(const service::MetricsRequest&) const {
       return MessageType::kMetricsRequest;
     }
@@ -612,6 +705,9 @@ MessageType ResponseType(const service::ServiceResponse& response) {
     MessageType operator()(const service::CorrectnessResponse&) const {
       return MessageType::kCorrectnessResponse;
     }
+    MessageType operator()(const service::SqlResponse&) const {
+      return MessageType::kSqlResponse;
+    }
     MessageType operator()(const service::MetricsResponse&) const {
       return MessageType::kMetricsResponse;
     }
@@ -632,6 +728,9 @@ std::string EncodeRequest(const service::ServiceRequest& request) {
     }
     std::string operator()(const service::CorrectnessRequest& r) const {
       return EncodeCorrectnessRequest(r);
+    }
+    std::string operator()(const service::SqlRequest& r) const {
+      return EncodeSqlRequest(r);
     }
     std::string operator()(const service::MetricsRequest& r) const {
       return EncodeMetricsRequest(r);
@@ -663,6 +762,10 @@ Result<service::ServiceRequest> DecodeRequest(MessageType type,
                            DecodeCorrectnessRequest(payload));
       return service::ServiceRequest(std::move(r));
     }
+    case MessageType::kSqlRequest: {
+      QTF_ASSIGN_OR_RETURN(service::SqlRequest r, DecodeSqlRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
     case MessageType::kMetricsRequest: {
       QTF_ASSIGN_OR_RETURN(service::MetricsRequest r,
                            DecodeMetricsRequest(payload));
@@ -688,6 +791,9 @@ std::string EncodeResponse(const service::ServiceResponse& response) {
     }
     std::string operator()(const service::CorrectnessResponse& r) const {
       return EncodeCorrectnessResponse(r);
+    }
+    std::string operator()(const service::SqlResponse& r) const {
+      return EncodeSqlResponse(r);
     }
     std::string operator()(const service::MetricsResponse& r) const {
       return EncodeMetricsResponse(r);
@@ -717,6 +823,10 @@ Result<service::ServiceResponse> DecodeResponse(MessageType type,
     case MessageType::kCorrectnessResponse: {
       QTF_ASSIGN_OR_RETURN(service::CorrectnessResponse r,
                            DecodeCorrectnessResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kSqlResponse: {
+      QTF_ASSIGN_OR_RETURN(service::SqlResponse r, DecodeSqlResponse(payload));
       return service::ServiceResponse(std::move(r));
     }
     case MessageType::kMetricsResponse: {

@@ -50,9 +50,11 @@ enum class MessageType : uint8_t {
   kCorrectnessResponse = 8,
   kMetricsRequest = 9,
   kMetricsResponse = 10,
+  kSqlRequest = 11,
+  kSqlResponse = 12,
 };
 inline constexpr uint8_t kMaxMessageType =
-    static_cast<uint8_t>(MessageType::kMetricsResponse);
+    static_cast<uint8_t>(MessageType::kSqlResponse);
 
 const char* MessageTypeToString(MessageType type);
 bool IsRequestType(MessageType type);
@@ -184,6 +186,11 @@ std::string EncodeCorrectnessResponse(
     const service::CorrectnessResponse& response);
 Result<service::CorrectnessResponse> DecodeCorrectnessResponse(
     std::string_view payload);
+
+std::string EncodeSqlRequest(const service::SqlRequest& request);
+Result<service::SqlRequest> DecodeSqlRequest(std::string_view payload);
+std::string EncodeSqlResponse(const service::SqlResponse& response);
+Result<service::SqlResponse> DecodeSqlResponse(std::string_view payload);
 
 std::string EncodeMetricsRequest(const service::MetricsRequest& request);
 Result<service::MetricsRequest> DecodeMetricsRequest(

@@ -4,7 +4,7 @@
 #include <chrono>
 
 #include "obs/trace.h"
-#include "qgen/sqlgen.h"
+#include "sql/render.h"
 
 namespace qtf {
 

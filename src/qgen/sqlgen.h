@@ -1,23 +1,10 @@
 #ifndef QTF_QGEN_SQLGEN_H_
 #define QTF_QGEN_SQLGEN_H_
 
-#include <string>
-
-#include "logical/query.h"
-
-namespace qtf {
-
-/// Renders a logical query tree as a SQL statement — the "Generate SQL"
-/// component of the framework (paper Figure 2), functionally similar to the
-/// interface of Elhemali & Giakoumakis [9].
-///
-/// Columns are aliased "c<id>" at every level so references are
-/// unambiguous; every operator becomes a derived table; semi/anti joins
-/// render as EXISTS/NOT EXISTS. Our optimizer consumes logical trees
-/// directly (see DESIGN.md), so the text is used for reports, examples and
-/// failure repros rather than re-parsing.
-std::string GenerateSql(const Query& query);
-
-}  // namespace qtf
+// The SQL renderer moved to sql/render.h when the parser/binder frontend
+// landed, so rendering and parsing live side by side. This forwarding shim
+// keeps old include paths building for one release; include sql/render.h
+// directly in new code.
+#include "sql/render.h"  // IWYU pragma: export
 
 #endif  // QTF_QGEN_SQLGEN_H_

@@ -15,8 +15,9 @@
 #include "obs/trace.h"
 #include "optimizer/plan_cache.h"
 #include "qgen/generation.h"
-#include "qgen/sqlgen.h"
 #include "rules/buggy_rules.h"
+#include "sql/frontend.h"
+#include "sql/render.h"
 #include "service/service.h"
 #include "testing/framework.h"
 

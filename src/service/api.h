@@ -148,6 +148,56 @@ struct CorrectnessResponse {
   std::vector<ViolationSummary> violations;
 };
 
+/// What to do with a SqlRequest after binding succeeds.
+enum class SqlMode : uint8_t {
+  /// Parse + bind only: report the bound tree's fingerprint, canonical SQL
+  /// and operator count.
+  kParseOnly = 0,
+  /// Additionally optimize the bound tree (shared plan cache, budget).
+  kOptimize = 1,
+  /// Additionally run the correctness pipeline on the bound query: every
+  /// logical rule the optimizer exercised becomes a singleton target,
+  /// validated by executing Plan(q) against Plan(q, ¬rule).
+  kCorrectness = 2,
+};
+
+const char* SqlModeToString(SqlMode mode);
+
+/// Submit a SQL statement (SQL frontend, src/sql/) instead of a seed —
+/// the first request type that ships a caller-chosen query over the wire
+/// (ROADMAP item 2). The statement is parsed and bound against the
+/// resident catalog; canonical renderer output (GenerateSql) round-trips
+/// to the exact original tree.
+struct SqlRequest {
+  std::string sql;
+  SqlMode mode = SqlMode::kParseOnly;
+  RequestOptions options;
+};
+
+/// Deterministic like the other responses: no wall-clock fields, so the
+/// same statement yields byte-identical payloads across transports. The
+/// optimize fields are meaningful for kOptimize/kCorrectness, the
+/// correctness fields for kCorrectness only; both groups are otherwise
+/// zero/empty.
+struct SqlResponse {
+  /// TreeFingerprint of the bound logical tree — the round-trip witness:
+  /// re-submitting `canonical_sql` reports the same fingerprint.
+  uint64_t fingerprint = 0;
+  std::string canonical_sql;
+  int32_t operator_count = 0;
+  // kOptimize / kCorrectness:
+  double cost = 0.0;
+  std::vector<RuleId> exercised_rules;  // ascending
+  int32_t group_count = 0;
+  int64_t expr_count = 0;
+  bool budget_exhausted = false;
+  // kCorrectness:
+  int32_t plans_executed = 0;
+  int32_t skipped_identical_plans = 0;
+  int32_t skipped_unavailable = 0;
+  std::vector<ViolationSummary> violations;
+};
+
 /// Snapshot of the resident framework's metrics registry — the service's
 /// `/metrics` endpoint. Never shed by admission control, so the registry
 /// stays observable exactly when the service is overloaded.
@@ -164,10 +214,10 @@ struct MetricsResponse {
 /// can carry, everything RuleTestService can execute.
 using ServiceRequest =
     std::variant<GenerateRequest, OptimizeRequest, CompressSuiteRequest,
-                 CorrectnessRequest, MetricsRequest>;
+                 CorrectnessRequest, SqlRequest, MetricsRequest>;
 using ServiceResponse =
     std::variant<GenerateResponse, OptimizeResponse, CompressSuiteResponse,
-                 CorrectnessResponse, MetricsResponse>;
+                 CorrectnessResponse, SqlResponse, MetricsResponse>;
 
 }  // namespace service
 }  // namespace qtf

@@ -9,7 +9,7 @@
 #include "compress/edge_costs.h"
 #include "compress/matching.h"
 #include "qgen/generators.h"
-#include "qgen/sqlgen.h"
+#include "sql/render.h"
 
 namespace qtf {
 namespace service {
@@ -24,6 +24,18 @@ const char* CompressionAlgorithmToString(CompressionAlgorithm algorithm) {
       return "TopKIndependent";
     case CompressionAlgorithm::kNoSharingMatching:
       return "NoSharingMatching";
+  }
+  return "?";
+}
+
+const char* SqlModeToString(SqlMode mode) {
+  switch (mode) {
+    case SqlMode::kParseOnly:
+      return "parse_only";
+    case SqlMode::kOptimize:
+      return "optimize";
+    case SqlMode::kCorrectness:
+      return "correctness";
   }
   return "?";
 }
@@ -98,6 +110,11 @@ class RuleTestService::RequestScope {
 RuleTestService::RuleTestService(std::unique_ptr<RuleTestFramework> framework)
     : framework_(std::move(framework)),
       gate_(framework_->limits().max_queue_depth, framework_->metrics()) {
+  sql::SqlFrontendOptions frontend_options;
+  frontend_options.interner = framework_->interner();
+  frontend_options.metrics = framework_->metrics();
+  frontend_ = std::make_unique<sql::SqlFrontend>(&framework_->catalog(),
+                                                 frontend_options);
   obs::MetricsRegistry* metrics = framework_->metrics();
   requests_ = metrics->counter("qtf.service.requests");
   request_errors_ = metrics->counter("qtf.service.request_errors");
@@ -348,6 +365,76 @@ Result<CorrectnessResponse> RuleTestService::DoRunCorrectness(
   return response;
 }
 
+Result<SqlResponse> RuleTestService::DoSql(const SqlRequest& request) {
+  if (request.sql.empty()) {
+    return Status::InvalidArgument("SqlRequest::sql is empty");
+  }
+
+  RequestScope scope(request.options, limits(), request_seconds_);
+  QTF_RETURN_NOT_OK(scope.Check("sql parse"));
+  QTF_ASSIGN_OR_RETURN(Query query, frontend_->Parse(request.sql));
+
+  SqlResponse response;
+  response.fingerprint = TreeFingerprint(*query.root);
+  response.canonical_sql = GenerateSql(query);
+  response.operator_count = CountOps(*query.root);
+  if (request.mode == SqlMode::kParseOnly) return response;
+
+  QTF_RETURN_NOT_OK(scope.Check("optimization"));
+  OptimizerOptions options;
+  options.budget = scope.budget();
+  options.cancel = scope.cancel();
+  QTF_ASSIGN_OR_RETURN(OptimizeResult result,
+                       framework_->optimizer()->Optimize(query, options));
+  response.cost = result.cost;
+  response.exercised_rules.assign(result.exercised_rules.begin(),
+                                  result.exercised_rules.end());
+  response.group_count = result.group_count;
+  response.expr_count = result.expr_count;
+  response.budget_exhausted = result.budget_exhausted;
+  if (request.mode == SqlMode::kOptimize) return response;
+
+  // kCorrectness: the caller's one query is the whole suite, and every
+  // logical rule the optimizer exercised on it becomes a singleton target —
+  // the runner then compares Plan(q) against Plan(q, ¬rule) for each.
+  // Physical (implementation) rules are excluded the same way suite
+  // generation excludes them: disabling one never changes logical results.
+  const std::vector<RuleId> logical = framework_->LogicalRules();
+  const RuleIdSet logical_set(logical.begin(), logical.end());
+  TestSuite suite;
+  TestCase test_case;
+  test_case.query = query;
+  test_case.sql = response.canonical_sql;
+  test_case.rule_set = result.exercised_rules;
+  test_case.cost = result.cost;
+  suite.queries.push_back(std::move(test_case));
+  for (RuleId rule : result.exercised_rules) {
+    if (logical_set.count(rule) == 0) continue;
+    suite.targets.push_back(RuleTarget{{rule}});
+    suite.per_target.push_back({0});
+  }
+
+  QTF_RETURN_NOT_OK(scope.Check("correctness execution"));
+  QTF_ASSIGN_OR_RETURN(
+      CorrectnessReport report,
+      framework_->runner()->Run(suite, suite.per_target, scope.cancel()));
+  response.plans_executed = report.plans_executed;
+  response.skipped_identical_plans = report.skipped_identical_plans;
+  response.skipped_unavailable = report.skipped_unavailable;
+  response.violations.reserve(report.violations.size());
+  for (const CorrectnessViolation& violation : report.violations) {
+    ViolationSummary summary;
+    summary.target = violation.target;
+    summary.query = violation.query;
+    summary.target_name = violation.target_name;
+    summary.sql = violation.sql;
+    summary.base_rows = violation.base_rows;
+    summary.restricted_rows = violation.restricted_rows;
+    response.violations.push_back(std::move(summary));
+  }
+  return response;
+}
+
 Result<MetricsResponse> RuleTestService::DoMetrics(
     const MetricsRequest& request) {
   obs::MetricsSnapshot snapshot = framework_->metrics()->Snapshot();
@@ -375,6 +462,9 @@ Result<ServiceResponse> RuleTestService::ExecuteAdmitted(
         } else if constexpr (std::is_same_v<T, CorrectnessRequest>) {
           QTF_ASSIGN_OR_RETURN(CorrectnessResponse response,
                                DoRunCorrectness(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, SqlRequest>) {
+          QTF_ASSIGN_OR_RETURN(SqlResponse response, DoSql(typed));
           return ServiceResponse(std::move(response));
         } else {
           QTF_ASSIGN_OR_RETURN(MetricsResponse response, DoMetrics(typed));
@@ -422,6 +512,11 @@ Result<CorrectnessResponse> RuleTestService::RunCorrectness(
     const CorrectnessRequest& request) {
   QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
   return std::get<CorrectnessResponse>(std::move(response));
+}
+
+Result<SqlResponse> RuleTestService::Sql(const SqlRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<SqlResponse>(std::move(response));
 }
 
 Result<MetricsResponse> RuleTestService::Metrics(

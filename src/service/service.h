@@ -5,6 +5,7 @@
 
 #include "service/admission.h"
 #include "service/api.h"
+#include "sql/frontend.h"
 #include "testing/framework.h"
 
 namespace qtf {
@@ -47,6 +48,9 @@ class RuleTestService {
       const CompressSuiteRequest& request);
   Result<CorrectnessResponse> RunCorrectness(
       const CorrectnessRequest& request);
+  /// SQL text in, bound-tree facts (and optionally optimization /
+  /// correctness results) out — the SQL frontend behind the service API.
+  Result<SqlResponse> Sql(const SqlRequest& request);
   /// Metrics bypass admission entirely: the registry must stay observable
   /// exactly when the service is saturated and shedding.
   Result<MetricsResponse> Metrics(const MetricsRequest& request);
@@ -93,9 +97,13 @@ class RuleTestService {
       const CompressSuiteRequest& request);
   Result<CorrectnessResponse> DoRunCorrectness(
       const CorrectnessRequest& request);
+  Result<SqlResponse> DoSql(const SqlRequest& request);
   Result<MetricsResponse> DoMetrics(const MetricsRequest& request);
 
   std::unique_ptr<RuleTestFramework> framework_;
+  /// Shares the framework's catalog, interner and metrics; thread-safe, so
+  /// one resident frontend serves every SqlRequest.
+  std::unique_ptr<sql::SqlFrontend> frontend_;
   AdmissionGate gate_;
   obs::Counter* requests_ = nullptr;        // qtf.service.requests
   obs::Counter* request_errors_ = nullptr;  // qtf.service.request_errors

@@ -1,0 +1,117 @@
+#ifndef QTF_SQL_AST_H_
+#define QTF_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "logical/ops.h"
+#include "sql/token.h"
+
+namespace qtf {
+namespace sql {
+
+/// 1-based source position attached to every AST node so binder errors can
+/// point at the offending text.
+struct Pos {
+  int line = 1;
+  int col = 1;
+};
+
+struct QueryExpr;
+
+enum class SqlExprKind : uint8_t {
+  kIdent = 0,   // column reference, optionally qualified
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kBoolLit,
+  kNullLit,
+  kCompare,     // binary comparison
+  kAnd,
+  kOr,
+  kNot,
+  kArith,       // binary arithmetic
+  kIsNull,      // x IS NULL / x IS NOT NULL (negated)
+  kExists,      // [NOT] EXISTS (subquery)
+  kFuncCall,    // aggregate call; `name` holds the function
+};
+
+/// Scalar-expression parse node. One struct for every kind keeps the
+/// recursive-descent parser and the binder's dispatch simple; unused
+/// fields stay defaulted.
+struct SqlExpr {
+  SqlExprKind kind = SqlExprKind::kIdent;
+  Pos pos;
+  /// Height of this subtree (leaf = 1). Maintained by the parser, which
+  /// rejects statements past a fixed cap so recursive consumers (binder,
+  /// destructors) run on bounded stack no matter what the input was.
+  int depth = 1;
+  std::string qualifier;  // kIdent: "t" of "t.c"; empty when unqualified
+  std::string name;       // kIdent: column; kFuncCall: function name
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  bool bool_value = false;
+  CompareOp compare_op = CompareOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+  /// kIsNull: IS NOT NULL; kExists: NOT EXISTS.
+  bool negated = false;
+  /// Operands (two for kCompare/kAnd/kOr/kArith, one for kNot/kIsNull) or
+  /// function arguments (empty for COUNT(*), marked by `star_arg`).
+  std::vector<std::unique_ptr<SqlExpr>> children;
+  bool star_arg = false;  // kFuncCall: COUNT(*)
+  std::unique_ptr<QueryExpr> subquery;  // kExists
+};
+
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+/// One item of a select list; `star` stands for the whole-list '*' (a
+/// select list is either exactly one star item or expression items).
+struct SelectItem {
+  Pos pos;
+  bool star = false;
+  SqlExprPtr expr;
+  std::string alias;  // empty when unaliased
+};
+
+enum class TableRefKind : uint8_t { kBaseTable = 0, kDerived, kJoin };
+
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBaseTable;
+  Pos pos;
+  int depth = 1;  // see SqlExpr::depth
+  std::string table_name;  // kBaseTable
+  std::string alias;       // kBaseTable / kDerived; empty when unaliased
+  std::unique_ptr<QueryExpr> derived;  // kDerived
+  // kJoin:
+  JoinKind join_kind = JoinKind::kInner;  // only kInner / kLeftOuter in text
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  SqlExprPtr on;  // nullptr for CROSS JOIN / comma join
+};
+
+/// One SELECT block (no set operators).
+struct SelectCore {
+  Pos pos;
+  int depth = 1;  // see SqlExpr::depth
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::unique_ptr<TableRef> from;  // nullptr when no FROM clause
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;
+};
+
+/// A query expression: one or more SELECT blocks joined by UNION ALL
+/// (left-associative).
+struct QueryExpr {
+  Pos pos;
+  int depth = 1;  // see SqlExpr::depth
+  std::vector<std::unique_ptr<SelectCore>> branches;
+};
+
+}  // namespace sql
+}  // namespace qtf
+
+#endif  // QTF_SQL_AST_H_

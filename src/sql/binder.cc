@@ -1,0 +1,816 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "logical/column_registry.h"
+#include "logical/ops.h"
+#include "types/value.h"
+
+namespace qtf {
+namespace sql {
+namespace {
+
+/// Pinned column ids past this bound are treated as ordinary aliases, so a
+/// hostile `AS c2000000000` cannot force a multi-gigabyte registry resize.
+constexpr ColumnId kMaxPinnedColumnId = 1 << 20;
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(
+      std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+/// `c<digits>` → the digits as a ColumnId; anything else → -1. Only select
+/// item aliases in this shape pin column identities (see binder.h).
+ColumnId ParseCanonicalAlias(const std::string& alias) {
+  if (alias.size() < 2 || alias[0] != 'c') return -1;
+  int64_t value = 0;
+  for (size_t i = 1; i < alias.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(alias[i]))) return -1;
+    value = value * 10 + (alias[i] - '0');
+    if (value > kMaxPinnedColumnId) return -1;
+  }
+  return static_cast<ColumnId>(value);
+}
+
+bool IsNumeric(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kDouble;
+}
+
+/// The renderer prints a null join/EXISTS predicate (algebraic TRUE) as the
+/// literal `(1 = 1)`; recognize that exact shape and map it back to null.
+bool IsTautology(const SqlExpr& e) {
+  return e.kind == SqlExprKind::kCompare && e.compare_op == CompareOp::kEq &&
+         e.children.size() == 2 &&
+         e.children[0]->kind == SqlExprKind::kIntLit &&
+         e.children[0]->int_value == 1 &&
+         e.children[1]->kind == SqlExprKind::kIntLit &&
+         e.children[1]->int_value == 1;
+}
+
+bool ContainsExists(const SqlExpr& e) {
+  if (e.kind == SqlExprKind::kExists) return true;
+  for (const SqlExprPtr& child : e.children) {
+    if (ContainsExists(*child)) return true;
+  }
+  return false;
+}
+
+void FlattenConjuncts(const SqlExpr& e, std::vector<const SqlExpr*>* out) {
+  if (e.kind == SqlExprKind::kAnd) {
+    FlattenConjuncts(*e.children[0], out);
+    FlattenConjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// One column visible in a scope: where it came from (qualifier), what it
+/// is called there, and its identity/type.
+struct ScopeColumn {
+  std::string qualifier;  // table / derived-table alias; may be empty
+  std::string name;
+  ColumnId id = -1;
+  ValueType type = ValueType::kInt64;
+};
+
+using Scope = std::vector<ScopeColumn>;
+
+/// A bound relational subtree plus its visible columns in output order.
+struct BoundRel {
+  LogicalOpPtr op;
+  Scope columns;
+};
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog)
+      : catalog_(catalog), registry_(std::make_shared<ColumnRegistry>()) {}
+
+  Result<Query> Bind(const QueryExpr& query) {
+    QTF_ASSIGN_OR_RETURN(BoundRel rel, BindQueryExpr(query));
+    return Query{rel.op, registry_};
+  }
+
+ private:
+  static Status BindError(Pos pos, const std::string& message) {
+    return Status::InvalidArgument(
+        "SQL bind error at " + std::to_string(pos.line) + ":" +
+        std::to_string(pos.col) + ": " + message);
+  }
+
+  /// Registers an output column. A canonical `c<N>` alias pins the id; any
+  /// other (or empty) alias allocates the next free id. `reg_name` is the
+  /// name recorded in the registry (base-column name, alias, or synthetic).
+  Result<ColumnId> DefineColumn(const std::string& alias,
+                                const std::string& reg_name, ValueType type,
+                                Pos pos) {
+    const ColumnId pinned = ParseCanonicalAlias(alias);
+    if (pinned >= 0) {
+      if (!defined_.insert(pinned).second) {
+        return BindError(pos, "duplicate definition of canonical column '" +
+                                  alias + "'");
+      }
+      registry_->AllocateAt(pinned, reg_name, type);
+      return pinned;
+    }
+    const ColumnId id = registry_->Allocate(reg_name, type);
+    defined_.insert(id);
+    return id;
+  }
+
+  Result<const ScopeColumn*> Resolve(const SqlExpr& ident,
+                                     const Scope& scope) const {
+    const ScopeColumn* found = nullptr;
+    for (const ScopeColumn& col : scope) {
+      if (col.name != ident.name) continue;
+      if (!ident.qualifier.empty() && col.qualifier != ident.qualifier) {
+        continue;
+      }
+      if (found != nullptr) {
+        return BindError(ident.pos, "ambiguous column '" + ident.name + "'");
+      }
+      found = &col;
+    }
+    if (found == nullptr) {
+      const std::string shown = ident.qualifier.empty()
+                                    ? ident.name
+                                    : ident.qualifier + "." + ident.name;
+      return BindError(ident.pos, "unknown column '" + shown + "'");
+    }
+    return found;
+  }
+
+  // ---------------------------------------------------------------- scalar
+
+  Result<ExprPtr> BindExpr(const SqlExpr& e, const Scope& scope) {
+    switch (e.kind) {
+      case SqlExprKind::kIdent: {
+        QTF_ASSIGN_OR_RETURN(const ScopeColumn* col, Resolve(e, scope));
+        return Col(col->id, col->type);
+      }
+      case SqlExprKind::kIntLit:
+        return LitInt(e.int_value);
+      case SqlExprKind::kDoubleLit:
+        return LitDouble(e.double_value);
+      case SqlExprKind::kStringLit:
+        return LitString(e.string_value);
+      case SqlExprKind::kBoolLit:
+        return Lit(Value::Bool(e.bool_value));
+      case SqlExprKind::kNullLit:
+        return BindError(e.pos,
+                         "NULL literal requires a typed context (use it as a "
+                         "comparison operand)");
+      case SqlExprKind::kCompare: {
+        QTF_ASSIGN_OR_RETURN(
+            auto operands,
+            BindOperands(*e.children[0], *e.children[1], scope,
+                         /*comparison=*/true));
+        return Cmp(e.compare_op, std::move(operands.first),
+                   std::move(operands.second));
+      }
+      case SqlExprKind::kAnd:
+      case SqlExprKind::kOr: {
+        QTF_ASSIGN_OR_RETURN(ExprPtr left, BindExpr(*e.children[0], scope));
+        QTF_ASSIGN_OR_RETURN(ExprPtr right, BindExpr(*e.children[1], scope));
+        if (left->type() != ValueType::kBool ||
+            right->type() != ValueType::kBool) {
+          return BindError(e.pos, std::string(e.kind == SqlExprKind::kAnd
+                                                  ? "AND"
+                                                  : "OR") +
+                                      " requires boolean operands");
+        }
+        return e.kind == SqlExprKind::kAnd
+                   ? And(std::move(left), std::move(right))
+                   : Or(std::move(left), std::move(right));
+      }
+      case SqlExprKind::kNot: {
+        QTF_ASSIGN_OR_RETURN(ExprPtr input, BindExpr(*e.children[0], scope));
+        if (input->type() != ValueType::kBool) {
+          return BindError(e.pos, "NOT requires a boolean operand");
+        }
+        return Not(std::move(input));
+      }
+      case SqlExprKind::kArith: {
+        QTF_ASSIGN_OR_RETURN(
+            auto operands,
+            BindOperands(*e.children[0], *e.children[1], scope,
+                         /*comparison=*/false));
+        if (!IsNumeric(operands.first->type()) ||
+            !IsNumeric(operands.second->type())) {
+          return BindError(e.pos, "arithmetic requires numeric operands");
+        }
+        return Arith(e.arith_op, std::move(operands.first),
+                     std::move(operands.second));
+      }
+      case SqlExprKind::kIsNull: {
+        QTF_ASSIGN_OR_RETURN(ExprPtr input, BindExpr(*e.children[0], scope));
+        ExprPtr test = IsNull(std::move(input));
+        return e.negated ? Not(std::move(test)) : std::move(test);
+      }
+      case SqlExprKind::kExists:
+        return BindError(e.pos,
+                         "EXISTS is only supported as a top-level WHERE "
+                         "conjunct");
+      case SqlExprKind::kFuncCall:
+        return BindError(e.pos,
+                         "aggregate calls are only supported as whole select "
+                         "items of a grouped query");
+    }
+    return BindError(e.pos, "unsupported expression");
+  }
+
+  /// Binds the two operands of a comparison or arithmetic node. NULL
+  /// literals adopt the other side's type. Comparisons additionally coerce
+  /// a *syntactic* integer literal to double when compared against a double
+  /// (the generator only ever compares same-typed operands, so this never
+  /// fires on canonical SQL and cannot perturb a round trip; arithmetic is
+  /// left untouched because the algebra itself mixes int literals into
+  /// double arithmetic).
+  Result<std::pair<ExprPtr, ExprPtr>> BindOperands(const SqlExpr& l_ast,
+                                                   const SqlExpr& r_ast,
+                                                   const Scope& scope,
+                                                   bool comparison) {
+    const bool l_null = l_ast.kind == SqlExprKind::kNullLit;
+    const bool r_null = r_ast.kind == SqlExprKind::kNullLit;
+    if (l_null && r_null) {
+      return BindError(l_ast.pos, "cannot compare NULL with NULL");
+    }
+    if (l_null || r_null) {
+      QTF_ASSIGN_OR_RETURN(ExprPtr typed,
+                           BindExpr(l_null ? r_ast : l_ast, scope));
+      ExprPtr null_side = Lit(Value::Null(typed->type()));
+      if (l_null) return std::make_pair(std::move(null_side), std::move(typed));
+      return std::make_pair(std::move(typed), std::move(null_side));
+    }
+    QTF_ASSIGN_OR_RETURN(ExprPtr left, BindExpr(l_ast, scope));
+    QTF_ASSIGN_OR_RETURN(ExprPtr right, BindExpr(r_ast, scope));
+    if (comparison && left->type() != right->type()) {
+      if (l_ast.kind == SqlExprKind::kIntLit &&
+          right->type() == ValueType::kDouble) {
+        left = LitDouble(static_cast<double>(l_ast.int_value));
+      } else if (r_ast.kind == SqlExprKind::kIntLit &&
+                 left->type() == ValueType::kDouble) {
+        right = LitDouble(static_cast<double>(r_ast.int_value));
+      }
+    }
+    if (comparison && left->type() != right->type()) {
+      return BindError(l_ast.pos, "comparison operands have mismatched types");
+    }
+    return std::make_pair(std::move(left), std::move(right));
+  }
+
+  // ------------------------------------------------------------- relations
+
+  Result<BoundRel> BindQueryExpr(const QueryExpr& query) {
+    if (query.branches.size() == 1) {
+      return BindSelectCore(*query.branches[0]);
+    }
+    if (query.branches.size() == 2) {
+      QTF_ASSIGN_OR_RETURN(std::optional<BoundRel> canonical,
+                           TryBindCanonicalUnion(query));
+      if (canonical.has_value()) return *std::move(canonical);
+    }
+    // Generic left-associative UNION ALL fold with fresh output ids.
+    QTF_ASSIGN_OR_RETURN(BoundRel acc, BindSelectCore(*query.branches[0]));
+    for (size_t i = 1; i < query.branches.size(); ++i) {
+      QTF_ASSIGN_OR_RETURN(BoundRel next, BindSelectCore(*query.branches[i]));
+      if (next.columns.size() != acc.columns.size()) {
+        return BindError(query.branches[i]->pos,
+                         "UNION ALL branches have different column counts");
+      }
+      Scope out;
+      std::vector<ColumnId> out_ids;
+      for (size_t j = 0; j < acc.columns.size(); ++j) {
+        if (acc.columns[j].type != next.columns[j].type) {
+          return BindError(query.branches[i]->pos,
+                           "UNION ALL branches have mismatched types at "
+                           "position " + std::to_string(j + 1));
+        }
+        const ColumnId id =
+            registry_->Allocate(acc.columns[j].name, acc.columns[j].type);
+        defined_.insert(id);
+        out_ids.push_back(id);
+        out.push_back({"", acc.columns[j].name, id, acc.columns[j].type});
+      }
+      acc.op = std::make_shared<UnionAllOp>(acc.op, next.op,
+                                            std::move(out_ids));
+      acc.columns = std::move(out);
+    }
+    return acc;
+  }
+
+  /// The renderer prints UnionAll as two branches of the exact shape
+  /// `SELECT <child col> AS c<out>, ... FROM (<child>) d<k>`. When both
+  /// branches match that shape and every alias is canonical, rebuild the
+  /// UnionAllOp with its original (pinned) output ids. Shape mismatches
+  /// fall back to the generic fold (returns nullopt before any binding
+  /// side effects); post-shape inconsistencies are hard errors.
+  Result<std::optional<BoundRel>> TryBindCanonicalUnion(
+      const QueryExpr& query) {
+    for (const std::unique_ptr<SelectCore>& branch : query.branches) {
+      if (branch->distinct || branch->where != nullptr ||
+          !branch->group_by.empty() || branch->from == nullptr ||
+          branch->from->kind != TableRefKind::kDerived) {
+        return std::optional<BoundRel>();
+      }
+      for (const SelectItem& item : branch->items) {
+        if (item.star || item.expr->kind != SqlExprKind::kIdent ||
+            !item.expr->qualifier.empty() ||
+            ParseCanonicalAlias(item.alias) < 0) {
+          return std::optional<BoundRel>();
+        }
+      }
+    }
+    const SelectCore& lhs = *query.branches[0];
+    const SelectCore& rhs = *query.branches[1];
+    if (lhs.items.size() != rhs.items.size()) return std::optional<BoundRel>();
+    QTF_ASSIGN_OR_RETURN(BoundRel left, BindQueryExpr(*lhs.from->derived));
+    QTF_ASSIGN_OR_RETURN(BoundRel right, BindQueryExpr(*rhs.from->derived));
+    auto check_branch = [](const SelectCore& core, const BoundRel& child) {
+      if (core.items.size() != child.columns.size()) {
+        return BindError(core.pos,
+                         "UNION ALL branch must list every column of its "
+                         "input exactly once");
+      }
+      for (size_t i = 0; i < core.items.size(); ++i) {
+        if (core.items[i].expr->name != child.columns[i].name) {
+          return BindError(core.items[i].expr->pos,
+                           "UNION ALL branch items must reference the "
+                           "input's columns in order");
+        }
+      }
+      return Status::OK();
+    };
+    QTF_RETURN_IF_ERROR(check_branch(lhs, left));
+    QTF_RETURN_IF_ERROR(check_branch(rhs, right));
+    Scope out;
+    std::vector<ColumnId> out_ids;
+    for (size_t i = 0; i < lhs.items.size(); ++i) {
+      if (lhs.items[i].alias != rhs.items[i].alias) {
+        return BindError(rhs.items[i].pos,
+                         "UNION ALL branches disagree on the output alias "
+                         "at position " + std::to_string(i + 1));
+      }
+      if (left.columns[i].type != right.columns[i].type) {
+        return BindError(rhs.items[i].pos,
+                         "UNION ALL branches have mismatched types at "
+                         "position " + std::to_string(i + 1));
+      }
+      QTF_ASSIGN_OR_RETURN(
+          const ColumnId id,
+          DefineColumn(lhs.items[i].alias, lhs.items[i].alias,
+                       left.columns[i].type, lhs.items[i].pos));
+      out_ids.push_back(id);
+      out.push_back({"", lhs.items[i].alias, id, left.columns[i].type});
+    }
+    BoundRel rel;
+    rel.op = std::make_shared<UnionAllOp>(left.op, right.op,
+                                          std::move(out_ids));
+    rel.columns = std::move(out);
+    return std::optional<BoundRel>(std::move(rel));
+  }
+
+  Result<BoundRel> BindTableRef(const TableRef& ref) {
+    switch (ref.kind) {
+      case TableRefKind::kBaseTable:
+        return BindBaseTable(ref);
+      case TableRefKind::kDerived: {
+        QTF_ASSIGN_OR_RETURN(BoundRel rel, BindQueryExpr(*ref.derived));
+        for (ScopeColumn& col : rel.columns) col.qualifier = ref.alias;
+        return rel;
+      }
+      case TableRefKind::kJoin: {
+        QTF_ASSIGN_OR_RETURN(BoundRel left, BindTableRef(*ref.left));
+        QTF_ASSIGN_OR_RETURN(BoundRel right, BindTableRef(*ref.right));
+        Scope combined = left.columns;
+        combined.insert(combined.end(), right.columns.begin(),
+                        right.columns.end());
+        ExprPtr predicate;
+        if (ref.on != nullptr && !IsTautology(*ref.on)) {
+          if (ContainsExists(*ref.on)) {
+            return BindError(ref.on->pos,
+                             "EXISTS is not supported in a join condition");
+          }
+          QTF_ASSIGN_OR_RETURN(predicate, BindExpr(*ref.on, combined));
+          if (predicate->type() != ValueType::kBool) {
+            return BindError(ref.on->pos, "join condition must be boolean");
+          }
+        }
+        BoundRel rel;
+        rel.op = std::make_shared<JoinOp>(ref.join_kind, left.op, right.op,
+                                          std::move(predicate));
+        rel.columns = std::move(combined);
+        return rel;
+      }
+    }
+    return BindError(ref.pos, "unsupported table reference");
+  }
+
+  Result<BoundRel> BindBaseTable(const TableRef& ref) {
+    auto lookup = catalog_.GetTable(ref.table_name);
+    if (!lookup.ok()) lookup = catalog_.GetTable(ToLower(ref.table_name));
+    if (!lookup.ok()) {
+      return BindError(ref.pos, "unknown table '" + ref.table_name + "'");
+    }
+    const std::shared_ptr<const TableDef>& table = lookup.value();
+    const std::string qualifier =
+        ref.alias.empty() ? table->name() : ref.alias;
+    std::vector<ColumnId> ids;
+    Scope columns;
+    for (const ColumnDef& col : table->columns()) {
+      const ColumnId id = registry_->Allocate(col.name, col.type);
+      defined_.insert(id);
+      ids.push_back(id);
+      columns.push_back({qualifier, col.name, id, col.type});
+    }
+    BoundRel rel;
+    rel.op = std::make_shared<GetOp>(table, std::move(ids));
+    rel.columns = std::move(columns);
+    return rel;
+  }
+
+  /// The renderer prints Get as `SELECT <col> AS c<id>, ... FROM <table>`
+  /// — every table column in catalog order, each with a canonical alias.
+  /// Rebind that exact shape to a GetOp with the original pinned ids.
+  /// Returns nullopt (no side effects) when the shape does not match.
+  Result<std::optional<BoundRel>> TryBindCanonicalGet(const SelectCore& core) {
+    if (core.distinct || core.where != nullptr || !core.group_by.empty() ||
+        core.from == nullptr || core.from->kind != TableRefKind::kBaseTable ||
+        !core.from->alias.empty()) {
+      return std::optional<BoundRel>();
+    }
+    auto lookup = catalog_.GetTable(core.from->table_name);
+    if (!lookup.ok()) {
+      lookup = catalog_.GetTable(ToLower(core.from->table_name));
+    }
+    if (!lookup.ok()) return std::optional<BoundRel>();
+    const std::shared_ptr<const TableDef>& table = lookup.value();
+    if (core.items.size() != table->columns().size()) {
+      return std::optional<BoundRel>();
+    }
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      const SelectItem& item = core.items[i];
+      if (item.star || item.expr->kind != SqlExprKind::kIdent ||
+          !item.expr->qualifier.empty() ||
+          item.expr->name != table->columns()[i].name ||
+          ParseCanonicalAlias(item.alias) < 0) {
+        return std::optional<BoundRel>();
+      }
+    }
+    std::vector<ColumnId> ids;
+    Scope columns;
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      const ColumnDef& col = table->columns()[i];
+      QTF_ASSIGN_OR_RETURN(
+          const ColumnId id,
+          DefineColumn(core.items[i].alias, col.name, col.type,
+                       core.items[i].pos));
+      ids.push_back(id);
+      columns.push_back({"", core.items[i].alias, id, col.type});
+    }
+    BoundRel rel;
+    rel.op = std::make_shared<GetOp>(table, std::move(ids));
+    rel.columns = std::move(columns);
+    return std::optional<BoundRel>(std::move(rel));
+  }
+
+  Result<BoundRel> BindSelectCore(const SelectCore& core) {
+    QTF_ASSIGN_OR_RETURN(std::optional<BoundRel> canonical_get,
+                         TryBindCanonicalGet(core));
+    if (canonical_get.has_value()) return *std::move(canonical_get);
+    if (core.from == nullptr) {
+      return BindError(core.pos,
+                       "queries without a FROM clause are not supported");
+    }
+    QTF_ASSIGN_OR_RETURN(BoundRel rel, BindTableRef(*core.from));
+    if (core.where != nullptr) {
+      QTF_ASSIGN_OR_RETURN(rel, ApplyWhere(*core.where, std::move(rel)));
+    }
+    const bool has_aggregate =
+        !core.group_by.empty() ||
+        std::any_of(core.items.begin(), core.items.end(),
+                    [](const SelectItem& item) {
+                      return item.expr != nullptr &&
+                             item.expr->kind == SqlExprKind::kFuncCall;
+                    });
+    if (has_aggregate) {
+      QTF_ASSIGN_OR_RETURN(rel, BindAggregate(core, std::move(rel)));
+    } else if (core.items.size() == 1 && core.items[0].star) {
+      // `SELECT *` passes the input through without a Project node, which
+      // is exactly how the renderer prints Select/Join/Distinct levels.
+    } else {
+      QTF_ASSIGN_OR_RETURN(rel, BindProjectItems(core, std::move(rel)));
+    }
+    if (core.distinct) {
+      BoundRel wrapped;
+      wrapped.op = std::make_shared<DistinctOp>(rel.op);
+      wrapped.columns = std::move(rel.columns);
+      rel = std::move(wrapped);
+    }
+    return rel;
+  }
+
+  /// WHERE handling. Top-level [NOT] EXISTS conjuncts become left-semi /
+  /// left-anti joins (in conjunct order); everything else folds into one
+  /// SelectOp predicate. EXISTS anywhere deeper is rejected.
+  Result<BoundRel> ApplyWhere(const SqlExpr& where, BoundRel rel) {
+    if (!ContainsExists(where)) {
+      QTF_ASSIGN_OR_RETURN(ExprPtr predicate, BindExpr(where, rel.columns));
+      if (predicate->type() != ValueType::kBool) {
+        return BindError(where.pos, "WHERE condition must be boolean");
+      }
+      BoundRel out;
+      out.op = std::make_shared<SelectOp>(rel.op, std::move(predicate));
+      out.columns = std::move(rel.columns);
+      return out;
+    }
+    std::vector<const SqlExpr*> conjuncts;
+    FlattenConjuncts(where, &conjuncts);
+    ExprPtr residual;
+    for (const SqlExpr* conjunct : conjuncts) {
+      if (conjunct->kind == SqlExprKind::kExists) {
+        QTF_ASSIGN_OR_RETURN(rel, ApplyExists(*conjunct, std::move(rel)));
+        continue;
+      }
+      if (ContainsExists(*conjunct)) {
+        return BindError(conjunct->pos,
+                         "EXISTS is only supported as a top-level WHERE "
+                         "conjunct");
+      }
+      QTF_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(*conjunct, rel.columns));
+      if (bound->type() != ValueType::kBool) {
+        return BindError(conjunct->pos, "WHERE condition must be boolean");
+      }
+      residual = residual == nullptr
+                     ? std::move(bound)
+                     : And(std::move(residual), std::move(bound));
+    }
+    if (residual != nullptr) {
+      BoundRel out;
+      out.op = std::make_shared<SelectOp>(rel.op, std::move(residual));
+      out.columns = std::move(rel.columns);
+      return out;
+    }
+    return rel;
+  }
+
+  /// `[NOT] EXISTS (SELECT <ignored> FROM R [WHERE p])` over the current
+  /// input becomes JoinOp(left-semi|left-anti, input, R, p). The
+  /// correlation predicate p may reference both the outer and the inner
+  /// columns; `(1 = 1)` (or no WHERE) means no predicate.
+  Result<BoundRel> ApplyExists(const SqlExpr& exists, BoundRel rel) {
+    const QueryExpr& sub = *exists.subquery;
+    if (sub.branches.size() != 1) {
+      return BindError(exists.pos,
+                       "EXISTS subquery cannot contain UNION ALL");
+    }
+    const SelectCore& core = *sub.branches[0];
+    if (core.distinct || !core.group_by.empty()) {
+      return BindError(exists.pos,
+                       "EXISTS subquery must be a plain SELECT ... FROM ... "
+                       "[WHERE ...]");
+    }
+    if (core.from == nullptr) {
+      return BindError(core.pos, "EXISTS subquery requires a FROM clause");
+    }
+    QTF_ASSIGN_OR_RETURN(BoundRel inner, BindTableRef(*core.from));
+    Scope combined = rel.columns;
+    combined.insert(combined.end(), inner.columns.begin(),
+                    inner.columns.end());
+    // The select list of an EXISTS subquery has no effect; accept literals,
+    // '*', or column references (resolved so typos still surface).
+    for (const SelectItem& item : core.items) {
+      if (item.star) continue;
+      const SqlExpr& e = *item.expr;
+      if (e.kind == SqlExprKind::kIdent) {
+        QTF_RETURN_IF_ERROR(Resolve(e, combined).status());
+        continue;
+      }
+      if (e.kind == SqlExprKind::kIntLit ||
+          e.kind == SqlExprKind::kDoubleLit ||
+          e.kind == SqlExprKind::kStringLit ||
+          e.kind == SqlExprKind::kBoolLit) {
+        continue;
+      }
+      return BindError(item.pos,
+                       "EXISTS select list supports only literals, columns "
+                       "or '*'");
+    }
+    ExprPtr predicate;
+    if (core.where != nullptr && !IsTautology(*core.where)) {
+      if (ContainsExists(*core.where)) {
+        return BindError(core.where->pos,
+                         "nested EXISTS inside an EXISTS subquery is not "
+                         "supported");
+      }
+      QTF_ASSIGN_OR_RETURN(predicate, BindExpr(*core.where, combined));
+      if (predicate->type() != ValueType::kBool) {
+        return BindError(core.where->pos,
+                         "EXISTS condition must be boolean");
+      }
+    }
+    BoundRel out;
+    out.op = std::make_shared<JoinOp>(
+        exists.negated ? JoinKind::kLeftAnti : JoinKind::kLeftSemi, rel.op,
+        inner.op, std::move(predicate));
+    out.columns = std::move(rel.columns);  // semi/anti keep the left side
+    return out;
+  }
+
+  Result<BoundRel> BindProjectItems(const SelectCore& core, BoundRel rel) {
+    std::vector<ProjectItem> items;
+    Scope out;
+    for (const SelectItem& item : core.items) {
+      if (item.star) {
+        return BindError(item.pos,
+                         "'*' must be the entire select list");
+      }
+      const SqlExpr& e = *item.expr;
+      if (e.kind == SqlExprKind::kIdent) {
+        // Pass-through: keeps the referenced column's identity. A canonical
+        // alias must agree with that identity; other aliases just rename.
+        QTF_ASSIGN_OR_RETURN(const ScopeColumn* col, Resolve(e, rel.columns));
+        const ColumnId pinned = ParseCanonicalAlias(item.alias);
+        if (pinned >= 0 && pinned != col->id) {
+          return BindError(item.pos,
+                           "canonical alias '" + item.alias +
+                               "' does not match the referenced column's "
+                               "identity (c" + std::to_string(col->id) + ")");
+        }
+        items.push_back({Col(col->id, col->type), col->id});
+        out.push_back({"", item.alias.empty() ? e.name : item.alias, col->id,
+                       col->type});
+        continue;
+      }
+      QTF_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(e, rel.columns));
+      const std::string name = item.alias.empty() ? "expr" : item.alias;
+      QTF_ASSIGN_OR_RETURN(const ColumnId id,
+                           DefineColumn(item.alias, name, bound->type(),
+                                        item.pos));
+      out.push_back({"", name, id, bound->type()});
+      items.push_back({std::move(bound), id});
+    }
+    BoundRel result;
+    result.op = std::make_shared<ProjectOp>(rel.op, std::move(items));
+    result.columns = std::move(out);
+    return result;
+  }
+
+  Result<AggregateCall> BindAggregateCall(const SqlExpr& e,
+                                          const Scope& scope) {
+    const std::string upper = ToUpper(e.name);
+    AggregateCall call;
+    if (e.star_arg) {
+      if (upper != "COUNT") {
+        return BindError(e.pos, "'*' argument is only valid for COUNT");
+      }
+      call.kind = AggKind::kCountStar;
+      return call;
+    }
+    if (e.children.size() != 1) {
+      return BindError(e.pos,
+                       "aggregate " + upper + " takes exactly one argument");
+    }
+    if (upper == "COUNT") {
+      call.kind = AggKind::kCount;
+    } else if (upper == "SUM") {
+      call.kind = AggKind::kSum;
+    } else if (upper == "MIN") {
+      call.kind = AggKind::kMin;
+    } else if (upper == "MAX") {
+      call.kind = AggKind::kMax;
+    } else if (upper == "AVG") {
+      call.kind = AggKind::kAvg;
+    } else {
+      return BindError(e.pos, "unknown function '" + e.name +
+                                  "' (supported: COUNT, SUM, MIN, MAX, AVG)");
+    }
+    QTF_ASSIGN_OR_RETURN(ExprPtr arg, BindExpr(*e.children[0], scope));
+    if ((call.kind == AggKind::kSum || call.kind == AggKind::kAvg) &&
+        !IsNumeric(arg->type())) {
+      return BindError(e.pos, upper + " requires a numeric argument");
+    }
+    call.arg = std::move(arg);
+    return call;
+  }
+
+  Result<BoundRel> BindAggregate(const SelectCore& core, BoundRel rel) {
+    // Grouping columns, in GROUP BY order.
+    std::vector<ColumnId> group_cols;
+    for (const SqlExprPtr& g : core.group_by) {
+      if (g->kind != SqlExprKind::kIdent) {
+        return BindError(g->pos, "GROUP BY supports column references only");
+      }
+      QTF_ASSIGN_OR_RETURN(const ScopeColumn* col, Resolve(*g, rel.columns));
+      if (std::find(group_cols.begin(), group_cols.end(), col->id) !=
+          group_cols.end()) {
+        return BindError(g->pos, "duplicate GROUP BY column '" + g->name +
+                                     "'");
+      }
+      group_cols.push_back(col->id);
+    }
+    std::vector<AggregateItem> aggregates;
+    Scope out;
+    for (const SelectItem& item : core.items) {
+      if (item.star) {
+        return BindError(item.pos,
+                         "'*' cannot be used in a grouped select list");
+      }
+      const SqlExpr& e = *item.expr;
+      if (e.kind == SqlExprKind::kIdent) {
+        QTF_ASSIGN_OR_RETURN(const ScopeColumn* col, Resolve(e, rel.columns));
+        if (std::find(group_cols.begin(), group_cols.end(), col->id) ==
+            group_cols.end()) {
+          return BindError(e.pos, "column '" + e.name +
+                                      "' must appear in GROUP BY");
+        }
+        const ColumnId pinned = ParseCanonicalAlias(item.alias);
+        if (pinned >= 0 && pinned != col->id) {
+          return BindError(item.pos,
+                           "canonical alias '" + item.alias +
+                               "' does not match the referenced column's "
+                               "identity (c" + std::to_string(col->id) + ")");
+        }
+        out.push_back({"", item.alias.empty() ? e.name : item.alias, col->id,
+                       col->type});
+        continue;
+      }
+      if (e.kind != SqlExprKind::kFuncCall) {
+        return BindError(e.pos,
+                         "grouped select items must be grouping columns or "
+                         "aggregate calls");
+      }
+      QTF_ASSIGN_OR_RETURN(AggregateCall call,
+                           BindAggregateCall(e, rel.columns));
+      const ValueType type = call.ResultType();
+      const std::string name = item.alias.empty() ? "agg" : item.alias;
+      QTF_ASSIGN_OR_RETURN(const ColumnId id,
+                           DefineColumn(item.alias, name, type, item.pos));
+      aggregates.push_back({std::move(call), id});
+      out.push_back({"", name, id, type});
+    }
+    BoundRel result;
+    result.op = std::make_shared<GroupByAggOp>(rel.op, group_cols,
+                                               std::move(aggregates));
+    // The operator outputs grouping columns then aggregates. If the select
+    // list uses a different order (or narrows the grouping columns), add a
+    // pass-through Project to honor it. The canonical renderer's order
+    // matches the operator's, so round trips never take this branch.
+    std::vector<ColumnId> op_order = result.op->OutputColumns();
+    std::vector<ColumnId> select_order;
+    select_order.reserve(out.size());
+    for (const ScopeColumn& col : out) select_order.push_back(col.id);
+    if (select_order != op_order) {
+      std::vector<ProjectItem> proj;
+      proj.reserve(out.size());
+      for (const ScopeColumn& col : out) {
+        proj.push_back({Col(col.id, col.type), col.id});
+      }
+      result.op = std::make_shared<ProjectOp>(result.op, std::move(proj));
+    }
+    result.columns = std::move(out);
+    return result;
+  }
+
+  const Catalog& catalog_;
+  ColumnRegistryPtr registry_;
+  /// Ids already assigned (via canonical pinning or plain allocation);
+  /// guards against a `c<N>` alias colliding with an existing column.
+  std::set<ColumnId> defined_;
+};
+
+}  // namespace
+
+Result<Query> BindSql(const QueryExpr& query, const Catalog& catalog,
+                      const BinderOptions& options) {
+  Binder binder(catalog);
+  QTF_ASSIGN_OR_RETURN(Query bound, binder.Bind(query));
+  if (options.interner != nullptr) {
+    bound.root = options.interner->Intern(bound.root);
+  }
+  return bound;
+}
+
+}  // namespace sql
+}  // namespace qtf

@@ -1,0 +1,45 @@
+#ifndef QTF_SQL_BINDER_H_
+#define QTF_SQL_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "logical/interner.h"
+#include "logical/query.h"
+#include "sql/ast.h"
+
+namespace qtf {
+namespace sql {
+
+struct BinderOptions {
+  /// When set, the bound tree is canonicalized through this interner, so
+  /// the result lives in the same hash-consed space as trees built by the
+  /// generator/optimizer (fingerprint-identical round trips compare
+  /// interned pointers). Borrowed; may be null.
+  NodeInterner* interner = nullptr;
+};
+
+/// Resolves a parsed statement against the catalog and emits a logical
+/// Query (tree + fresh ColumnRegistry).
+///
+/// Binding rules (docs/sql.md has the full list):
+///  - A select-item alias of the form `c<N>` *pins* the defined column to
+///    ColumnId N — this is how the canonical SQL emitted by GenerateSql
+///    round-trips to the exact original tree. Any other alias just names
+///    the column; ids are then allocated densely in appearance order.
+///  - Column references resolve lexically by name (qualified by table or
+///    derived-table alias); TPC-H column names are globally unique so
+///    unqualified ordinary SQL always resolves.
+///  - `[NOT] EXISTS (SELECT ... FROM R WHERE p)` as a top-level WHERE
+///    conjunct becomes a left-semi/anti join with predicate p (which may
+///    reference both sides); the literal predicate `(1 = 1)` in a join ON
+///    or EXISTS WHERE position denotes the algebra's TRUE (null) predicate.
+///
+/// All failures are kInvalidArgument carrying the 1-based line:column of
+/// the offending AST node.
+Result<Query> BindSql(const QueryExpr& query, const Catalog& catalog,
+                      const BinderOptions& options = {});
+
+}  // namespace sql
+}  // namespace qtf
+
+#endif  // QTF_SQL_BINDER_H_

@@ -1,0 +1,37 @@
+#include "sql/frontend.h"
+
+#include <memory>
+#include <utility>
+
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace qtf {
+namespace sql {
+namespace {
+
+void Bump(obs::MetricsRegistry* metrics, const char* name) {
+  if (metrics != nullptr) metrics->counter(name)->Increment();
+}
+
+}  // namespace
+
+Result<Query> SqlFrontend::Parse(std::string_view input) const {
+  auto parsed = ParseSql(input);
+  if (!parsed.ok()) {
+    Bump(options_.metrics, "qtf.sql.parse_errors");
+    return parsed.status();
+  }
+  BinderOptions binder_options;
+  binder_options.interner = options_.interner;
+  auto bound = BindSql(**parsed, *catalog_, binder_options);
+  if (!bound.ok()) {
+    Bump(options_.metrics, "qtf.sql.bind_errors");
+    return bound.status();
+  }
+  Bump(options_.metrics, "qtf.sql.parsed");
+  return std::move(bound).value();
+}
+
+}  // namespace sql
+}  // namespace qtf

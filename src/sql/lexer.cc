@@ -1,0 +1,313 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace qtf {
+namespace sql {
+namespace {
+
+struct Keyword {
+  const char* spelling;
+  TokenKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"SELECT", TokenKind::kSelect}, {"DISTINCT", TokenKind::kDistinct},
+    {"FROM", TokenKind::kFrom},     {"WHERE", TokenKind::kWhere},
+    {"GROUP", TokenKind::kGroup},   {"BY", TokenKind::kBy},
+    {"AS", TokenKind::kAs},         {"AND", TokenKind::kAnd},
+    {"OR", TokenKind::kOr},         {"NOT", TokenKind::kNot},
+    {"EXISTS", TokenKind::kExists}, {"IS", TokenKind::kIs},
+    {"NULL", TokenKind::kNull},     {"TRUE", TokenKind::kTrue},
+    {"FALSE", TokenKind::kFalse},   {"UNION", TokenKind::kUnion},
+    {"ALL", TokenKind::kAll},       {"INNER", TokenKind::kInner},
+    {"JOIN", TokenKind::kJoin},     {"LEFT", TokenKind::kLeft},
+    {"OUTER", TokenKind::kOuter},   {"CROSS", TokenKind::kCross},
+    {"ON", TokenKind::kOn},
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(
+      std::toupper(static_cast<unsigned char>(c))));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      QTF_RETURN_NOT_OK(SkipSpaceAndComments());
+      Token token;
+      token.line = line_;
+      token.col = col_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEnd;
+        tokens.push_back(std::move(token));
+        return tokens;
+      }
+      QTF_RETURN_NOT_OK(Next(&token));
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status Error(int line, int col, const std::string& message) const {
+    return Status::InvalidArgument("SQL lex error at " + std::to_string(line) +
+                                   ":" + std::to_string(col) + ": " + message);
+  }
+
+  Status SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        const int line = line_, col = col_;
+        Advance();
+        Advance();
+        bool closed = false;
+        while (!AtEnd()) {
+          if (Peek() == '*' && Peek(1) == '/') {
+            Advance();
+            Advance();
+            closed = true;
+            break;
+          }
+          Advance();
+        }
+        if (!closed) return Error(line, col, "unterminated block comment");
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Next(Token* token) {
+    const char c = Peek();
+    if (IsIdentStart(c)) return LexIdent(token);
+    if (IsDigit(c)) return LexNumber(token);
+    if (c == '\'') return LexString(token);
+    return LexOperator(token);
+  }
+
+  Status LexIdent(Token* token) {
+    const size_t start = pos_;
+    while (!AtEnd() && IsIdentChar(Peek())) Advance();
+    std::string_view spelling = input_.substr(start, pos_ - start);
+    const std::string upper = ToUpper(spelling);
+    for (const Keyword& kw : kKeywords) {
+      if (upper == kw.spelling) {
+        token->kind = kw.kind;
+        token->text = kw.spelling;
+        return Status::OK();
+      }
+    }
+    token->kind = TokenKind::kIdent;
+    token->text = std::string(spelling);
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* token) {
+    const size_t start = pos_;
+    while (!AtEnd() && IsDigit(Peek())) Advance();
+    bool is_double = false;
+    if (Peek() == '.' && IsDigit(Peek(1))) {
+      is_double = true;
+      Advance();
+      while (!AtEnd() && IsDigit(Peek())) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t ahead = 1;
+      if (Peek(1) == '+' || Peek(1) == '-') ahead = 2;
+      if (IsDigit(Peek(ahead))) {
+        is_double = true;
+        while (ahead-- > 0) Advance();
+        while (!AtEnd() && IsDigit(Peek())) Advance();
+      }
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    errno = 0;
+    if (is_double) {
+      token->kind = TokenKind::kDoubleLit;
+      token->double_value = std::strtod(text.c_str(), nullptr);
+      if (errno == ERANGE) {
+        return Error(token->line, token->col,
+                     "double literal out of range: " + text);
+      }
+    } else {
+      token->kind = TokenKind::kIntLit;
+      token->int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Error(token->line, token->col,
+                     "integer literal out of range: " + text);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* token) {
+    Advance();  // opening quote
+    std::string value;
+    while (true) {
+      if (AtEnd()) {
+        return Error(token->line, token->col, "unterminated string literal");
+      }
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {
+          value.push_back('\'');
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    token->kind = TokenKind::kStringLit;
+    token->text = std::move(value);
+    return Status::OK();
+  }
+
+  Status LexOperator(Token* token) {
+    const char c = Advance();
+    switch (c) {
+      case '(': token->kind = TokenKind::kLParen; return Status::OK();
+      case ')': token->kind = TokenKind::kRParen; return Status::OK();
+      case ',': token->kind = TokenKind::kComma; return Status::OK();
+      case '.': token->kind = TokenKind::kDot; return Status::OK();
+      case '*': token->kind = TokenKind::kStar; return Status::OK();
+      case '+': token->kind = TokenKind::kPlus; return Status::OK();
+      case '-': token->kind = TokenKind::kMinus; return Status::OK();
+      case '/': token->kind = TokenKind::kSlash; return Status::OK();
+      case '=': token->kind = TokenKind::kEq; return Status::OK();
+      case '<':
+        if (Peek() == '>') {
+          Advance();
+          token->kind = TokenKind::kNe;
+        } else if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kLe;
+        } else {
+          token->kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kGe;
+        } else {
+          token->kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          token->kind = TokenKind::kNe;
+          return Status::OK();
+        }
+        return Error(token->line, token->col, "stray '!'");
+      default:
+        return Error(token->line, token->col,
+                     std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kDoubleLit: return "double literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kDistinct: return "DISTINCT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroup: return "GROUP";
+    case TokenKind::kBy: return "BY";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kExists: return "EXISTS";
+    case TokenKind::kIs: return "IS";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kUnion: return "UNION";
+    case TokenKind::kAll: return "ALL";
+    case TokenKind::kInner: return "INNER";
+    case TokenKind::kJoin: return "JOIN";
+    case TokenKind::kLeft: return "LEFT";
+    case TokenKind::kOuter: return "OUTER";
+    case TokenKind::kCross: return "CROSS";
+    case TokenKind::kOn: return "ON";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  Lexer lexer(input);
+  return lexer.Run();
+}
+
+}  // namespace sql
+}  // namespace qtf

@@ -1,0 +1,26 @@
+#ifndef QTF_SQL_LEXER_H_
+#define QTF_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace qtf {
+namespace sql {
+
+/// Tokenizes one SQL statement. Keywords are case-insensitive; identifiers
+/// keep their spelling. Handles '...' string literals with '' doubling,
+/// integer and double literals (a '.' or exponent makes a double), `--`
+/// line comments and `/* */` block comments. Every lexical error —
+/// stray byte, unterminated string or comment, malformed or out-of-range
+/// number — is kInvalidArgument naming the 1-based line:column, never a
+/// crash, so arbitrary bytes can be thrown at it (the fuzz tests do).
+/// The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace sql
+}  // namespace qtf
+
+#endif  // QTF_SQL_LEXER_H_

@@ -1,0 +1,522 @@
+#include "sql/parser.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace qtf {
+namespace sql {
+namespace {
+
+/// Bound on parser recursion. Far above anything the renderer emits for
+/// real trees, low enough that a pathological input (e.g. megabytes of
+/// '(') errors instead of overflowing the stack.
+constexpr int kMaxDepth = 500;
+
+/// Bound on the height of the constructed AST. Recursion alone does not
+/// bound it: left-associative chains (`1 AND 1 AND ...`) grow the tree in
+/// a loop, one level per token, without recursing. Everything that later
+/// walks the AST recursively (binder, destructors) relies on this cap.
+constexpr int kMaxAstDepth = 1000;
+
+int MaxDepth(int a, int b) { return a > b ? a : b; }
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<QueryExpr>> Run() {
+    QTF_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> query, ParseQueryExpr());
+    if (!At(TokenKind::kEnd)) {
+      return ErrorHere("expected end of input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Pos Here() const { return Pos{Cur().line, Cur().col}; }
+
+  Status ErrorHere(const std::string& message) const {
+    return Status::InvalidArgument(
+        "SQL parse error at " + std::to_string(Cur().line) + ":" +
+        std::to_string(Cur().col) + ": " + message + ", got " +
+        TokenKindToString(Cur().kind));
+  }
+
+  Status Expect(TokenKind kind, const char* context) {
+    if (Accept(kind)) return Status::OK();
+    return ErrorHere(std::string("expected ") + TokenKindToString(kind) +
+                     " " + context);
+  }
+
+  /// RAII-free depth guard: call at the top of each recursive production.
+  Status Descend() {
+    if (++depth_ > kMaxDepth) {
+      return Status::InvalidArgument(
+          "SQL parse error at " + std::to_string(Cur().line) + ":" +
+          std::to_string(Cur().col) + ": nesting deeper than " +
+          std::to_string(kMaxDepth));
+    }
+    return Status::OK();
+  }
+  void Ascend() { --depth_; }
+
+  Status CheckAstDepth(int depth, Pos pos) const {
+    if (depth <= kMaxAstDepth) return Status::OK();
+    return Status::InvalidArgument(
+        "SQL parse error at " + std::to_string(pos.line) + ":" +
+        std::to_string(pos.col) + ": statement nests deeper than " +
+        std::to_string(kMaxAstDepth));
+  }
+
+  Result<std::unique_ptr<QueryExpr>> ParseQueryExpr() {
+    QTF_RETURN_NOT_OK(Descend());
+    auto query = std::make_unique<QueryExpr>();
+    query->pos = Here();
+    QTF_ASSIGN_OR_RETURN(std::unique_ptr<SelectCore> first, ParseSelectCore());
+    query->branches.push_back(std::move(first));
+    while (At(TokenKind::kUnion)) {
+      Advance();
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kAll, "after UNION"));
+      QTF_ASSIGN_OR_RETURN(std::unique_ptr<SelectCore> branch,
+                           ParseSelectCore());
+      query->branches.push_back(std::move(branch));
+    }
+    for (const auto& branch : query->branches) {
+      query->depth = MaxDepth(query->depth, branch->depth + 1);
+    }
+    QTF_RETURN_NOT_OK(CheckAstDepth(query->depth, query->pos));
+    Ascend();
+    return query;
+  }
+
+  Result<std::unique_ptr<SelectCore>> ParseSelectCore() {
+    QTF_RETURN_NOT_OK(Descend());
+    auto core = std::make_unique<SelectCore>();
+    core->pos = Here();
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kSelect, "to start a query"));
+    core->distinct = Accept(TokenKind::kDistinct);
+    QTF_RETURN_NOT_OK(ParseSelectList(core.get()));
+    if (Accept(TokenKind::kFrom)) {
+      QTF_ASSIGN_OR_RETURN(core->from, ParseFromClause());
+    }
+    if (Accept(TokenKind::kWhere)) {
+      QTF_ASSIGN_OR_RETURN(core->where, ParseExpr());
+    }
+    if (Accept(TokenKind::kGroup)) {
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kBy, "after GROUP"));
+      do {
+        QTF_ASSIGN_OR_RETURN(SqlExprPtr expr, ParseExpr());
+        core->group_by.push_back(std::move(expr));
+      } while (Accept(TokenKind::kComma));
+    }
+    for (const SelectItem& item : core->items) {
+      if (item.expr) core->depth = MaxDepth(core->depth, item.expr->depth + 1);
+    }
+    if (core->from) core->depth = MaxDepth(core->depth, core->from->depth + 1);
+    if (core->where) {
+      core->depth = MaxDepth(core->depth, core->where->depth + 1);
+    }
+    for (const SqlExprPtr& expr : core->group_by) {
+      core->depth = MaxDepth(core->depth, expr->depth + 1);
+    }
+    QTF_RETURN_NOT_OK(CheckAstDepth(core->depth, core->pos));
+    Ascend();
+    return core;
+  }
+
+  Status ParseSelectList(SelectCore* core) {
+    if (At(TokenKind::kStar)) {
+      SelectItem item;
+      item.pos = Here();
+      item.star = true;
+      Advance();
+      core->items.push_back(std::move(item));
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      item.pos = Here();
+      QTF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Accept(TokenKind::kAs)) {
+        if (!At(TokenKind::kIdent)) {
+          return ErrorHere("expected alias identifier after AS");
+        }
+        item.alias = Advance().text;
+      } else if (At(TokenKind::kIdent)) {
+        item.alias = Advance().text;  // bare alias: SELECT x y
+      }
+      core->items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseFromClause() {
+    QTF_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> ref, ParseJoinChain());
+    // Comma-separated FROM list: each further item is a cross join.
+    while (Accept(TokenKind::kComma)) {
+      QTF_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> right, ParseJoinChain());
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->pos = ref->pos;
+      join->join_kind = JoinKind::kInner;
+      join->depth = MaxDepth(ref->depth, right->depth) + 1;
+      join->left = std::move(ref);
+      join->right = std::move(right);
+      QTF_RETURN_NOT_OK(CheckAstDepth(join->depth, join->pos));
+      ref = std::move(join);
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseJoinChain() {
+    QTF_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> left, ParsePrimaryRef());
+    while (true) {
+      JoinKind kind;
+      bool has_on = true;
+      if (At(TokenKind::kJoin) || At(TokenKind::kInner)) {
+        Accept(TokenKind::kInner);
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kJoin, "after INNER"));
+        kind = JoinKind::kInner;
+      } else if (At(TokenKind::kLeft)) {
+        Advance();
+        Accept(TokenKind::kOuter);
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kJoin, "after LEFT [OUTER]"));
+        kind = JoinKind::kLeftOuter;
+      } else if (At(TokenKind::kCross)) {
+        Advance();
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kJoin, "after CROSS"));
+        kind = JoinKind::kInner;
+        has_on = false;
+      } else {
+        break;
+      }
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->pos = left->pos;
+      join->join_kind = kind;
+      join->left = std::move(left);
+      QTF_ASSIGN_OR_RETURN(join->right, ParsePrimaryRef());
+      if (has_on) {
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kOn, "after join operand"));
+        QTF_ASSIGN_OR_RETURN(join->on, ParseExpr());
+      }
+      join->depth = MaxDepth(join->left->depth, join->right->depth);
+      if (join->on) join->depth = MaxDepth(join->depth, join->on->depth);
+      ++join->depth;
+      QTF_RETURN_NOT_OK(CheckAstDepth(join->depth, join->pos));
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParsePrimaryRef() {
+    QTF_RETURN_NOT_OK(Descend());
+    auto ref = std::make_unique<TableRef>();
+    ref->pos = Here();
+    if (Accept(TokenKind::kLParen)) {
+      ref->kind = TableRefKind::kDerived;
+      QTF_ASSIGN_OR_RETURN(ref->derived, ParseQueryExpr());
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close derived table"));
+      ref->depth = ref->derived->depth + 1;
+    } else if (At(TokenKind::kIdent)) {
+      ref->kind = TableRefKind::kBaseTable;
+      ref->table_name = Advance().text;
+    } else {
+      Ascend();
+      return ErrorHere("expected table name or derived table");
+    }
+    if (Accept(TokenKind::kAs)) {
+      if (!At(TokenKind::kIdent)) {
+        Ascend();
+        return ErrorHere("expected alias identifier after AS");
+      }
+      ref->alias = Advance().text;
+    } else if (At(TokenKind::kIdent)) {
+      ref->alias = Advance().text;
+    } else if (ref->kind == TableRefKind::kDerived) {
+      Ascend();
+      return ErrorHere("derived table requires an alias");
+    }
+    Ascend();
+    return ref;
+  }
+
+  // --- Expressions, lowest to highest precedence: OR, AND, NOT,
+  // comparison / IS NULL, additive, multiplicative, unary, primary. ---
+
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    QTF_RETURN_NOT_OK(Descend());
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (At(TokenKind::kOr)) {
+      Pos pos = Here();
+      Advance();
+      QTF_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      left = MakeBinary(SqlExprKind::kOr, pos, std::move(left),
+                        std::move(right));
+      QTF_RETURN_NOT_OK(CheckAstDepth(left->depth, pos));
+    }
+    Ascend();
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (At(TokenKind::kAnd)) {
+      Pos pos = Here();
+      Advance();
+      QTF_ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      left = MakeBinary(SqlExprKind::kAnd, pos, std::move(left),
+                        std::move(right));
+      QTF_RETURN_NOT_OK(CheckAstDepth(left->depth, pos));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    QTF_RETURN_NOT_OK(Descend());
+    if (At(TokenKind::kNot)) {
+      Pos pos = Here();
+      Advance();
+      QTF_ASSIGN_OR_RETURN(SqlExprPtr operand, ParseNot());
+      Ascend();
+      if (operand->kind == SqlExprKind::kExists) {
+        operand->negated = !operand->negated;
+        return operand;
+      }
+      auto expr = std::make_unique<SqlExpr>();
+      expr->kind = SqlExprKind::kNot;
+      expr->pos = pos;
+      expr->depth = operand->depth + 1;
+      expr->children.push_back(std::move(operand));
+      QTF_RETURN_NOT_OK(CheckAstDepth(expr->depth, pos));
+      return SqlExprPtr(std::move(expr));
+    }
+    Result<SqlExprPtr> result = ParseComparison();
+    Ascend();
+    return result;
+  }
+
+  Result<SqlExprPtr> ParseComparison() {
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    if (At(TokenKind::kIs)) {
+      Pos pos = Here();
+      Advance();
+      const bool negated = Accept(TokenKind::kNot);
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kNull, "after IS [NOT]"));
+      auto expr = std::make_unique<SqlExpr>();
+      expr->kind = SqlExprKind::kIsNull;
+      expr->pos = pos;
+      expr->negated = negated;
+      expr->depth = left->depth + 1;
+      expr->children.push_back(std::move(left));
+      return SqlExprPtr(std::move(expr));
+    }
+    CompareOp op;
+    switch (Cur().kind) {
+      case TokenKind::kEq: op = CompareOp::kEq; break;
+      case TokenKind::kNe: op = CompareOp::kNe; break;
+      case TokenKind::kLt: op = CompareOp::kLt; break;
+      case TokenKind::kLe: op = CompareOp::kLe; break;
+      case TokenKind::kGt: op = CompareOp::kGt; break;
+      case TokenKind::kGe: op = CompareOp::kGe; break;
+      default:
+        return left;
+    }
+    Pos pos = Here();
+    Advance();
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAdditive());
+    SqlExprPtr expr = MakeBinary(SqlExprKind::kCompare, pos, std::move(left),
+                                 std::move(right));
+    expr->compare_op = op;
+    return expr;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr left, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      const ArithOp op =
+          At(TokenKind::kPlus) ? ArithOp::kAdd : ArithOp::kSub;
+      Pos pos = Here();
+      Advance();
+      QTF_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+      SqlExprPtr expr = MakeBinary(SqlExprKind::kArith, pos, std::move(left),
+                                   std::move(right));
+      expr->arith_op = op;
+      QTF_RETURN_NOT_OK(CheckAstDepth(expr->depth, pos));
+      left = std::move(expr);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    QTF_ASSIGN_OR_RETURN(SqlExprPtr left, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
+      const ArithOp op =
+          At(TokenKind::kStar) ? ArithOp::kMul : ArithOp::kDiv;
+      Pos pos = Here();
+      Advance();
+      QTF_ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+      SqlExprPtr expr = MakeBinary(SqlExprKind::kArith, pos, std::move(left),
+                                   std::move(right));
+      expr->arith_op = op;
+      QTF_RETURN_NOT_OK(CheckAstDepth(expr->depth, pos));
+      left = std::move(expr);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseUnary() {
+    QTF_RETURN_NOT_OK(Descend());
+    if (At(TokenKind::kMinus)) {
+      Pos pos = Here();
+      Advance();
+      // The algebra has no negate operator, so '-' folds into numeric
+      // literals only.
+      if (At(TokenKind::kIntLit)) {
+        const Token& tok = Advance();
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kIntLit;
+        expr->pos = pos;
+        expr->int_value = -tok.int_value;
+        Ascend();
+        return SqlExprPtr(std::move(expr));
+      }
+      if (At(TokenKind::kDoubleLit)) {
+        const Token& tok = Advance();
+        auto expr = std::make_unique<SqlExpr>();
+        expr->kind = SqlExprKind::kDoubleLit;
+        expr->pos = pos;
+        expr->double_value = -tok.double_value;
+        Ascend();
+        return SqlExprPtr(std::move(expr));
+      }
+      Ascend();
+      return ErrorHere("'-' is only supported on numeric literals");
+    }
+    Result<SqlExprPtr> result = ParsePrimary();
+    Ascend();
+    return result;
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    auto expr = std::make_unique<SqlExpr>();
+    expr->pos = Here();
+    switch (Cur().kind) {
+      case TokenKind::kIntLit:
+        expr->kind = SqlExprKind::kIntLit;
+        expr->int_value = Advance().int_value;
+        return SqlExprPtr(std::move(expr));
+      case TokenKind::kDoubleLit:
+        expr->kind = SqlExprKind::kDoubleLit;
+        expr->double_value = Advance().double_value;
+        return SqlExprPtr(std::move(expr));
+      case TokenKind::kStringLit:
+        expr->kind = SqlExprKind::kStringLit;
+        expr->string_value = Advance().text;
+        return SqlExprPtr(std::move(expr));
+      case TokenKind::kTrue:
+      case TokenKind::kFalse:
+        expr->kind = SqlExprKind::kBoolLit;
+        expr->bool_value = At(TokenKind::kTrue);
+        Advance();
+        return SqlExprPtr(std::move(expr));
+      case TokenKind::kNull:
+        expr->kind = SqlExprKind::kNullLit;
+        Advance();
+        return SqlExprPtr(std::move(expr));
+      case TokenKind::kExists: {
+        Advance();
+        expr->kind = SqlExprKind::kExists;
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after EXISTS"));
+        QTF_ASSIGN_OR_RETURN(expr->subquery, ParseQueryExpr());
+        QTF_RETURN_NOT_OK(
+            Expect(TokenKind::kRParen, "to close EXISTS subquery"));
+        expr->depth = expr->subquery->depth + 1;
+        return SqlExprPtr(std::move(expr));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        QTF_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+        QTF_RETURN_NOT_OK(Expect(TokenKind::kRParen, "to close '('"));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        const Token& first = Advance();
+        if (At(TokenKind::kLParen)) {
+          // Function call (aggregates; validated by the binder).
+          Advance();
+          expr->kind = SqlExprKind::kFuncCall;
+          expr->name = first.text;
+          if (Accept(TokenKind::kStar)) {
+            expr->star_arg = true;
+          } else if (!At(TokenKind::kRParen)) {
+            do {
+              QTF_ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+              expr->children.push_back(std::move(arg));
+            } while (Accept(TokenKind::kComma));
+          }
+          QTF_RETURN_NOT_OK(
+              Expect(TokenKind::kRParen, "to close function call"));
+          for (const SqlExprPtr& arg : expr->children) {
+            expr->depth = MaxDepth(expr->depth, arg->depth + 1);
+          }
+          return SqlExprPtr(std::move(expr));
+        }
+        expr->kind = SqlExprKind::kIdent;
+        if (At(TokenKind::kDot)) {
+          Advance();
+          if (!At(TokenKind::kIdent)) {
+            return ErrorHere("expected column name after '.'");
+          }
+          expr->qualifier = first.text;
+          expr->name = Advance().text;
+        } else {
+          expr->name = first.text;
+        }
+        return SqlExprPtr(std::move(expr));
+      }
+      default:
+        return ErrorHere("expected expression");
+    }
+  }
+
+  static SqlExprPtr MakeBinary(SqlExprKind kind, Pos pos, SqlExprPtr left,
+                               SqlExprPtr right) {
+    auto expr = std::make_unique<SqlExpr>();
+    expr->kind = kind;
+    expr->pos = pos;
+    expr->depth = MaxDepth(left->depth, right->depth) + 1;
+    expr->children.push_back(std::move(left));
+    expr->children.push_back(std::move(right));
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QueryExpr>> ParseSql(std::string_view input) {
+  QTF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace sql
+}  // namespace qtf

@@ -1,0 +1,27 @@
+#ifndef QTF_SQL_PARSER_H_
+#define QTF_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace qtf {
+namespace sql {
+
+/// Parses one SQL statement into an AST. Recursive descent over the
+/// grammar documented in docs/sql.md — the subset GenerateSql emits
+/// (derived tables, EXISTS/NOT EXISTS, aggregates, UNION ALL) plus
+/// ordinary SELECT/FROM/WHERE/GROUP BY text. Pure syntax: names are not
+/// resolved here (that is the binder's job, sql/binder.h).
+///
+/// Every failure is kInvalidArgument carrying the 1-based line:column of
+/// the offending token; no input crashes the parser (nesting depth is
+/// bounded, so adversarial inputs cannot overflow the stack).
+Result<std::unique_ptr<QueryExpr>> ParseSql(std::string_view input);
+
+}  // namespace sql
+}  // namespace qtf
+
+#endif  // QTF_SQL_PARSER_H_

@@ -1,4 +1,4 @@
-#include "qgen/sqlgen.h"
+#include "sql/render.h"
 
 #include "common/str_util.h"
 

@@ -1,0 +1,24 @@
+#ifndef QTF_SQL_RENDER_H_
+#define QTF_SQL_RENDER_H_
+
+#include <string>
+
+#include "logical/query.h"
+
+namespace qtf {
+
+/// Renders a logical query tree as a SQL statement — the "Generate SQL"
+/// component of the framework (paper Figure 2), functionally similar to the
+/// interface of Elhemali & Giakoumakis [9].
+///
+/// Columns are aliased "c<id>" at every level so references are
+/// unambiguous; every operator becomes a derived table; semi/anti joins
+/// render as EXISTS/NOT EXISTS. The text is consumed by external engines
+/// and re-parsed by the SQL frontend (sql/frontend.h), which binds it back
+/// to a fingerprint-identical tree — the render→parse→bind round trip that
+/// tests/test_sql_roundtrip.cc locks down.
+std::string GenerateSql(const Query& query);
+
+}  // namespace qtf
+
+#endif  // QTF_SQL_RENDER_H_

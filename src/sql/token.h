@@ -1,0 +1,74 @@
+#ifndef QTF_SQL_TOKEN_H_
+#define QTF_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qtf {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kEnd = 0,
+  kIdent,
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  // Keywords (matched case-insensitively by the lexer).
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kExists,
+  kIs,
+  kNull,
+  kTrue,
+  kFalse,
+  kUnion,
+  kAll,
+  kInner,
+  kJoin,
+  kLeft,
+  kOuter,
+  kCross,
+  kOn,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,  // '*': select-star, COUNT(*) or multiplication, by context
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexical token with its 1-based source position (for error messages
+/// of the form "at <line>:<col>").
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier spelling (original case) or decoded string-literal value.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+}  // namespace sql
+}  // namespace qtf
+
+#endif  // QTF_SQL_TOKEN_H_

@@ -63,8 +63,15 @@ std::string Value::ToSqlLiteral() const {
   switch (type_) {
     case ValueType::kInt64:
       return std::to_string(int64());
-    case ValueType::kDouble:
-      return FormatDouble(dbl());
+    case ValueType::kDouble: {
+      // Integral doubles format as bare digits ("2"); append ".0" so the
+      // literal re-parses as a double, not an integer.
+      std::string text = FormatDouble(dbl());
+      if (text.find_first_not_of("-0123456789") == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
     case ValueType::kString:
       return SqlQuote(str());
     case ValueType::kBool:

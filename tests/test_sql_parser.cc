@@ -1,0 +1,449 @@
+// The SQL frontend's pieces in isolation: lexer tokens and positions,
+// parser shapes, precedence and error positions, binder resolution and
+// type rules — plus a seeded fuzz loop establishing that arbitrary bytes
+// and token-level mutations of valid statements come back as clean
+// kInvalidArgument results, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+#include "sql/frontend.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "storage/tpch.h"
+
+namespace qtf {
+namespace sql {
+namespace {
+
+// --- Lexer ----------------------------------------------------------------
+
+TEST(SqlLexerTest, TokenizesKeywordsCaseInsensitively) {
+  auto tokens = Tokenize("select FROM Where gRoUp").value();
+  ASSERT_EQ(tokens.size(), 5u);  // incl. kEnd
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFrom);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kWhere);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGroup);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, IdentifiersKeepSpellingAndPosition) {
+  auto tokens = Tokenize("SELECT\n  l_OrderKey").value();
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "l_OrderKey");
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].col, 3);
+}
+
+TEST(SqlLexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 2.5 1e3 'it''s'").value();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLit);
+  EXPECT_EQ(tokens[1].double_value, 2.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLit);
+  EXPECT_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kStringLit);
+  EXPECT_EQ(tokens[3].text, "it's");
+}
+
+TEST(SqlLexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("SELECT -- line comment\n/* block\n */ 1").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIntLit);
+}
+
+TEST(SqlLexerTest, ErrorsCarryLineAndColumn) {
+  auto bad = Tokenize("SELECT\n  @");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("2:3"), std::string::npos)
+      << bad.status().message();
+
+  auto unterminated = Tokenize("'never closed");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_EQ(unterminated.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Parser ---------------------------------------------------------------
+
+TEST(SqlParserTest, SelectListShapes) {
+  auto star = ParseSql("SELECT * FROM region").value();
+  ASSERT_EQ(star->branches.size(), 1u);
+  ASSERT_EQ(star->branches[0]->items.size(), 1u);
+  EXPECT_TRUE(star->branches[0]->items[0].star);
+
+  auto items = ParseSql("SELECT a AS x, b y, c FROM region").value();
+  const SelectCore& core = *items->branches[0];
+  ASSERT_EQ(core.items.size(), 3u);
+  EXPECT_EQ(core.items[0].alias, "x");
+  EXPECT_EQ(core.items[1].alias, "y");  // bare alias, no AS
+  EXPECT_EQ(core.items[2].alias, "");
+}
+
+TEST(SqlParserTest, BooleanPrecedenceOrLowest) {
+  auto q = ParseSql("SELECT a FROM t WHERE x OR y AND NOT z").value();
+  const SqlExpr& where = *q->branches[0]->where;
+  ASSERT_EQ(where.kind, SqlExprKind::kOr);
+  EXPECT_EQ(where.children[0]->kind, SqlExprKind::kIdent);
+  ASSERT_EQ(where.children[1]->kind, SqlExprKind::kAnd);
+  EXPECT_EQ(where.children[1]->children[1]->kind, SqlExprKind::kNot);
+}
+
+TEST(SqlParserTest, ArithmeticBindsTighterThanComparison) {
+  auto q = ParseSql("SELECT a FROM t WHERE a + b * 2 < c").value();
+  const SqlExpr& cmp = *q->branches[0]->where;
+  ASSERT_EQ(cmp.kind, SqlExprKind::kCompare);
+  EXPECT_EQ(cmp.compare_op, CompareOp::kLt);
+  const SqlExpr& add = *cmp.children[0];
+  ASSERT_EQ(add.kind, SqlExprKind::kArith);
+  EXPECT_EQ(add.arith_op, ArithOp::kAdd);
+  const SqlExpr& mul = *add.children[1];
+  ASSERT_EQ(mul.kind, SqlExprKind::kArith);
+  EXPECT_EQ(mul.arith_op, ArithOp::kMul);
+}
+
+TEST(SqlParserTest, JoinsDerivedTablesAndExists) {
+  auto join = ParseSql(
+      "SELECT * FROM (SELECT * FROM nation) d0 "
+      "LEFT OUTER JOIN region ON d0.n_regionkey = r_regionkey").value();
+  const TableRef& from = *join->branches[0]->from;
+  ASSERT_EQ(from.kind, TableRefKind::kJoin);
+  EXPECT_EQ(from.join_kind, JoinKind::kLeftOuter);
+  EXPECT_EQ(from.left->kind, TableRefKind::kDerived);
+  EXPECT_EQ(from.left->alias, "d0");
+  ASSERT_NE(from.on, nullptr);
+
+  auto exists = ParseSql(
+      "SELECT * FROM region WHERE NOT EXISTS "
+      "(SELECT 1 FROM nation WHERE n_regionkey = r_regionkey)").value();
+  const SqlExpr& pred = *exists->branches[0]->where;
+  ASSERT_EQ(pred.kind, SqlExprKind::kExists);
+  EXPECT_TRUE(pred.negated);
+  ASSERT_NE(pred.subquery, nullptr);
+}
+
+TEST(SqlParserTest, UnionAllAndGroupBy) {
+  auto u = ParseSql("SELECT a FROM t UNION ALL SELECT b FROM s "
+                    "UNION ALL SELECT c FROM r").value();
+  EXPECT_EQ(u->branches.size(), 3u);
+
+  auto g = ParseSql(
+      "SELECT n_regionkey, COUNT(*) AS cnt FROM nation "
+      "GROUP BY n_regionkey").value();
+  const SelectCore& core = *g->branches[0];
+  ASSERT_EQ(core.group_by.size(), 1u);
+  ASSERT_EQ(core.items.size(), 2u);
+  ASSERT_EQ(core.items[1].expr->kind, SqlExprKind::kFuncCall);
+  EXPECT_TRUE(core.items[1].expr->star_arg);
+}
+
+TEST(SqlParserTest, ErrorsCarryPositions) {
+  auto missing_from = ParseSql("SELECT a FROM");
+  ASSERT_FALSE(missing_from.ok());
+  EXPECT_EQ(missing_from.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_token = ParseSql("SELECT a\nFROM t WHERE (a =");
+  ASSERT_FALSE(bad_token.ok());
+  EXPECT_NE(bad_token.status().message().find("2:"), std::string::npos)
+      << bad_token.status().message();
+
+  auto empty = ParseSql("");
+  ASSERT_FALSE(empty.ok());
+  auto trailing = ParseSql("SELECT a FROM t extra junk");
+  ASSERT_FALSE(trailing.ok());
+}
+
+TEST(SqlParserTest, DeeplyNestedInputIsRejectedNotACrash) {
+  std::string deep = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 5000; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 5000; ++i) deep += ")";
+  deep += " = 1";
+  auto result = ParseSql(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Binder ---------------------------------------------------------------
+
+class SqlBinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeTpchDatabase(TpchConfig{}).value(); }
+
+  Result<Query> Bind(const std::string& text) {
+    auto parsed = ParseSql(text);
+    if (!parsed.ok()) return parsed.status();
+    return BindSql(**parsed, db_->catalog());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlBinderTest, BindsSimpleSelect) {
+  Query q = Bind("SELECT r_name FROM region WHERE r_regionkey < 3").value();
+  ASSERT_TRUE(q.valid());
+  // Project over Select over Get.
+  ASSERT_EQ(q.root->kind(), LogicalOpKind::kProject);
+  EXPECT_EQ(q.root->children()[0]->kind(), LogicalOpKind::kSelect);
+  EXPECT_EQ(q.root->children()[0]->children()[0]->kind(), LogicalOpKind::kGet);
+}
+
+TEST_F(SqlBinderTest, SelectStarIsPassThrough) {
+  Query q = Bind("SELECT * FROM region WHERE r_regionkey < 3").value();
+  EXPECT_EQ(q.root->kind(), LogicalOpKind::kSelect);
+}
+
+TEST_F(SqlBinderTest, ResolvesQualifiedAndUnqualifiedNames) {
+  EXPECT_TRUE(Bind("SELECT nation.n_name FROM nation").ok());
+  EXPECT_TRUE(Bind("SELECT n.n_name FROM nation n").ok());
+  EXPECT_TRUE(
+      Bind("SELECT n_name, r_name FROM nation INNER JOIN region "
+           "ON n_regionkey = r_regionkey").ok());
+}
+
+TEST_F(SqlBinderTest, ErrorsNameTheProblem) {
+  auto unknown_table = Bind("SELECT x FROM nonsuch");
+  ASSERT_FALSE(unknown_table.ok());
+  EXPECT_NE(unknown_table.status().message().find("nonsuch"),
+            std::string::npos);
+
+  auto unknown_column = Bind("SELECT bogus FROM region");
+  ASSERT_FALSE(unknown_column.ok());
+  EXPECT_NE(unknown_column.status().message().find("bogus"),
+            std::string::npos);
+
+  auto ambiguous =
+      Bind("SELECT n_name FROM nation a, nation b");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_NE(ambiguous.status().message().find("ambiguous"),
+            std::string::npos)
+      << ambiguous.status().message();
+}
+
+TEST_F(SqlBinderTest, TypeErrorsAreInvalidArgument) {
+  auto mixed = Bind("SELECT r_name FROM region WHERE r_name = 3");
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+
+  auto nonbool = Bind("SELECT r_name FROM region WHERE r_regionkey");
+  ASSERT_FALSE(nonbool.ok());
+
+  auto sum_string = Bind("SELECT SUM(r_name) FROM region");
+  ASSERT_FALSE(sum_string.ok());
+}
+
+TEST_F(SqlBinderTest, CanonicalAliasPinsColumnId) {
+  // A computed item with a `c<N>` alias defines its column at exactly id N
+  // (bare references keep their existing identity instead).
+  Query q = Bind("SELECT (r_regionkey + 1) AS c7 FROM region").value();
+  ASSERT_EQ(q.root->kind(), LogicalOpKind::kProject);
+  const auto& project = static_cast<const ProjectOp&>(*q.root);
+  ASSERT_EQ(project.items().size(), 1u);
+  EXPECT_EQ(project.items()[0].id, 7);
+  EXPECT_EQ(q.registry->NameOf(7), "c7");
+}
+
+TEST_F(SqlBinderTest, MismatchedPinOnBareReferenceIsRejected) {
+  // r_regionkey already has an identity (the Get allocated it); aliasing
+  // it to a *different* canonical id cannot be honored.
+  auto repin = Bind("SELECT r_regionkey AS c7 FROM region");
+  ASSERT_FALSE(repin.ok());
+  EXPECT_EQ(repin.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlBinderTest, DuplicatePinnedAliasIsRejected) {
+  auto dup = Bind(
+      "SELECT (r_regionkey + 1) AS c7, (r_regionkey + 2) AS c7 FROM region");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlBinderTest, HugePinnedAliasDoesNotExplodeTheRegistry) {
+  // c999999999999 is past the pinning cap: treated as an ordinary alias
+  // instead of resizing the registry to a trillion slots.
+  auto q = Bind("SELECT r_regionkey AS c999999999999 FROM region");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST_F(SqlBinderTest, ExistsBecomesSemiJoin) {
+  Query semi = Bind(
+      "SELECT * FROM nation WHERE EXISTS "
+      "(SELECT 1 FROM region WHERE r_regionkey = n_regionkey)").value();
+  ASSERT_EQ(semi.root->kind(), LogicalOpKind::kJoin);
+  EXPECT_EQ(static_cast<const JoinOp&>(*semi.root).join_kind(),
+            JoinKind::kLeftSemi);
+
+  Query anti = Bind(
+      "SELECT * FROM nation WHERE NOT EXISTS "
+      "(SELECT 1 FROM region WHERE r_regionkey = n_regionkey)").value();
+  ASSERT_EQ(anti.root->kind(), LogicalOpKind::kJoin);
+  EXPECT_EQ(static_cast<const JoinOp&>(*anti.root).join_kind(),
+            JoinKind::kLeftAnti);
+}
+
+TEST_F(SqlBinderTest, TautologyOnBecomesNullPredicate) {
+  Query q = Bind("SELECT * FROM nation INNER JOIN region ON (1 = 1)").value();
+  ASSERT_EQ(q.root->kind(), LogicalOpKind::kJoin);
+  EXPECT_EQ(static_cast<const JoinOp&>(*q.root).predicate(), nullptr);
+}
+
+TEST_F(SqlBinderTest, AggregatesBind) {
+  Query q = Bind(
+      "SELECT n_regionkey, COUNT(*) AS cnt, SUM(n_nationkey) AS total "
+      "FROM nation GROUP BY n_regionkey").value();
+  ASSERT_EQ(q.root->kind(), LogicalOpKind::kGroupByAgg);
+  const auto& agg = static_cast<const GroupByAggOp&>(*q.root);
+  EXPECT_EQ(agg.group_cols().size(), 1u);
+  EXPECT_EQ(agg.aggregates().size(), 2u);
+
+  auto ungrouped = Bind("SELECT n_name, COUNT(*) FROM nation");
+  ASSERT_FALSE(ungrouped.ok());  // n_name not in GROUP BY
+}
+
+TEST_F(SqlBinderTest, UnionAllChecksArityAndTypes) {
+  EXPECT_TRUE(Bind("SELECT n_name FROM nation UNION ALL "
+                   "SELECT r_name FROM region").ok());
+  auto arity = Bind("SELECT n_name, n_nationkey FROM nation UNION ALL "
+                    "SELECT r_name FROM region");
+  ASSERT_FALSE(arity.ok());
+  auto types = Bind("SELECT n_name FROM nation UNION ALL "
+                    "SELECT r_regionkey FROM region");
+  ASSERT_FALSE(types.ok());
+}
+
+TEST_F(SqlBinderTest, GroupRefCommentFormIsAnErrorNotACrash) {
+  // GenerateSql renders memo group references as "SELECT /* group N */ *"
+  // with no FROM clause — unparseable by design.
+  auto q = Bind("SELECT /* group 3 */ *");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Frontend metrics -----------------------------------------------------
+
+TEST(SqlFrontendTest, CountsParsesAndErrors) {
+  auto db = MakeTpchDatabase(TpchConfig{}).value();
+  obs::MetricsRegistry metrics;
+  SqlFrontendOptions options;
+  options.metrics = &metrics;
+  SqlFrontend frontend(&db->catalog(), options);
+
+  EXPECT_TRUE(frontend.Parse("SELECT r_name FROM region").ok());
+  EXPECT_FALSE(frontend.Parse("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(frontend.Parse("SELECT bogus FROM region").ok());
+
+  EXPECT_EQ(metrics.counter("qtf.sql.parsed")->Value(), 1);
+  EXPECT_EQ(metrics.counter("qtf.sql.parse_errors")->Value(), 1);
+  EXPECT_EQ(metrics.counter("qtf.sql.bind_errors")->Value(), 1);
+}
+
+// --- Fuzz -----------------------------------------------------------------
+
+// Valid statements used as mutation seeds; shaped like both renderer
+// output (canonical aliases, derived tables) and hand-written SQL.
+const char* const kSeedStatements[] = {
+    "SELECT r_regionkey AS c0, r_name AS c1, r_comment AS c2 FROM region",
+    "SELECT * FROM (SELECT n_nationkey AS c0, n_name AS c1, n_regionkey AS "
+    "c2, n_comment AS c3 FROM nation) d0 WHERE (c0 < 10)",
+    "SELECT n_name, r_name FROM nation INNER JOIN region ON n_regionkey = "
+    "r_regionkey WHERE n_nationkey < 7",
+    "SELECT * FROM nation WHERE NOT EXISTS (SELECT 1 FROM region WHERE "
+    "r_regionkey = n_regionkey)",
+    "SELECT n_regionkey, COUNT(*) AS cnt FROM nation GROUP BY n_regionkey",
+    "SELECT n_name FROM nation UNION ALL SELECT r_name FROM region",
+    "SELECT DISTINCT * FROM (SELECT * FROM region) d0",
+};
+
+TEST(SqlFuzzTest, RandomBytesNeverCrashTheFrontend) {
+  auto db = MakeTpchDatabase(TpchConfig{}).value();
+  SqlFrontend frontend(&db->catalog());
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 200);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string junk(static_cast<size_t>(length(rng)), '\0');
+    for (char& c : junk) c = static_cast<char>(byte(rng));
+    Result<Query> result = frontend.Parse(junk);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(SqlFuzzTest, TokenLevelMutationsNeverCrashTheFrontend) {
+  auto db = MakeTpchDatabase(TpchConfig{}).value();
+  SqlFrontend frontend(&db->catalog());
+  std::mt19937_64 rng(424242);
+
+  // Token spellings harvested from the seed statements plus a few
+  // adversarial extras; mutations splice these into valid statements.
+  std::vector<std::string> vocabulary = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",       "AS",     "UNION",
+      "ALL",    "JOIN",  "INNER",  "LEFT",   "OUTER",    "ON",     "EXISTS",
+      "NOT",    "AND",   "OR",     "(",      ")",        ",",      "*",
+      "=",      "<",     "<=",     "<>",     "+",        "-",      "/",
+      "region", "nation", "r_name", "n_name", "c0",      "c1",     "d0",
+      "42",     "2.5",   "'x'",    "NULL",   "COUNT",    "SUM",    ".",
+  };
+  std::uniform_int_distribution<size_t> pick_seed(
+      0, std::size(kSeedStatements) - 1);
+  std::uniform_int_distribution<size_t> pick_word(0, vocabulary.size() - 1);
+  std::uniform_int_distribution<int> mutations(1, 4);
+
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    // Split a seed statement on spaces, then mutate: replace, insert,
+    // delete or swap random tokens.
+    std::vector<std::string> words;
+    {
+      std::string seed = kSeedStatements[pick_seed(rng)];
+      size_t at = 0;
+      while (at < seed.size()) {
+        size_t space = seed.find(' ', at);
+        if (space == std::string::npos) space = seed.size();
+        if (space > at) words.push_back(seed.substr(at, space - at));
+        at = space + 1;
+      }
+    }
+    for (int m = mutations(rng); m > 0 && !words.empty(); --m) {
+      const size_t at = rng() % words.size();
+      switch (rng() % 4) {
+        case 0:
+          words[at] = vocabulary[pick_word(rng)];
+          break;
+        case 1:
+          words.insert(words.begin() + static_cast<long>(at),
+                       vocabulary[pick_word(rng)]);
+          break;
+        case 2:
+          words.erase(words.begin() + static_cast<long>(at));
+          break;
+        default:
+          std::swap(words[at], words[rng() % words.size()]);
+          break;
+      }
+    }
+    std::string text;
+    for (const std::string& w : words) {
+      if (!text.empty()) text += ' ';
+      text += w;
+    }
+    Result<Query> result = frontend.Parse(text);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace qtf

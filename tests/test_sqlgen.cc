@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "qgen/generators.h"
-#include "qgen/sqlgen.h"
+#include "sql/render.h"
 #include "storage/tpch.h"
 
 namespace qtf {

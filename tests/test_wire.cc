@@ -43,6 +43,14 @@ service::CompressSuiteResponse SampleCompressResponse() {
   return response;
 }
 
+service::SqlRequest SampleSqlRequest() {
+  service::SqlRequest request;
+  request.sql = "SELECT l_orderkey FROM lineitem WHERE l_quantity < 25";
+  request.mode = service::SqlMode::kOptimize;
+  request.options.deadline_seconds = 3.5;
+  return request;
+}
+
 TEST(WireTest, FrameRoundTrip) {
   const std::string payload = "hello payload";
   const std::string bytes =
@@ -188,6 +196,64 @@ TEST(WireTest, CorrectnessResponseRoundTrip) {
   EXPECT_EQ(EncodeCorrectnessResponse(*decoded), payload);
 }
 
+TEST(WireTest, SqlRequestRoundTrip) {
+  const service::SqlRequest request = SampleSqlRequest();
+  const std::string payload = EncodeSqlRequest(request);
+  auto decoded = DecodeSqlRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, request.sql);
+  EXPECT_EQ(decoded->mode, request.mode);
+  EXPECT_EQ(decoded->options.deadline_seconds,
+            request.options.deadline_seconds);
+  EXPECT_EQ(EncodeSqlRequest(*decoded), payload);
+}
+
+TEST(WireTest, SqlRequestRejectsUnknownMode) {
+  service::SqlRequest request = SampleSqlRequest();
+  std::string payload = EncodeSqlRequest(request);
+  // The mode byte sits right after the length-prefixed sql string.
+  payload[4 + request.sql.size()] = 9;
+  auto decoded = DecodeSqlRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, SqlResponseRoundTrip) {
+  service::SqlResponse response;
+  response.fingerprint = 0xabcdef0123456789ULL;
+  response.canonical_sql = "SELECT l_orderkey AS c1 FROM lineitem";
+  response.operator_count = 3;
+  response.cost = 17.25;
+  response.exercised_rules = {1, 4};
+  response.group_count = 8;
+  response.expr_count = 21;
+  response.budget_exhausted = true;
+  response.plans_executed = 2;
+  response.skipped_identical_plans = 1;
+  service::ViolationSummary v;
+  v.target = 0;
+  v.query = 0;
+  v.target_name = "R4";
+  v.sql = "SELECT *";
+  v.base_rows = 10;
+  v.restricted_rows = 12;
+  response.violations.push_back(v);
+
+  const std::string payload = EncodeSqlResponse(response);
+  auto decoded = DecodeSqlResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->fingerprint, response.fingerprint);
+  EXPECT_EQ(decoded->canonical_sql, response.canonical_sql);
+  EXPECT_EQ(decoded->operator_count, response.operator_count);
+  EXPECT_EQ(decoded->cost, response.cost);
+  EXPECT_EQ(decoded->exercised_rules, response.exercised_rules);
+  EXPECT_EQ(decoded->budget_exhausted, response.budget_exhausted);
+  ASSERT_EQ(decoded->violations.size(), 1u);
+  EXPECT_EQ(decoded->violations[0].target_name, "R4");
+  EXPECT_EQ(decoded->violations[0].restricted_rows, 12);
+  EXPECT_EQ(EncodeSqlResponse(*decoded), payload);
+}
+
 TEST(WireTest, ErrorRoundTripUsesFrozenWireCodes) {
   const Status error =
       Status::ResourceExhausted("admission queue full; retry with backoff");
@@ -201,7 +267,7 @@ TEST(WireTest, VariantDispatchRoundTripsEveryRequestType) {
   const std::vector<service::ServiceRequest> requests = {
       SampleGenerateRequest(), service::OptimizeRequest{},
       service::CompressSuiteRequest{}, service::CorrectnessRequest{},
-      service::MetricsRequest{true}};
+      SampleSqlRequest(), service::MetricsRequest{true}};
   for (const service::ServiceRequest& request : requests) {
     const MessageType type = RequestType(request);
     EXPECT_TRUE(IsRequestType(type));
@@ -236,6 +302,7 @@ TEST(WireTest, FuzzedPayloadsNeverCrashDecoders) {
       MessageType::kCompressSuiteResponse,
       MessageType::kCorrectnessRequest, MessageType::kCorrectnessResponse,
       MessageType::kMetricsRequest,     MessageType::kMetricsResponse,
+      MessageType::kSqlRequest,         MessageType::kSqlResponse,
   };
   for (int iteration = 0; iteration < 2000; ++iteration) {
     std::string junk(static_cast<size_t>(length(rng)), '\0');
