@@ -157,6 +157,20 @@ Result<service::SqlResponse> ServiceClient::Sql(
   return std::get<service::SqlResponse>(std::move(response));
 }
 
+Result<service::LoadRulesResponse> ServiceClient::LoadRules(
+    const service::LoadRulesRequest& request) {
+  QTF_ASSIGN_OR_RETURN(service::ServiceResponse response,
+                       Call(service::ServiceRequest(request)));
+  return std::get<service::LoadRulesResponse>(std::move(response));
+}
+
+Result<service::ListRulesResponse> ServiceClient::ListRules(
+    const service::ListRulesRequest& request) {
+  QTF_ASSIGN_OR_RETURN(service::ServiceResponse response,
+                       Call(service::ServiceRequest(request)));
+  return std::get<service::ListRulesResponse>(std::move(response));
+}
+
 Result<service::MetricsResponse> ServiceClient::Metrics(
     const service::MetricsRequest& request) {
   QTF_ASSIGN_OR_RETURN(service::ServiceResponse response,

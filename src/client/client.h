@@ -38,6 +38,10 @@ class ServiceClient {
   Result<service::CorrectnessResponse> RunCorrectness(
       const service::CorrectnessRequest& request);
   Result<service::SqlResponse> Sql(const service::SqlRequest& request);
+  Result<service::LoadRulesResponse> LoadRules(
+      const service::LoadRulesRequest& request);
+  Result<service::ListRulesResponse> ListRules(
+      const service::ListRulesRequest& request);
   Result<service::MetricsResponse> Metrics(
       const service::MetricsRequest& request);
 

@@ -12,10 +12,20 @@
 //               qtfctl sql "SELECT l_orderkey FROM lineitem" --mode optimize
 //             --mode parse|optimize|correctness (default parse).
 //   metrics   print the server's metrics snapshot (JSON).
+//   load-rules FILE
+//             compile the .qtr rule specs in FILE (src/ruledsl/) and
+//             register them into the server's resident registry. With
+//             --dry-run, compile and validate only. Prints the assigned
+//             ids and names; compile errors come back with their
+//             line:column diagnostics.
+//   rules     list the server's rule registry: id, name, type, origin
+//             (builtin|dsl) and the rendered match pattern.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -169,17 +179,61 @@ int RunSql(qtf::client::ServiceClient* client, const std::string& statement,
   return 0;
 }
 
+int RunLoadRules(qtf::client::ServiceClient* client, const std::string& path,
+                 bool dry_run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "qtfctl: cannot read \"%s\"\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  qtf::service::LoadRulesRequest request;
+  request.text = std::move(text).str();
+  request.dry_run = dry_run;
+  auto response = client->LoadRules(request);
+  if (!response.ok()) return Fail("load-rules", response.status());
+  const qtf::service::LoadRulesResponse& r = response.value();
+  for (size_t i = 0; i < r.names.size(); ++i) {
+    if (dry_run) {
+      std::printf("would load: %s\n", r.names[i].c_str());
+    } else {
+      std::printf("loaded: %s (id %d)\n", r.names[i].c_str(),
+                  i < r.ids.size() ? r.ids[i] : -1);
+    }
+  }
+  std::printf("%s: %d rule%s compiled\n", dry_run ? "dry-run" : "load-rules",
+              r.compiled, r.compiled == 1 ? "" : "s");
+  return 0;
+}
+
+int RunRules(qtf::client::ServiceClient* client) {
+  auto response = client->ListRules(qtf::service::ListRulesRequest{});
+  if (!response.ok()) return Fail("rules", response.status());
+  std::printf("%4s  %-28s %-14s %-7s  %s\n", "id", "name", "type", "origin",
+              "pattern");
+  for (const qtf::service::RuleInfo& rule : response.value().rules) {
+    std::printf("%4d  %-28s %-14s %-7s  %s\n", rule.id, rule.name.c_str(),
+                rule.type == 0 ? "exploration" : "implementation",
+                rule.origin == 0 ? "builtin" : "dsl", rule.pattern.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7433;
   std::string mode_name = "parse";
+  bool dry_run = false;
   std::vector<std::string> positional;
 
   const char* usage =
       "usage: %s [--host IP] [--port N] "
-      "{smoke | metrics | sql SQL [--mode parse|optimize|correctness]}\n";
+      "{smoke | metrics | sql SQL [--mode parse|optimize|correctness] | "
+      "load-rules FILE [--dry-run] | rules}\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
@@ -188,6 +242,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--mode" && i + 1 < argc) {
       mode_name = argv[++i];
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (!arg.empty() && arg[0] != '-' && positional.size() < 2) {
       positional.push_back(arg);
     } else {
@@ -221,6 +277,14 @@ int main(int argc, char** argv) {
     }
     return RunSql(client, positional[1], mode);
   }
+  if (command == "load-rules") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, usage, argv[0]);
+      return 2;
+    }
+    return RunLoadRules(client, positional[1], dry_run);
+  }
+  if (command == "rules") return RunRules(client);
   if (command == "metrics" || command.empty()) {
     auto metrics = client->Metrics(qtf::service::MetricsRequest{});
     if (!metrics.ok()) return Fail("metrics", metrics.status());

@@ -56,6 +56,14 @@ const char* MessageTypeToString(MessageType type) {
       return "sql_request";
     case MessageType::kSqlResponse:
       return "sql_response";
+    case MessageType::kLoadRulesRequest:
+      return "load_rules_request";
+    case MessageType::kLoadRulesResponse:
+      return "load_rules_response";
+    case MessageType::kListRulesRequest:
+      return "list_rules_request";
+    case MessageType::kListRulesResponse:
+      return "list_rules_response";
   }
   return "unknown";
 }
@@ -68,6 +76,8 @@ bool IsRequestType(MessageType type) {
     case MessageType::kCorrectnessRequest:
     case MessageType::kMetricsRequest:
     case MessageType::kSqlRequest:
+    case MessageType::kLoadRulesRequest:
+    case MessageType::kListRulesRequest:
       return true;
     default:
       return false;
@@ -615,6 +625,108 @@ Result<service::SqlResponse> DecodeSqlResponse(std::string_view payload) {
   return response;
 }
 
+// --- LoadRules / ListRules ------------------------------------------------
+
+std::string EncodeLoadRulesRequest(const service::LoadRulesRequest& request) {
+  PayloadWriter w;
+  w.Str(request.text);
+  w.Bool(request.dry_run);
+  WriteOptions(&w, request.options);
+  return w.Take();
+}
+
+Result<service::LoadRulesRequest> DecodeLoadRulesRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::LoadRulesRequest request;
+  request.text = r.Str();
+  request.dry_run = r.Bool();
+  ReadOptions(&r, &request.options);
+  QTF_RETURN_NOT_OK(r.Finish("load rules request"));
+  return request;
+}
+
+std::string EncodeLoadRulesResponse(
+    const service::LoadRulesResponse& response) {
+  PayloadWriter w;
+  w.RuleIds(response.ids);
+  w.U32(static_cast<uint32_t>(response.names.size()));
+  for (const std::string& name : response.names) w.Str(name);
+  w.I32(response.compiled);
+  return w.Take();
+}
+
+Result<service::LoadRulesResponse> DecodeLoadRulesResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::LoadRulesResponse response;
+  response.ids = r.RuleIds();
+  const uint32_t names = r.U32();
+  // Each name costs at least its 4-byte length prefix; cap the count by
+  // the bytes actually present.
+  if (!r.ok() || r.remaining() / 4 < names) {
+    return Status::InvalidArgument(
+        "wire: malformed load rules response payload (truncated)");
+  }
+  response.names.reserve(names);
+  for (uint32_t i = 0; i < names; ++i) response.names.push_back(r.Str());
+  response.compiled = r.I32();
+  QTF_RETURN_NOT_OK(r.Finish("load rules response"));
+  return response;
+}
+
+std::string EncodeListRulesRequest(const service::ListRulesRequest& request) {
+  (void)request;
+  return std::string();
+}
+
+Result<service::ListRulesRequest> DecodeListRulesRequest(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::ListRulesRequest request;
+  QTF_RETURN_NOT_OK(r.Finish("list rules request"));
+  return request;
+}
+
+std::string EncodeListRulesResponse(
+    const service::ListRulesResponse& response) {
+  PayloadWriter w;
+  w.U32(static_cast<uint32_t>(response.rules.size()));
+  for (const service::RuleInfo& rule : response.rules) {
+    w.I32(rule.id);
+    w.Str(rule.name);
+    w.U8(rule.type);
+    w.Str(rule.pattern);
+    w.U8(rule.origin);
+  }
+  return w.Take();
+}
+
+Result<service::ListRulesResponse> DecodeListRulesResponse(
+    std::string_view payload) {
+  PayloadReader r(payload);
+  service::ListRulesResponse response;
+  const uint32_t count = r.U32();
+  // A rule row is at least 14 bytes (id + two length prefixes + two
+  // bytes); bound the count so garbage cannot drive a huge reserve.
+  if (!r.ok() || r.remaining() / 14 < count) {
+    return Status::InvalidArgument(
+        "wire: malformed list rules response payload (truncated)");
+  }
+  response.rules.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    service::RuleInfo rule;
+    rule.id = static_cast<RuleId>(r.I32());
+    rule.name = r.Str();
+    rule.type = r.U8();
+    rule.pattern = r.Str();
+    rule.origin = r.U8();
+    response.rules.push_back(std::move(rule));
+  }
+  QTF_RETURN_NOT_OK(r.Finish("list rules response"));
+  return response;
+}
+
 // --- Metrics --------------------------------------------------------------
 
 std::string EncodeMetricsRequest(const service::MetricsRequest& request) {
@@ -684,6 +796,12 @@ MessageType RequestType(const service::ServiceRequest& request) {
     MessageType operator()(const service::SqlRequest&) const {
       return MessageType::kSqlRequest;
     }
+    MessageType operator()(const service::LoadRulesRequest&) const {
+      return MessageType::kLoadRulesRequest;
+    }
+    MessageType operator()(const service::ListRulesRequest&) const {
+      return MessageType::kListRulesRequest;
+    }
     MessageType operator()(const service::MetricsRequest&) const {
       return MessageType::kMetricsRequest;
     }
@@ -708,6 +826,12 @@ MessageType ResponseType(const service::ServiceResponse& response) {
     MessageType operator()(const service::SqlResponse&) const {
       return MessageType::kSqlResponse;
     }
+    MessageType operator()(const service::LoadRulesResponse&) const {
+      return MessageType::kLoadRulesResponse;
+    }
+    MessageType operator()(const service::ListRulesResponse&) const {
+      return MessageType::kListRulesResponse;
+    }
     MessageType operator()(const service::MetricsResponse&) const {
       return MessageType::kMetricsResponse;
     }
@@ -731,6 +855,12 @@ std::string EncodeRequest(const service::ServiceRequest& request) {
     }
     std::string operator()(const service::SqlRequest& r) const {
       return EncodeSqlRequest(r);
+    }
+    std::string operator()(const service::LoadRulesRequest& r) const {
+      return EncodeLoadRulesRequest(r);
+    }
+    std::string operator()(const service::ListRulesRequest& r) const {
+      return EncodeListRulesRequest(r);
     }
     std::string operator()(const service::MetricsRequest& r) const {
       return EncodeMetricsRequest(r);
@@ -766,6 +896,16 @@ Result<service::ServiceRequest> DecodeRequest(MessageType type,
       QTF_ASSIGN_OR_RETURN(service::SqlRequest r, DecodeSqlRequest(payload));
       return service::ServiceRequest(std::move(r));
     }
+    case MessageType::kLoadRulesRequest: {
+      QTF_ASSIGN_OR_RETURN(service::LoadRulesRequest r,
+                           DecodeLoadRulesRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
+    case MessageType::kListRulesRequest: {
+      QTF_ASSIGN_OR_RETURN(service::ListRulesRequest r,
+                           DecodeListRulesRequest(payload));
+      return service::ServiceRequest(std::move(r));
+    }
     case MessageType::kMetricsRequest: {
       QTF_ASSIGN_OR_RETURN(service::MetricsRequest r,
                            DecodeMetricsRequest(payload));
@@ -794,6 +934,12 @@ std::string EncodeResponse(const service::ServiceResponse& response) {
     }
     std::string operator()(const service::SqlResponse& r) const {
       return EncodeSqlResponse(r);
+    }
+    std::string operator()(const service::LoadRulesResponse& r) const {
+      return EncodeLoadRulesResponse(r);
+    }
+    std::string operator()(const service::ListRulesResponse& r) const {
+      return EncodeListRulesResponse(r);
     }
     std::string operator()(const service::MetricsResponse& r) const {
       return EncodeMetricsResponse(r);
@@ -827,6 +973,16 @@ Result<service::ServiceResponse> DecodeResponse(MessageType type,
     }
     case MessageType::kSqlResponse: {
       QTF_ASSIGN_OR_RETURN(service::SqlResponse r, DecodeSqlResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kLoadRulesResponse: {
+      QTF_ASSIGN_OR_RETURN(service::LoadRulesResponse r,
+                           DecodeLoadRulesResponse(payload));
+      return service::ServiceResponse(std::move(r));
+    }
+    case MessageType::kListRulesResponse: {
+      QTF_ASSIGN_OR_RETURN(service::ListRulesResponse r,
+                           DecodeListRulesResponse(payload));
       return service::ServiceResponse(std::move(r));
     }
     case MessageType::kMetricsResponse: {

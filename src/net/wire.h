@@ -52,9 +52,13 @@ enum class MessageType : uint8_t {
   kMetricsResponse = 10,
   kSqlRequest = 11,
   kSqlResponse = 12,
+  kLoadRulesRequest = 13,
+  kLoadRulesResponse = 14,
+  kListRulesRequest = 15,
+  kListRulesResponse = 16,
 };
 inline constexpr uint8_t kMaxMessageType =
-    static_cast<uint8_t>(MessageType::kSqlResponse);
+    static_cast<uint8_t>(MessageType::kListRulesResponse);
 
 const char* MessageTypeToString(MessageType type);
 bool IsRequestType(MessageType type);
@@ -191,6 +195,22 @@ std::string EncodeSqlRequest(const service::SqlRequest& request);
 Result<service::SqlRequest> DecodeSqlRequest(std::string_view payload);
 std::string EncodeSqlResponse(const service::SqlResponse& response);
 Result<service::SqlResponse> DecodeSqlResponse(std::string_view payload);
+
+std::string EncodeLoadRulesRequest(const service::LoadRulesRequest& request);
+Result<service::LoadRulesRequest> DecodeLoadRulesRequest(
+    std::string_view payload);
+std::string EncodeLoadRulesResponse(
+    const service::LoadRulesResponse& response);
+Result<service::LoadRulesResponse> DecodeLoadRulesResponse(
+    std::string_view payload);
+
+std::string EncodeListRulesRequest(const service::ListRulesRequest& request);
+Result<service::ListRulesRequest> DecodeListRulesRequest(
+    std::string_view payload);
+std::string EncodeListRulesResponse(
+    const service::ListRulesResponse& response);
+Result<service::ListRulesResponse> DecodeListRulesResponse(
+    std::string_view payload);
 
 std::string EncodeMetricsRequest(const service::MetricsRequest& request);
 Result<service::MetricsRequest> DecodeMetricsRequest(

@@ -21,7 +21,8 @@ class SearchEngine {
  public:
   SearchEngine(const RuleRegistry& rules, const CostModel& cost_model,
                const OptimizerOptions& options, const SearchBudget& budget,
-               FaultInjector* fault_injector)
+               FaultInjector* fault_injector,
+               const std::vector<obs::Counter*>* rule_apply)
       : rules_(rules),
         cost_model_(cost_model),
         options_(options),
@@ -30,6 +31,7 @@ class SearchEngine {
                       ? Deadline::After(budget.wall_seconds)
                       : Deadline::Never()),
         fault_injector_(fault_injector),
+        rule_apply_(rule_apply),
         memo_(rules.size()) {}
 
   Result<OptimizeResult> Run(const Query& query) {
@@ -111,6 +113,13 @@ class SearchEngine {
     return options_.disabled_rules.count(rule.id()) > 0;
   }
 
+  void CountApplication(RuleId id) const {
+    if (rule_apply_ != nullptr &&
+        static_cast<size_t>(id) < rule_apply_->size()) {
+      (*rule_apply_)[static_cast<size_t>(id)]->Increment();
+    }
+  }
+
   /// Budget check at task-loop granularity. The memo dimensions are exact
   /// integer compares (deterministic truncation point); the wall clock is
   /// only consulted every kDeadlineStride checks to keep the probe cheap.
@@ -184,7 +193,10 @@ class SearchEngine {
             for (const LogicalOpPtr& bound : bindings) {
               std::vector<LogicalOpPtr> outputs;
               rule.Apply(*bound, &outputs);
-              if (!outputs.empty()) exercised_.insert(rule.id());
+              if (!outputs.empty()) {
+                exercised_.insert(rule.id());
+                CountApplication(rule.id());
+              }
               for (const LogicalOpPtr& output : outputs) {
                 auto [group_id, added] = memo_.Insert(output, g);
                 (void)group_id;
@@ -217,7 +229,10 @@ class SearchEngine {
           if (!MatchesPattern(*expr->op, *rule.pattern())) continue;
           size_t before = grp.alternatives.size();
           rule.Apply(*expr->op, cost_model_, &grp.alternatives);
-          if (grp.alternatives.size() > before) exercised_.insert(rule.id());
+          if (grp.alternatives.size() > before) {
+            exercised_.insert(rule.id());
+            CountApplication(rule.id());
+          }
         }
       }
       grp.implemented = true;
@@ -283,6 +298,11 @@ class SearchEngine {
   const SearchBudget& budget_;
   Deadline deadline_;
   FaultInjector* fault_injector_;
+  /// Per RuleId: total applications that produced output (may be null in
+  /// contexts without metrics). Indexed defensively — the registry can be
+  /// larger than the counter vector if a caller registered rules without
+  /// calling Optimizer::SyncRuleMetrics().
+  const std::vector<obs::Counter*>* rule_apply_;
   Memo memo_;
   RuleIdSet exercised_;
   bool budget_exhausted_ = false;
@@ -313,9 +333,20 @@ Optimizer::Optimizer(const RuleRegistry* rules, obs::MetricsRegistry* metrics)
   owned_interner_ = std::make_unique<NodeInterner>();
   owned_interner_->set_metrics(metrics_);
   interner_ = owned_interner_.get();
+  SyncRuleMetrics();
+}
+
+void Optimizer::SyncRuleMetrics() {
   rule_fired_.reserve(static_cast<size_t>(rules_->size()));
-  for (int id = 0; id < rules_->size(); ++id) {
+  rule_apply_.reserve(static_cast<size_t>(rules_->size()));
+  for (int id = static_cast<int>(rule_fired_.size()); id < rules_->size();
+       ++id) {
     rule_fired_.push_back(metrics_->counter("qtf.optimizer.rule_fired." +
+                                            rules_->rule(id).name()));
+  }
+  for (int id = static_cast<int>(rule_apply_.size()); id < rules_->size();
+       ++id) {
+    rule_apply_.push_back(metrics_->counter("qtf.optimizer.rule_apply." +
                                             rules_->rule(id).name()));
   }
 }
@@ -361,7 +392,8 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
   searches_->Increment();
   const SearchBudget& budget =
       options.budget.unlimited() ? default_budget_ : options.budget;
-  SearchEngine engine(*rules_, cost_model_, options, budget, fault_injector_);
+  SearchEngine engine(*rules_, cost_model_, options, budget, fault_injector_,
+                      &rule_apply_);
   const auto search_start = std::chrono::steady_clock::now();
   Result<OptimizeResult> result = engine.Run(canonical);
   search_seconds_->Observe(std::chrono::duration<double>(
@@ -373,7 +405,11 @@ Result<OptimizeResult> Optimizer::Optimize(const Query& query,
     if (result->saturated) saturated_->Increment();
     if (result->budget_exhausted) budget_exhausted_->Increment();
     for (RuleId id : result->exercised_rules) {
-      rule_fired_[static_cast<size_t>(id)]->Increment();
+      // Registry growth without SyncRuleMetrics() leaves late rules
+      // uncounted rather than out of bounds.
+      if (static_cast<size_t>(id) < rule_fired_.size()) {
+        rule_fired_[static_cast<size_t>(id)]->Increment();
+      }
     }
   } else if (result.status().code() == StatusCode::kCancelled) {
     cancelled_->Increment();

@@ -100,6 +100,14 @@ class Optimizer {
   const RuleRegistry& rules() const { return *rules_; }
   const CostModel& cost_model() const { return cost_model_; }
 
+  /// Appends qtf.optimizer.rule_fired.<name> / rule_apply.<name> counters
+  /// for rules registered after construction (runtime-loaded DSL rules).
+  /// Existing counters keep their pointers. Callers that grow the registry
+  /// (e.g. the service's LoadRules) must not run this concurrently with
+  /// Optimize() — the service serializes via its registry lock. Without a
+  /// sync, late rules are simply uncounted, never out of bounds.
+  void SyncRuleMetrics();
+
   /// Default plan cache consulted by every Optimize() call whose options
   /// don't carry their own (nullptr disables caching). Borrowed; the cache
   /// must outlive the optimizer's use of it. A cache hit still counts as an
@@ -179,6 +187,9 @@ class Optimizer {
   obs::Counter* cancelled_ = nullptr;
   /// Per RuleId: searches in which the rule fired (produced a substitute).
   std::vector<obs::Counter*> rule_fired_;
+  /// Per RuleId: applications that produced output (every binding counts,
+  /// not once per search) — qtf.optimizer.rule_apply.<name>.
+  std::vector<obs::Counter*> rule_apply_;
 };
 
 }  // namespace qtf

@@ -25,6 +25,14 @@ enum class RuleType {
   kImplementation,
 };
 
+/// Where a rule came from: compiled into the binary, or loaded at runtime
+/// from a declarative .qtr spec (src/ruledsl/). Reported by the service's
+/// ListRules introspection so operators can tell the two apart.
+enum class RuleOrigin {
+  kBuiltin = 0,
+  kDsl,
+};
+
 /// One physical alternative proposed by an implementation rule for a group
 /// expression: the inputs (as memo groups), the operator's own cost, and a
 /// deferred constructor that assembles the physical node once the best
@@ -57,11 +65,16 @@ class Rule {
   RuleId id() const { return id_; }
   void set_id(RuleId id) { id_ = id; }
 
+  /// kBuiltin unless tagged otherwise (the DSL compiler tags kDsl).
+  RuleOrigin origin() const { return origin_; }
+  void set_origin(RuleOrigin origin) { origin_ = origin; }
+
  private:
   std::string name_;
   RuleType type_;
   PatternNodePtr pattern_;
   RuleId id_ = -1;
+  RuleOrigin origin_ = RuleOrigin::kBuiltin;
 };
 
 /// Logical-to-logical rule. `bound` is a tree matching the rule's pattern

@@ -1,0 +1,118 @@
+#ifndef QTF_RULEDSL_AST_H_
+#define QTF_RULEDSL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logical/ops.h"
+
+namespace qtf {
+namespace ruledsl {
+
+/// 1-based source position, carried through compilation so semantic errors
+/// point back into the .qtr text.
+struct SourceLoc {
+  int line = 1;
+  int col = 1;
+};
+
+/// One node of a `match` clause. Placeholders ($X) bind whole subtrees;
+/// labeled operator nodes (l: select(...)) expose their predicate /
+/// output-ids to guards and rewrite templates.
+struct PatternSpec {
+  enum class Kind {
+    kPlaceholder,  // $NAME — lowered to PatternNode::Any, binds the subtree
+    kAnyOp,        // any   — lowered to PatternNode::Any, binds nothing
+    kOp,           // concrete operator with children
+  };
+
+  Kind kind = Kind::kAnyOp;
+  std::string binding;  // placeholder name (kPlaceholder)
+  std::string label;    // optional "l:" label (kOp); empty if unlabeled
+  LogicalOpKind op_kind = LogicalOpKind::kGet;  // kOp only
+  std::optional<JoinKind> join_kind;            // kOp join only
+  std::vector<PatternSpec> children;
+  SourceLoc loc;
+};
+
+/// Predicate expression: evaluates to a (possibly null) conjunction over
+/// predicates captured from labeled match nodes. kPred passes the captured
+/// predicate through verbatim; every other form works on its conjunct list
+/// (MakeConjunction re-canonicalizes on materialization, so list order is
+/// irrelevant).
+struct PredSpec {
+  enum class Kind {
+    kNone,      // none — the null predicate
+    kPred,      // pred(label) — predicate of a labeled select/join
+    kAnd,       // and(p, p, ...) — pooled conjuncts
+    kHead,      // head(p) — first conjunct in syntactic order
+    kTail,      // tail(p) — all conjuncts after the first
+    kPushable,  // pushable(p, cols(...)) — conjuncts referencing only cols
+    kResidual,  // residual(p, cols(...)) — the complement of pushable
+  };
+
+  Kind kind = Kind::kNone;
+  std::string label;                // kPred
+  std::vector<PredSpec> args;       // compound forms
+  std::vector<std::string> cols;    // placeholder names (kPushable/kResidual)
+  SourceLoc loc;
+};
+
+/// One guard term. A `when` line is an OR of terms; multiple `when` lines
+/// AND together.
+struct GuardTermSpec {
+  enum class Kind {
+    kRejectsNull,   // rejects_null(p, cols(...)) — p rejects all-NULL rows
+    kRefsOnly,      // refs_only(p, cols(...)) — null p passes vacuously
+    kIsNull,        // is_null(p)
+    kNonNull,       // nonnull(p)
+    kHasPushable,   // has_pushable(p, cols(...)) — at least one conjunct
+    kMinConjuncts,  // min_conjuncts(p, N)
+  };
+
+  Kind kind = Kind::kIsNull;
+  PredSpec pred;
+  std::vector<std::string> cols;  // placeholder names
+  int64_t min_count = 0;          // kMinConjuncts
+  SourceLoc loc;
+};
+
+using GuardSpec = std::vector<GuardTermSpec>;  // one `when` line (OR of terms)
+
+/// One node of a `rewrite` template. Placeholders splice the bound subtree
+/// back in unchanged (share-don't-mutate: bound GroupRef leaves are
+/// memo-owned).
+struct TemplateSpec {
+  enum class Kind {
+    kPlaceholder,  // $NAME
+    kJoin,         // join(kind, t, t, pexpr)
+    kSelect,       // select(t, pexpr) — elided when pexpr is null
+    kUnionAll,     // unionall(t, t, ids(label))
+    kDistinct,     // distinct(t)
+  };
+
+  Kind kind = Kind::kPlaceholder;
+  std::string binding;                // kPlaceholder
+  std::optional<JoinKind> join_kind;  // kJoin
+  std::vector<TemplateSpec> children;
+  PredSpec predicate;    // kJoin/kSelect
+  std::string ids_label;  // kUnionAll — labeled unionall supplying output ids
+  SourceLoc loc;
+};
+
+/// One parsed rule: name + match pattern + ANDed when-lines + one or more
+/// rewrite templates.
+struct RuleSpec {
+  std::string name;
+  PatternSpec pattern;
+  std::vector<GuardSpec> guards;
+  std::vector<TemplateSpec> rewrites;
+  SourceLoc loc;
+};
+
+}  // namespace ruledsl
+}  // namespace qtf
+
+#endif  // QTF_RULEDSL_AST_H_

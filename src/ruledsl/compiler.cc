@@ -1,0 +1,537 @@
+#include "ruledsl/compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "expr/analysis.h"
+#include "logical/props.h"
+#include "ruledsl/parser.h"
+
+namespace qtf {
+namespace ruledsl {
+namespace {
+
+Status CompileError(SourceLoc loc, const std::string& message) {
+  return Status::InvalidArgument(
+      "rule DSL compile error at " + std::to_string(loc.line) + ":" +
+      std::to_string(loc.col) + ": " + message);
+}
+
+/// What a label can supply to guards and templates.
+struct LabelInfo {
+  LogicalOpKind op_kind = LogicalOpKind::kGet;
+  SourceLoc loc;
+};
+
+/// Per-rule symbol tables built during semantic analysis.
+struct Symbols {
+  std::map<std::string, SourceLoc> placeholders;
+  std::map<std::string, LabelInfo> labels;
+};
+
+Status CollectSymbols(const PatternSpec& node, Symbols* symbols) {
+  switch (node.kind) {
+    case PatternSpec::Kind::kPlaceholder: {
+      auto inserted = symbols->placeholders.emplace(node.binding, node.loc);
+      if (!inserted.second) {
+        return CompileError(node.loc,
+                            "duplicate placeholder '$" + node.binding + "'");
+      }
+      return Status::OK();
+    }
+    case PatternSpec::Kind::kAnyOp:
+      return Status::OK();
+    case PatternSpec::Kind::kOp: {
+      if (!node.label.empty()) {
+        auto inserted =
+            symbols->labels.emplace(node.label, LabelInfo{node.op_kind, node.loc});
+        if (!inserted.second) {
+          return CompileError(node.loc, "duplicate label '" + node.label + "'");
+        }
+      }
+      for (const PatternSpec& child : node.children) {
+        QTF_RETURN_NOT_OK(CollectSymbols(child, symbols));
+      }
+      return Status::OK();
+    }
+  }
+  return CompileError(node.loc, "corrupt pattern node");
+}
+
+Status CheckColSet(const std::vector<std::string>& cols, SourceLoc loc,
+                   const Symbols& symbols) {
+  for (const std::string& name : cols) {
+    if (symbols.placeholders.count(name) == 0) {
+      return CompileError(loc, "cols() references unbound placeholder '$" +
+                                   name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckPred(const PredSpec& pred, const Symbols& symbols) {
+  switch (pred.kind) {
+    case PredSpec::Kind::kNone:
+      return Status::OK();
+    case PredSpec::Kind::kPred: {
+      auto it = symbols.labels.find(pred.label);
+      if (it == symbols.labels.end()) {
+        return CompileError(pred.loc,
+                            "pred() references unbound label '" + pred.label +
+                                "'");
+      }
+      if (it->second.op_kind != LogicalOpKind::kSelect &&
+          it->second.op_kind != LogicalOpKind::kJoin) {
+        return CompileError(pred.loc, "pred(" + pred.label +
+                                          ") needs a select or join label");
+      }
+      return Status::OK();
+    }
+    case PredSpec::Kind::kAnd:
+    case PredSpec::Kind::kHead:
+    case PredSpec::Kind::kTail:
+      for (const PredSpec& arg : pred.args) {
+        QTF_RETURN_NOT_OK(CheckPred(arg, symbols));
+      }
+      return Status::OK();
+    case PredSpec::Kind::kPushable:
+    case PredSpec::Kind::kResidual:
+      for (const PredSpec& arg : pred.args) {
+        QTF_RETURN_NOT_OK(CheckPred(arg, symbols));
+      }
+      return CheckColSet(pred.cols, pred.loc, symbols);
+  }
+  return CompileError(pred.loc, "corrupt predicate node");
+}
+
+Status CheckGuardTerm(const GuardTermSpec& term, const Symbols& symbols) {
+  QTF_RETURN_NOT_OK(CheckPred(term.pred, symbols));
+  return CheckColSet(term.cols, term.loc, symbols);
+}
+
+Status CheckTemplate(const TemplateSpec& node, const Symbols& symbols) {
+  switch (node.kind) {
+    case TemplateSpec::Kind::kPlaceholder:
+      if (symbols.placeholders.count(node.binding) == 0) {
+        return CompileError(node.loc, "rewrite references unbound placeholder '$" +
+                                          node.binding + "'");
+      }
+      return Status::OK();
+    case TemplateSpec::Kind::kJoin:
+    case TemplateSpec::Kind::kSelect:
+      QTF_RETURN_NOT_OK(CheckPred(node.predicate, symbols));
+      break;
+    case TemplateSpec::Kind::kUnionAll: {
+      auto it = symbols.labels.find(node.ids_label);
+      if (it == symbols.labels.end()) {
+        return CompileError(node.loc, "ids() references unbound label '" +
+                                          node.ids_label + "'");
+      }
+      if (it->second.op_kind != LogicalOpKind::kUnionAll) {
+        return CompileError(node.loc, "ids(" + node.ids_label +
+                                          ") needs a unionall label");
+      }
+      break;
+    }
+    case TemplateSpec::Kind::kDistinct:
+      break;
+  }
+  for (const TemplateSpec& child : node.children) {
+    QTF_RETURN_NOT_OK(CheckTemplate(child, symbols));
+  }
+  return Status::OK();
+}
+
+PatternNodePtr LowerPattern(const PatternSpec& node) {
+  switch (node.kind) {
+    case PatternSpec::Kind::kPlaceholder:
+    case PatternSpec::Kind::kAnyOp:
+      return PatternNode::Any();
+    case PatternSpec::Kind::kOp:
+      break;
+  }
+  if (node.op_kind == LogicalOpKind::kJoin) {
+    return PatternNode::Join(*node.join_kind, LowerPattern(node.children[0]),
+                             LowerPattern(node.children[1]));
+  }
+  std::vector<PatternNodePtr> children;
+  children.reserve(node.children.size());
+  for (const PatternSpec& child : node.children) {
+    children.push_back(LowerPattern(child));
+  }
+  return PatternNode::Op(node.op_kind, std::move(children));
+}
+
+/// Placeholder subtrees and labeled interior nodes captured from one bound
+/// tree. Subtrees are shared LogicalOpPtr instances (memo-owned GroupRefs);
+/// labels point into the bound tree, which outlives the Apply call.
+struct Bindings {
+  std::map<std::string, LogicalOpPtr> subtrees;
+  std::map<std::string, const LogicalOp*> labels;
+};
+
+/// Walks the bound tree in lockstep with the match pattern. Defensive: the
+/// memo's BindPattern guarantees shape, but machine-generated rules go
+/// through the same code path, so any mismatch bails instead of crashing.
+bool CollectBindings(const PatternSpec& spec, const LogicalOpPtr* self,
+                     const LogicalOp& op, Bindings* bindings) {
+  switch (spec.kind) {
+    case PatternSpec::Kind::kPlaceholder:
+      if (self == nullptr) return false;
+      bindings->subtrees.emplace(spec.binding, *self);
+      return true;
+    case PatternSpec::Kind::kAnyOp:
+      return true;
+    case PatternSpec::Kind::kOp: {
+      if (op.kind() != spec.op_kind) return false;
+      if (op.kind() == LogicalOpKind::kJoin &&
+          static_cast<const JoinOp&>(op).join_kind() != *spec.join_kind) {
+        return false;
+      }
+      if (op.children().size() != spec.children.size()) return false;
+      if (!spec.label.empty()) bindings->labels.emplace(spec.label, &op);
+      for (size_t i = 0; i < spec.children.size(); ++i) {
+        if (!CollectBindings(spec.children[i], &op.child(i), *op.child(i),
+                             bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A predicate value in one of two modes. Passthrough carries a captured
+/// predicate verbatim (so a rule that only moves a predicate reproduces the
+/// hand-written rule's expression identity); list mode carries pooled
+/// conjuncts that MakeConjunction re-canonicalizes on materialization.
+struct PredValue {
+  bool passthrough = false;
+  ExprPtr expr;
+  std::vector<ExprPtr> conjuncts;
+
+  ExprPtr Materialize() const {
+    return passthrough ? expr : MakeConjunction(conjuncts);
+  }
+  std::vector<ExprPtr> List() const {
+    return passthrough ? SplitConjuncts(expr) : conjuncts;
+  }
+};
+
+ExprPtr CapturedPredicate(const LogicalOp& op) {
+  if (op.kind() == LogicalOpKind::kSelect) {
+    return static_cast<const SelectOp&>(op).predicate();
+  }
+  if (op.kind() == LogicalOpKind::kJoin) {
+    return static_cast<const JoinOp&>(op).predicate();
+  }
+  return nullptr;
+}
+
+bool ColSetOf(const std::vector<std::string>& names, const Bindings& bindings,
+              ColumnSet* out) {
+  for (const std::string& name : names) {
+    auto it = bindings.subtrees.find(name);
+    if (it == bindings.subtrees.end()) return false;
+    for (ColumnId col : it->second->OutputColumns()) out->insert(col);
+  }
+  return true;
+}
+
+bool EvalPred(const PredSpec& spec, const Bindings& bindings, PredValue* out) {
+  switch (spec.kind) {
+    case PredSpec::Kind::kNone:
+      out->passthrough = true;
+      out->expr = nullptr;
+      return true;
+    case PredSpec::Kind::kPred: {
+      auto it = bindings.labels.find(spec.label);
+      if (it == bindings.labels.end()) return false;
+      out->passthrough = true;
+      out->expr = CapturedPredicate(*it->second);
+      return true;
+    }
+    case PredSpec::Kind::kAnd: {
+      out->passthrough = false;
+      for (const PredSpec& arg : spec.args) {
+        PredValue value;
+        if (!EvalPred(arg, bindings, &value)) return false;
+        std::vector<ExprPtr> conjuncts = value.List();
+        out->conjuncts.insert(out->conjuncts.end(), conjuncts.begin(),
+                              conjuncts.end());
+      }
+      return true;
+    }
+    case PredSpec::Kind::kHead:
+    case PredSpec::Kind::kTail: {
+      PredValue value;
+      if (!EvalPred(spec.args[0], bindings, &value)) return false;
+      std::vector<ExprPtr> conjuncts = value.List();
+      out->passthrough = false;
+      if (spec.kind == PredSpec::Kind::kHead) {
+        if (!conjuncts.empty()) out->conjuncts.push_back(conjuncts[0]);
+      } else if (conjuncts.size() > 1) {
+        out->conjuncts.assign(conjuncts.begin() + 1, conjuncts.end());
+      }
+      return true;
+    }
+    case PredSpec::Kind::kPushable:
+    case PredSpec::Kind::kResidual: {
+      PredValue value;
+      if (!EvalPred(spec.args[0], bindings, &value)) return false;
+      ColumnSet allowed;
+      if (!ColSetOf(spec.cols, bindings, &allowed)) return false;
+      out->passthrough = false;
+      const bool want_pushable = spec.kind == PredSpec::Kind::kPushable;
+      for (const ExprPtr& conjunct : value.List()) {
+        if (ReferencesOnly(*conjunct, allowed) == want_pushable) {
+          out->conjuncts.push_back(conjunct);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EvalGuardTerm(const GuardTermSpec& term, const Bindings& bindings) {
+  PredValue value;
+  if (!EvalPred(term.pred, bindings, &value)) return false;
+  switch (term.kind) {
+    case GuardTermSpec::Kind::kRejectsNull: {
+      ExprPtr expr = value.Materialize();
+      if (expr == nullptr) return false;
+      ColumnSet cols;
+      if (!ColSetOf(term.cols, bindings, &cols)) return false;
+      return RejectsAllNull(*expr, cols);
+    }
+    case GuardTermSpec::Kind::kRefsOnly: {
+      ExprPtr expr = value.Materialize();
+      if (expr == nullptr) return true;  // TRUE references nothing
+      ColumnSet cols;
+      if (!ColSetOf(term.cols, bindings, &cols)) return false;
+      return ReferencesOnly(*expr, cols);
+    }
+    case GuardTermSpec::Kind::kIsNull:
+      return value.Materialize() == nullptr;
+    case GuardTermSpec::Kind::kNonNull:
+      return value.Materialize() != nullptr;
+    case GuardTermSpec::Kind::kHasPushable: {
+      ColumnSet cols;
+      if (!ColSetOf(term.cols, bindings, &cols)) return false;
+      for (const ExprPtr& conjunct : value.List()) {
+        if (ReferencesOnly(*conjunct, cols)) return true;
+      }
+      return false;
+    }
+    case GuardTermSpec::Kind::kMinConjuncts:
+      return static_cast<int64_t>(value.List().size()) >= term.min_count;
+  }
+  return false;
+}
+
+ColumnSet OutputSetOf(const LogicalOp& op) {
+  std::vector<ColumnId> cols = op.OutputColumns();
+  return ColumnSet(cols.begin(), cols.end());
+}
+
+/// Instantiates one rewrite template over the bindings. Returns false to
+/// drop the output: either a binding hiccup or — for machine-generated
+/// rules — a tree that would violate downstream invariants (predicates
+/// over columns the children don't produce, overlapping join sides,
+/// positionally mismatched unionall branches). Hand-ported rules never
+/// trip these checks; their guards already imply them.
+bool Instantiate(const TemplateSpec& node, const Bindings& bindings,
+                 LogicalOpPtr* out) {
+  switch (node.kind) {
+    case TemplateSpec::Kind::kPlaceholder: {
+      auto it = bindings.subtrees.find(node.binding);
+      if (it == bindings.subtrees.end()) return false;
+      *out = it->second;
+      return true;
+    }
+    case TemplateSpec::Kind::kDistinct: {
+      LogicalOpPtr child;
+      if (!Instantiate(node.children[0], bindings, &child)) return false;
+      *out = std::make_shared<DistinctOp>(std::move(child));
+      return true;
+    }
+    case TemplateSpec::Kind::kSelect: {
+      LogicalOpPtr child;
+      if (!Instantiate(node.children[0], bindings, &child)) return false;
+      PredValue value;
+      if (!EvalPred(node.predicate, bindings, &value)) return false;
+      ExprPtr predicate = value.Materialize();
+      if (predicate == nullptr) {
+        // Empty conjunction: the select is a no-op; splice the child in
+        // directly (mirrors the remaining.empty() paths of the hand-written
+        // pushdown rules).
+        *out = std::move(child);
+        return true;
+      }
+      if (!ReferencesOnly(*predicate, OutputSetOf(*child))) return false;
+      *out = std::make_shared<SelectOp>(std::move(child), std::move(predicate));
+      return true;
+    }
+    case TemplateSpec::Kind::kJoin: {
+      LogicalOpPtr left;
+      LogicalOpPtr right;
+      if (!Instantiate(node.children[0], bindings, &left)) return false;
+      if (!Instantiate(node.children[1], bindings, &right)) return false;
+      ColumnSet left_cols = OutputSetOf(*left);
+      ColumnSet right_cols = OutputSetOf(*right);
+      for (ColumnId col : right_cols) {
+        if (left_cols.count(col) > 0) return false;  // overlapping sides
+      }
+      PredValue value;
+      if (!EvalPred(node.predicate, bindings, &value)) return false;
+      ExprPtr predicate = value.Materialize();
+      if (predicate != nullptr) {
+        ColumnSet visible = left_cols;
+        visible.insert(right_cols.begin(), right_cols.end());
+        if (!ReferencesOnly(*predicate, visible)) return false;
+      }
+      *out = std::make_shared<JoinOp>(*node.join_kind, std::move(left),
+                                      std::move(right), std::move(predicate));
+      return true;
+    }
+    case TemplateSpec::Kind::kUnionAll: {
+      LogicalOpPtr left;
+      LogicalOpPtr right;
+      if (!Instantiate(node.children[0], bindings, &left)) return false;
+      if (!Instantiate(node.children[1], bindings, &right)) return false;
+      auto it = bindings.labels.find(node.ids_label);
+      if (it == bindings.labels.end()) return false;
+      if (it->second->kind() != LogicalOpKind::kUnionAll) return false;
+      const auto& ids =
+          static_cast<const UnionAllOp&>(*it->second).output_ids();
+      std::vector<ColumnId> left_cols = left->OutputColumns();
+      std::vector<ColumnId> right_cols = right->OutputColumns();
+      if (left_cols.size() != ids.size() || right_cols.size() != ids.size()) {
+        return false;
+      }
+      // Positional type agreement, looked up without LogicalProps::TypeOf
+      // (which CHECK-fails on untracked columns).
+      LogicalProps left_props = DeriveTreeProps(*left);
+      LogicalProps right_props = DeriveTreeProps(*right);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto lt = left_props.col_types.find(left_cols[i]);
+        auto rt = right_props.col_types.find(right_cols[i]);
+        if (lt == left_props.col_types.end() ||
+            rt == right_props.col_types.end() || lt->second != rt->second) {
+          return false;
+        }
+      }
+      *out = std::make_shared<UnionAllOp>(std::move(left), std::move(right),
+                                          ids);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The interpreted rule: spec + lowered pattern. Apply re-binds against
+/// each bound tree the memo hands it; outputs share bound subtrees per the
+/// memo contract.
+class CompiledRule final : public ExplorationRule {
+ public:
+  CompiledRule(std::string name, PatternNodePtr pattern, RuleSpec spec,
+               obs::Counter* rejected)
+      : ExplorationRule(std::move(name), std::move(pattern)),
+        spec_(std::move(spec)),
+        rejected_(rejected) {}
+
+  void Apply(const LogicalOp& bound,
+             std::vector<LogicalOpPtr>* out) const override {
+    Bindings bindings;
+    if (!CollectBindings(spec_.pattern, nullptr, bound, &bindings)) return;
+    for (const GuardSpec& guard : spec_.guards) {
+      bool satisfied = false;
+      for (const GuardTermSpec& term : guard) {
+        if (EvalGuardTerm(term, bindings)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) return;
+    }
+    for (const TemplateSpec& rewrite : spec_.rewrites) {
+      LogicalOpPtr result;
+      if (!Instantiate(rewrite, bindings, &result)) {
+        if (rejected_ != nullptr) rejected_->Increment();
+        continue;
+      }
+      out->push_back(std::move(result));
+    }
+  }
+
+ private:
+  RuleSpec spec_;
+  obs::Counter* rejected_;
+};
+
+Status CheckRule(const RuleSpec& spec, Symbols* symbols) {
+  if (spec.pattern.kind != PatternSpec::Kind::kOp) {
+    return CompileError(spec.pattern.loc,
+                        "match root must be a concrete operator");
+  }
+  QTF_RETURN_NOT_OK(CollectSymbols(spec.pattern, symbols));
+  for (const GuardSpec& guard : spec.guards) {
+    for (const GuardTermSpec& term : guard) {
+      QTF_RETURN_NOT_OK(CheckGuardTerm(term, *symbols));
+    }
+  }
+  for (const TemplateSpec& rewrite : spec.rewrites) {
+    QTF_RETURN_NOT_OK(CheckTemplate(rewrite, *symbols));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<Rule>>> CompileRuleSpecs(
+    const std::vector<RuleSpec>& specs, const CompileOptions& options) {
+  obs::Counter* rejected =
+      options.metrics != nullptr ? options.metrics->counter("qtf.dsl.rejected")
+                                 : nullptr;
+  std::set<std::string> names;
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.reserve(specs.size());
+  for (const RuleSpec& spec : specs) {
+    if (!names.insert(spec.name).second) {
+      return CompileError(spec.loc, "duplicate rule name '" + spec.name + "'");
+    }
+    Symbols symbols;
+    QTF_RETURN_NOT_OK(CheckRule(spec, &symbols));
+    PatternNodePtr pattern = LowerPattern(spec.pattern);
+    auto rule = std::make_unique<CompiledRule>(spec.name, std::move(pattern),
+                                               spec, rejected);
+    rule->set_origin(RuleOrigin::kDsl);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Result<std::vector<std::unique_ptr<Rule>>> CompileRuleDsl(
+    std::string_view text, const CompileOptions& options) {
+  Result<std::vector<RuleSpec>> specs = ParseRuleSpecs(text);
+  if (!specs.ok()) {
+    if (options.metrics != nullptr) {
+      options.metrics->counter("qtf.dsl.compile_errors")->Increment();
+    }
+    return specs.status();
+  }
+  Result<std::vector<std::unique_ptr<Rule>>> rules =
+      CompileRuleSpecs(*specs, options);
+  if (!rules.ok() && options.metrics != nullptr) {
+    options.metrics->counter("qtf.dsl.compile_errors")->Increment();
+  }
+  return rules;
+}
+
+}  // namespace ruledsl
+}  // namespace qtf

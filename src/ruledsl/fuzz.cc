@@ -1,0 +1,220 @@
+#include "ruledsl/fuzz.h"
+
+#include <vector>
+
+namespace qtf {
+namespace ruledsl {
+namespace {
+
+/// splitmix64: tiny, seed-stable, no global state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  int Uniform(int bound) { return static_cast<int>(Next() % static_cast<uint64_t>(bound)); }
+
+  bool Chance(int percent) { return Uniform(100) < percent; }
+
+ private:
+  uint64_t state_;
+};
+
+const char* const kPlaceholders[] = {"A", "B", "C", "D"};
+const char* const kLabels[] = {"t", "l", "s", "u"};
+const char* const kJoinKinds[] = {"inner", "louter", "lsemi", "lanti"};
+
+struct GenState {
+  std::vector<std::string> placeholders;  // bound in the match clause
+  std::vector<std::string> pred_labels;   // labels on select/join nodes
+  std::vector<std::string> union_labels;  // labels on unionall nodes
+  int label_counter = 0;
+};
+
+std::string PickPlaceholder(Rng* rng, const GenState& state) {
+  if (state.placeholders.empty() || rng->Chance(5)) {
+    // Deliberately (possibly) unbound.
+    return std::string("$") + kPlaceholders[rng->Uniform(4)] + "x";
+  }
+  return "$" + state.placeholders[rng->Uniform(
+                   static_cast<int>(state.placeholders.size()))];
+}
+
+std::string GenPattern(Rng* rng, GenState* state, int depth) {
+  if (depth >= 3 || rng->Chance(35 + depth * 20)) {
+    if (rng->Chance(15)) return "any";
+    if (rng->Chance(10)) return "get";
+    std::string name = kPlaceholders[static_cast<int>(
+        state->placeholders.size() % 4)];
+    if (state->placeholders.size() >= 4) name += std::to_string(depth);
+    state->placeholders.push_back(name);
+    return "$" + name;
+  }
+  std::string label;
+  if (rng->Chance(70)) {
+    label = std::string(kLabels[rng->Uniform(4)]) +
+            std::to_string(state->label_counter++);
+  }
+  std::string prefix = label.empty() ? "" : label + ": ";
+  switch (rng->Uniform(5)) {
+    case 0: {
+      if (!label.empty()) state->pred_labels.push_back(label);
+      return prefix + "join(" + kJoinKinds[rng->Uniform(4)] + ", " +
+             GenPattern(rng, state, depth + 1) + ", " +
+             GenPattern(rng, state, depth + 1) + ")";
+    }
+    case 1:
+      if (!label.empty()) state->pred_labels.push_back(label);
+      return prefix + "select(" + GenPattern(rng, state, depth + 1) + ")";
+    case 2:
+      if (!label.empty()) state->union_labels.push_back(label);
+      return prefix + "unionall(" + GenPattern(rng, state, depth + 1) + ", " +
+             GenPattern(rng, state, depth + 1) + ")";
+    case 3:
+      return prefix + "distinct(" + GenPattern(rng, state, depth + 1) + ")";
+    default:
+      return prefix + "groupby(" + GenPattern(rng, state, depth + 1) + ")";
+  }
+}
+
+std::string GenColSet(Rng* rng, const GenState& state) {
+  std::string out = "cols(" + PickPlaceholder(rng, state);
+  if (rng->Chance(40)) out += ", " + PickPlaceholder(rng, state);
+  return out + ")";
+}
+
+std::string GenPred(Rng* rng, const GenState& state, int depth) {
+  if (depth >= 2 || state.pred_labels.empty() || rng->Chance(20)) {
+    if (state.pred_labels.empty() || rng->Chance(25)) return "none";
+    return "pred(" + state.pred_labels[rng->Uniform(static_cast<int>(
+                         state.pred_labels.size()))] +
+           ")";
+  }
+  switch (rng->Uniform(5)) {
+    case 0:
+      return "and(" + GenPred(rng, state, depth + 1) + ", " +
+             GenPred(rng, state, depth + 1) + ")";
+    case 1:
+      return "head(" + GenPred(rng, state, depth + 1) + ")";
+    case 2:
+      return "tail(" + GenPred(rng, state, depth + 1) + ")";
+    case 3:
+      return "pushable(" + GenPred(rng, state, depth + 1) + ", " +
+             GenColSet(rng, state) + ")";
+    default:
+      return "residual(" + GenPred(rng, state, depth + 1) + ", " +
+             GenColSet(rng, state) + ")";
+  }
+}
+
+std::string GenGuardTerm(Rng* rng, const GenState& state) {
+  switch (rng->Uniform(6)) {
+    case 0:
+      return "rejects_null(" + GenPred(rng, state, 1) + ", " +
+             GenColSet(rng, state) + ")";
+    case 1:
+      return "refs_only(" + GenPred(rng, state, 1) + ", " +
+             GenColSet(rng, state) + ")";
+    case 2:
+      return "is_null(" + GenPred(rng, state, 1) + ")";
+    case 3:
+      return "nonnull(" + GenPred(rng, state, 1) + ")";
+    case 4:
+      return "has_pushable(" + GenPred(rng, state, 1) + ", " +
+             GenColSet(rng, state) + ")";
+    default:
+      return "min_conjuncts(" + GenPred(rng, state, 1) + ", " +
+             std::to_string(1 + rng->Uniform(3)) + ")";
+  }
+}
+
+std::string GenTemplate(Rng* rng, const GenState& state, int depth) {
+  if (depth >= 3 || rng->Chance(30 + depth * 25)) {
+    return PickPlaceholder(rng, state);
+  }
+  switch (rng->Uniform(4)) {
+    case 0:
+      return "join(" + std::string(kJoinKinds[rng->Uniform(4)]) + ", " +
+             GenTemplate(rng, state, depth + 1) + ", " +
+             GenTemplate(rng, state, depth + 1) + ", " +
+             GenPred(rng, state, 1) + ")";
+    case 1:
+      return "select(" + GenTemplate(rng, state, depth + 1) + ", " +
+             GenPred(rng, state, 1) + ")";
+    case 2: {
+      std::string ids_label =
+          !state.union_labels.empty() && !rng->Chance(10)
+              ? state.union_labels[rng->Uniform(
+                    static_cast<int>(state.union_labels.size()))]
+              : (state.pred_labels.empty()
+                     ? "nolabel"
+                     : state.pred_labels[rng->Uniform(static_cast<int>(
+                           state.pred_labels.size()))]);
+      return "unionall(" + GenTemplate(rng, state, depth + 1) + ", " +
+             GenTemplate(rng, state, depth + 1) + ", ids(" + ids_label + "))";
+    }
+    default:
+      return "distinct(" + GenTemplate(rng, state, depth + 1) + ")";
+  }
+}
+
+}  // namespace
+
+std::string GenerateRuleSpec(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  GenState state;
+  std::string out = "rule Fuzz" + std::to_string(seed) + " {\n";
+  out += "  match " + GenPattern(&rng, &state, 0) + "\n";
+  int guards = rng.Uniform(3);
+  for (int i = 0; i < guards; ++i) {
+    out += "  when " + GenGuardTerm(&rng, state);
+    if (rng.Chance(25)) out += " or " + GenGuardTerm(&rng, state);
+    out += "\n";
+  }
+  int rewrites = 1 + rng.Uniform(2);
+  for (int i = 0; i < rewrites; ++i) {
+    out += "  rewrite " + GenTemplate(&rng, state, 0) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string MutateRuleSpec(std::string_view spec, uint64_t seed) {
+  Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  std::string out(spec);
+  int edits = 1 + rng.Uniform(3);
+  for (int i = 0; i < edits && !out.empty(); ++i) {
+    int at = rng.Uniform(static_cast<int>(out.size()));
+    switch (rng.Uniform(5)) {
+      case 0:  // delete a character
+        out.erase(static_cast<size_t>(at), 1);
+        break;
+      case 1:  // duplicate a character
+        out.insert(static_cast<size_t>(at), 1, out[static_cast<size_t>(at)]);
+        break;
+      case 2:  // flip to a random printable byte
+        out[static_cast<size_t>(at)] =
+            static_cast<char>(' ' + rng.Uniform(95));
+        break;
+      case 3:  // truncate
+        out.resize(static_cast<size_t>(at));
+        break;
+      default: {  // splice in a random token
+        static const char* const kTokens[] = {"$A",   "pred", ")",     "(",
+                                              "when", "}",    "match", "123"};
+        out.insert(static_cast<size_t>(at), kTokens[rng.Uniform(8)]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ruledsl
+}  // namespace qtf

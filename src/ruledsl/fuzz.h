@@ -1,0 +1,27 @@
+#ifndef QTF_RULEDSL_FUZZ_H_
+#define QTF_RULEDSL_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qtf {
+namespace ruledsl {
+
+/// Seed-deterministic generator of machine-made candidate rule specs.
+/// Output is mostly grammatical (so a good fraction survives the parser and
+/// reaches the compiler/optimizer), with deliberate binding mistakes mixed
+/// in (unbound placeholders, pred() on label-less ops, mismatched kinds) to
+/// exercise every rejection path. Same seed, same spec.
+std::string GenerateRuleSpec(uint64_t seed);
+
+/// Seed-deterministic mutator: applies a few token/character-level edits
+/// (delete, duplicate, swap identifiers, drop a paren, truncate, flip a
+/// byte) to an existing spec. Used to drive the parser's error paths with
+/// near-miss inputs.
+std::string MutateRuleSpec(std::string_view spec, uint64_t seed);
+
+}  // namespace ruledsl
+}  // namespace qtf
+
+#endif  // QTF_RULEDSL_FUZZ_H_

@@ -1,0 +1,389 @@
+#include "ruledsl/parser.h"
+
+#include <string>
+#include <utility>
+
+#include "ruledsl/lexer.h"
+
+namespace qtf {
+namespace ruledsl {
+namespace {
+
+// Nesting cap for patterns, templates, and predicate expressions. Deep
+// enough for any sensible rule; shallow enough that hostile input cannot
+// overflow the stack.
+constexpr int kMaxDepth = 32;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<RuleSpec>> Run() {
+    std::vector<RuleSpec> rules;
+    while (Peek().kind != TokenKind::kEnd) {
+      RuleSpec rule;
+      QTF_RETURN_NOT_OK(ParseRule(&rule));
+      rules.push_back(std::move(rule));
+    }
+    return rules;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;  // kEnd
+    return tokens_[index];
+  }
+
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  static Status Error(const Token& at, const std::string& message) {
+    return Status::InvalidArgument(
+        "rule DSL parse error at " + std::to_string(at.line) + ":" +
+        std::to_string(at.col) + ": " + message);
+  }
+
+  Status Expect(TokenKind kind, Token* out = nullptr) {
+    if (Peek().kind != kind) {
+      return Error(Peek(), std::string("expected ") + TokenKindToString(kind) +
+                               ", got " + TokenKindToString(Peek().kind) +
+                               (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+    }
+    Token token = Advance();
+    if (out != nullptr) *out = std::move(token);
+    return Status::OK();
+  }
+
+  static SourceLoc Loc(const Token& token) { return {token.line, token.col}; }
+
+  Status ParseRule(RuleSpec* rule) {
+    Token keyword;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kRule, &keyword));
+    rule->loc = Loc(keyword);
+    Token name;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &name));
+    rule->name = std::move(name.text);
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kMatch));
+    QTF_RETURN_NOT_OK(ParsePattern(&rule->pattern, 0));
+    while (Peek().kind == TokenKind::kWhen) {
+      Advance();
+      GuardSpec guard;
+      GuardTermSpec term;
+      QTF_RETURN_NOT_OK(ParseGuardTerm(&term));
+      guard.push_back(std::move(term));
+      while (Peek().kind == TokenKind::kOr) {
+        Advance();
+        GuardTermSpec next;
+        QTF_RETURN_NOT_OK(ParseGuardTerm(&next));
+        guard.push_back(std::move(next));
+      }
+      rule->guards.push_back(std::move(guard));
+    }
+    if (Peek().kind != TokenKind::kRewrite) {
+      return Error(Peek(), "rule '" + rule->name +
+                               "' needs at least one rewrite clause");
+    }
+    while (Peek().kind == TokenKind::kRewrite) {
+      Advance();
+      TemplateSpec rewrite;
+      QTF_RETURN_NOT_OK(ParseTemplate(&rewrite, 0));
+      rule->rewrites.push_back(std::move(rewrite));
+    }
+    return Expect(TokenKind::kRBrace);
+  }
+
+  Status ParseJoinKind(std::optional<JoinKind>* kind) {
+    Token token;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &token));
+    if (token.text == "inner") {
+      *kind = JoinKind::kInner;
+    } else if (token.text == "louter") {
+      *kind = JoinKind::kLeftOuter;
+    } else if (token.text == "lsemi") {
+      *kind = JoinKind::kLeftSemi;
+    } else if (token.text == "lanti") {
+      *kind = JoinKind::kLeftAnti;
+    } else {
+      return Error(token, "unknown join kind '" + token.text +
+                              "' (expected inner|louter|lsemi|lanti)");
+    }
+    return Status::OK();
+  }
+
+  Status ParsePattern(PatternSpec* node, int depth) {
+    if (depth >= kMaxDepth) {
+      return Error(Peek(), "pattern nesting exceeds depth cap");
+    }
+    if (Peek().kind == TokenKind::kPlaceholder) {
+      Token token = Advance();
+      node->kind = PatternSpec::Kind::kPlaceholder;
+      node->binding = std::move(token.text);
+      node->loc = Loc(token);
+      return Status::OK();
+    }
+    Token head;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    if (Peek().kind == TokenKind::kColon) {
+      Advance();
+      node->label = std::move(head.text);
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    }
+    node->loc = Loc(head);
+    const std::string& op = head.text;
+    if (op == "any") {
+      if (!node->label.empty()) {
+        return Error(head, "label '" + node->label +
+                               "' requires a concrete operator, not 'any'");
+      }
+      node->kind = PatternSpec::Kind::kAnyOp;
+      return Status::OK();
+    }
+    node->kind = PatternSpec::Kind::kOp;
+    if (op == "get") {
+      node->op_kind = LogicalOpKind::kGet;
+      return Status::OK();
+    }
+    int arity = 0;
+    if (op == "join") {
+      node->op_kind = LogicalOpKind::kJoin;
+      arity = 2;
+    } else if (op == "select") {
+      node->op_kind = LogicalOpKind::kSelect;
+      arity = 1;
+    } else if (op == "project") {
+      node->op_kind = LogicalOpKind::kProject;
+      arity = 1;
+    } else if (op == "groupby") {
+      node->op_kind = LogicalOpKind::kGroupByAgg;
+      arity = 1;
+    } else if (op == "unionall") {
+      node->op_kind = LogicalOpKind::kUnionAll;
+      arity = 2;
+    } else if (op == "distinct") {
+      node->op_kind = LogicalOpKind::kDistinct;
+      arity = 1;
+    } else {
+      return Error(head, "unknown pattern operator '" + op + "'");
+    }
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (node->op_kind == LogicalOpKind::kJoin) {
+      QTF_RETURN_NOT_OK(ParseJoinKind(&node->join_kind));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+    }
+    for (int i = 0; i < arity; ++i) {
+      if (i > 0) QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      PatternSpec child;
+      QTF_RETURN_NOT_OK(ParsePattern(&child, depth + 1));
+      node->children.push_back(std::move(child));
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  Status ParseColSet(std::vector<std::string>* cols) {
+    Token head;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    if (head.text != "cols") {
+      return Error(head, "expected cols(...), got '" + head.text + "'");
+    }
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    Token placeholder;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kPlaceholder, &placeholder));
+    cols->push_back(std::move(placeholder.text));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kPlaceholder, &placeholder));
+      cols->push_back(std::move(placeholder.text));
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  Status ParsePred(PredSpec* pred, int depth) {
+    if (depth >= kMaxDepth) {
+      return Error(Peek(), "predicate nesting exceeds depth cap");
+    }
+    Token head;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    pred->loc = Loc(head);
+    const std::string& op = head.text;
+    if (op == "none") {
+      pred->kind = PredSpec::Kind::kNone;
+      return Status::OK();
+    }
+    if (op == "pred") {
+      pred->kind = PredSpec::Kind::kPred;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      Token label;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &label));
+      pred->label = std::move(label.text);
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "and") {
+      pred->kind = PredSpec::Kind::kAnd;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      PredSpec arg;
+      QTF_RETURN_NOT_OK(ParsePred(&arg, depth + 1));
+      pred->args.push_back(std::move(arg));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        PredSpec next;
+        QTF_RETURN_NOT_OK(ParsePred(&next, depth + 1));
+        pred->args.push_back(std::move(next));
+      }
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "head" || op == "tail") {
+      pred->kind =
+          op == "head" ? PredSpec::Kind::kHead : PredSpec::Kind::kTail;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      PredSpec arg;
+      QTF_RETURN_NOT_OK(ParsePred(&arg, depth + 1));
+      pred->args.push_back(std::move(arg));
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "pushable" || op == "residual") {
+      pred->kind = op == "pushable" ? PredSpec::Kind::kPushable
+                                    : PredSpec::Kind::kResidual;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      PredSpec arg;
+      QTF_RETURN_NOT_OK(ParsePred(&arg, depth + 1));
+      pred->args.push_back(std::move(arg));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      QTF_RETURN_NOT_OK(ParseColSet(&pred->cols));
+      return Expect(TokenKind::kRParen);
+    }
+    return Error(head, "unknown predicate operator '" + op + "'");
+  }
+
+  Status ParseGuardTerm(GuardTermSpec* term) {
+    Token head;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    term->loc = Loc(head);
+    const std::string& op = head.text;
+    bool wants_cols = false;
+    bool wants_count = false;
+    if (op == "rejects_null") {
+      term->kind = GuardTermSpec::Kind::kRejectsNull;
+      wants_cols = true;
+    } else if (op == "refs_only") {
+      term->kind = GuardTermSpec::Kind::kRefsOnly;
+      wants_cols = true;
+    } else if (op == "is_null") {
+      term->kind = GuardTermSpec::Kind::kIsNull;
+    } else if (op == "nonnull") {
+      term->kind = GuardTermSpec::Kind::kNonNull;
+    } else if (op == "has_pushable") {
+      term->kind = GuardTermSpec::Kind::kHasPushable;
+      wants_cols = true;
+    } else if (op == "min_conjuncts") {
+      term->kind = GuardTermSpec::Kind::kMinConjuncts;
+      wants_count = true;
+    } else {
+      return Error(head, "unknown guard '" + op + "'");
+    }
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    QTF_RETURN_NOT_OK(ParsePred(&term->pred, 0));
+    if (wants_cols) {
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      QTF_RETURN_NOT_OK(ParseColSet(&term->cols));
+    }
+    if (wants_count) {
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      Token count;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kIntLit, &count));
+      if (count.int_value < 1) {
+        return Error(count, "min_conjuncts count must be >= 1");
+      }
+      term->min_count = count.int_value;
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  Status ParseTemplate(TemplateSpec* node, int depth) {
+    if (depth >= kMaxDepth) {
+      return Error(Peek(), "rewrite nesting exceeds depth cap");
+    }
+    if (Peek().kind == TokenKind::kPlaceholder) {
+      Token token = Advance();
+      node->kind = TemplateSpec::Kind::kPlaceholder;
+      node->binding = std::move(token.text);
+      node->loc = Loc(token);
+      return Status::OK();
+    }
+    Token head;
+    QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &head));
+    node->loc = Loc(head);
+    const std::string& op = head.text;
+    if (op == "join") {
+      node->kind = TemplateSpec::Kind::kJoin;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      QTF_RETURN_NOT_OK(ParseJoinKind(&node->join_kind));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      TemplateSpec left;
+      QTF_RETURN_NOT_OK(ParseTemplate(&left, depth + 1));
+      node->children.push_back(std::move(left));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      TemplateSpec right;
+      QTF_RETURN_NOT_OK(ParseTemplate(&right, depth + 1));
+      node->children.push_back(std::move(right));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      QTF_RETURN_NOT_OK(ParsePred(&node->predicate, 0));
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "select") {
+      node->kind = TemplateSpec::Kind::kSelect;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      TemplateSpec child;
+      QTF_RETURN_NOT_OK(ParseTemplate(&child, depth + 1));
+      node->children.push_back(std::move(child));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      QTF_RETURN_NOT_OK(ParsePred(&node->predicate, 0));
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "unionall") {
+      node->kind = TemplateSpec::Kind::kUnionAll;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      TemplateSpec left;
+      QTF_RETURN_NOT_OK(ParseTemplate(&left, depth + 1));
+      node->children.push_back(std::move(left));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      TemplateSpec right;
+      QTF_RETURN_NOT_OK(ParseTemplate(&right, depth + 1));
+      node->children.push_back(std::move(right));
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kComma));
+      Token ids;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &ids));
+      if (ids.text != "ids") {
+        return Error(ids, "expected ids(label), got '" + ids.text + "'");
+      }
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      Token label;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kIdent, &label));
+      node->ids_label = std::move(label.text);
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return Expect(TokenKind::kRParen);
+    }
+    if (op == "distinct") {
+      node->kind = TemplateSpec::Kind::kDistinct;
+      QTF_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      TemplateSpec child;
+      QTF_RETURN_NOT_OK(ParseTemplate(&child, depth + 1));
+      node->children.push_back(std::move(child));
+      return Expect(TokenKind::kRParen);
+    }
+    return Error(head, "unknown rewrite operator '" + op + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<RuleSpec>> ParseRuleSpecs(std::string_view text) {
+  QTF_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexRuleDsl(text));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace ruledsl
+}  // namespace qtf

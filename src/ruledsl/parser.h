@@ -1,0 +1,31 @@
+#ifndef QTF_RULEDSL_PARSER_H_
+#define QTF_RULEDSL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ruledsl/ast.h"
+
+namespace qtf {
+namespace ruledsl {
+
+/// Parses .qtr rule DSL text into rule specs. Grammar (docs/RULES.md):
+///
+///   file     := rule*
+///   rule     := 'rule' NAME '{' 'match' pattern when* rewrite+ '}'
+///   when     := 'when' gterm ('or' gterm)*
+///   rewrite  := 'rewrite' template
+///   pattern  := PLACEHOLDER | [LABEL ':'] opnode
+///
+/// All failures are kInvalidArgument with a 1-based line:col position;
+/// nesting depth is capped so hostile input cannot overflow the stack.
+/// The parser checks shape (arity, operator names, join kinds); binding
+/// resolution (unbound placeholders, pred() on a label without a
+/// predicate, ...) is the compiler's job.
+Result<std::vector<RuleSpec>> ParseRuleSpecs(std::string_view text);
+
+}  // namespace ruledsl
+}  // namespace qtf
+
+#endif  // QTF_RULEDSL_PARSER_H_

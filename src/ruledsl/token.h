@@ -1,0 +1,49 @@
+#ifndef QTF_RULEDSL_TOKEN_H_
+#define QTF_RULEDSL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qtf {
+namespace ruledsl {
+
+/// Tokens of the .qtr rule DSL (docs/RULES.md has the grammar). Structural
+/// keywords are their own kinds; operator names (join, select, pred,
+/// rejects_null, ...) stay kIdent and are resolved by the parser, so the
+/// operator vocabulary can grow without touching the lexer.
+enum class TokenKind {
+  kEnd = 0,
+  kIdent,        // rule names, labels, operator and guard names
+  kPlaceholder,  // $NAME — binds a matched subtree
+  kIntLit,       // min_conjuncts argument
+  // Structural keywords.
+  kRule,
+  kMatch,
+  kWhen,
+  kRewrite,
+  kOr,
+  // Punctuation.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier / placeholder spelling (placeholders without the '$').
+  std::string text;
+  int64_t int_value = 0;
+  /// 1-based source position of the token's first character.
+  int line = 1;
+  int col = 1;
+};
+
+}  // namespace ruledsl
+}  // namespace qtf
+
+#endif  // QTF_RULEDSL_TOKEN_H_

@@ -198,6 +198,48 @@ struct SqlResponse {
   std::vector<ViolationSummary> violations;
 };
 
+/// Load declarative .qtr rule specs (src/ruledsl/, docs/RULES.md) into the
+/// resident registry, so a long-running daemon can ingest candidate rules
+/// — hand-written or machine-generated — and immediately test them with
+/// Sql/Correctness requests. Malformed or ill-bound specs are rejected
+/// with their line:col diagnostics (kInvalidArgument); a name collision
+/// with any resident rule is kAlreadyExists and nothing is registered
+/// (each request is all-or-nothing).
+struct LoadRulesRequest {
+  /// Text of one or more .qtr rule specs.
+  std::string text;
+  /// Compile and validate only; report what would be registered.
+  bool dry_run = false;
+  RequestOptions options;
+};
+
+struct LoadRulesResponse {
+  /// Ids assigned by the registry, in spec order (empty on dry_run).
+  std::vector<RuleId> ids;
+  /// Rule names in spec order.
+  std::vector<std::string> names;
+  /// Number of rules that compiled (== names.size()).
+  int32_t compiled = 0;
+};
+
+/// List the resident rule registry — introspection for `qtfctl rules`.
+struct ListRulesRequest {};
+
+struct RuleInfo {
+  RuleId id = -1;
+  std::string name;
+  /// RuleType as its wire value: 0 exploration, 1 implementation.
+  uint8_t type = 0;
+  /// PatternNode::ToString rendering, e.g. "Join[Inner](Any, Any)".
+  std::string pattern;
+  /// RuleOrigin as its wire value: 0 builtin, 1 dsl.
+  uint8_t origin = 0;
+};
+
+struct ListRulesResponse {
+  std::vector<RuleInfo> rules;
+};
+
 /// Snapshot of the resident framework's metrics registry — the service's
 /// `/metrics` endpoint. Never shed by admission control, so the registry
 /// stays observable exactly when the service is overloaded.
@@ -214,10 +256,12 @@ struct MetricsResponse {
 /// can carry, everything RuleTestService can execute.
 using ServiceRequest =
     std::variant<GenerateRequest, OptimizeRequest, CompressSuiteRequest,
-                 CorrectnessRequest, SqlRequest, MetricsRequest>;
+                 CorrectnessRequest, SqlRequest, LoadRulesRequest,
+                 ListRulesRequest, MetricsRequest>;
 using ServiceResponse =
     std::variant<GenerateResponse, OptimizeResponse, CompressSuiteResponse,
-                 CorrectnessResponse, SqlResponse, MetricsResponse>;
+                 CorrectnessResponse, SqlResponse, LoadRulesResponse,
+                 ListRulesResponse, MetricsResponse>;
 
 }  // namespace service
 }  // namespace qtf

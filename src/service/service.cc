@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "compress/edge_costs.h"
 #include "compress/matching.h"
 #include "qgen/generators.h"
+#include "ruledsl/compiler.h"
 #include "sql/render.h"
 
 namespace qtf {
@@ -118,6 +120,9 @@ RuleTestService::RuleTestService(std::unique_ptr<RuleTestFramework> framework)
   obs::MetricsRegistry* metrics = framework_->metrics();
   requests_ = metrics->counter("qtf.service.requests");
   request_errors_ = metrics->counter("qtf.service.request_errors");
+  // Shares the framework's registry, so Create-time Options::dsl_rules
+  // loads are already counted here.
+  dsl_loaded_ = metrics->counter("qtf.dsl.loaded");
   request_seconds_ = metrics->histogram("qtf.service.request_seconds");
 }
 
@@ -435,6 +440,66 @@ Result<SqlResponse> RuleTestService::DoSql(const SqlRequest& request) {
   return response;
 }
 
+Result<LoadRulesResponse> RuleTestService::DoLoadRules(
+    const LoadRulesRequest& request) {
+  if (request.text.empty()) {
+    return Status::InvalidArgument("LoadRulesRequest::text is empty");
+  }
+  RequestScope scope(request.options, limits(), request_seconds_);
+  QTF_RETURN_NOT_OK(scope.Check("rule compilation"));
+  ruledsl::CompileOptions compile_options;
+  compile_options.metrics = framework_->metrics();
+  QTF_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<Rule>> rules,
+      ruledsl::CompileRuleDsl(request.text, compile_options));
+  // All-or-nothing: check every name before registering any (the compiler
+  // already rejects duplicates within the batch).
+  RuleRegistry* registry = framework_->mutable_rules();
+  for (const std::unique_ptr<Rule>& rule : rules) {
+    if (registry->FindByName(rule->name()) != -1) {
+      return Status::AlreadyExists("LoadRulesRequest: rule name '" +
+                                   rule->name() + "' is already registered");
+    }
+  }
+  LoadRulesResponse response;
+  response.compiled = static_cast<int32_t>(rules.size());
+  response.names.reserve(rules.size());
+  for (const std::unique_ptr<Rule>& rule : rules) {
+    response.names.push_back(rule->name());
+  }
+  if (request.dry_run) return response;
+  response.ids.reserve(rules.size());
+  for (std::unique_ptr<Rule>& rule : rules) {
+    response.ids.push_back(registry->Register(std::move(rule)));
+    dsl_loaded_->Increment();
+  }
+  // Callers hold rules_mutex_ exclusively here (ExecuteAdmitted), so no
+  // search is concurrently indexing the per-rule counter vectors.
+  framework_->optimizer()->SyncRuleMetrics();
+  // Cached results were computed under the smaller rule set; Plan(q) must
+  // reflect the grown registry from the next request on.
+  framework_->plan_cache()->Clear();
+  return response;
+}
+
+Result<ListRulesResponse> RuleTestService::DoListRules(
+    const ListRulesRequest& request) {
+  (void)request;
+  ListRulesResponse response;
+  const RuleRegistry& registry = framework_->rules();
+  response.rules.reserve(registry.rules().size());
+  for (const std::unique_ptr<Rule>& rule : registry.rules()) {
+    RuleInfo info;
+    info.id = rule->id();
+    info.name = rule->name();
+    info.type = static_cast<uint8_t>(rule->type());
+    info.pattern = rule->pattern()->ToString();
+    info.origin = static_cast<uint8_t>(rule->origin());
+    response.rules.push_back(std::move(info));
+  }
+  return response;
+}
+
 Result<MetricsResponse> RuleTestService::DoMetrics(
     const MetricsRequest& request) {
   obs::MetricsSnapshot snapshot = framework_->metrics()->Snapshot();
@@ -446,6 +511,18 @@ Result<MetricsResponse> RuleTestService::DoMetrics(
 Result<ServiceResponse> RuleTestService::ExecuteAdmitted(
     const ServiceRequest& request) {
   requests_->Increment();
+  // Requests iterate the rule registry (optimizer searches, suite
+  // generation); LoadRules appends to it. A readers-writer lock over the
+  // whole execution keeps the append exclusive without serializing the
+  // data plane.
+  const bool exclusive = std::holds_alternative<LoadRulesRequest>(request);
+  std::shared_lock<std::shared_mutex> shared(rules_mutex_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> unique(rules_mutex_, std::defer_lock);
+  if (exclusive) {
+    unique.lock();
+  } else {
+    shared.lock();
+  }
   Result<ServiceResponse> result = std::visit(
       [this](const auto& typed) -> Result<ServiceResponse> {
         using T = std::decay_t<decltype(typed)>;
@@ -465,6 +542,14 @@ Result<ServiceResponse> RuleTestService::ExecuteAdmitted(
           return ServiceResponse(std::move(response));
         } else if constexpr (std::is_same_v<T, SqlRequest>) {
           QTF_ASSIGN_OR_RETURN(SqlResponse response, DoSql(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, LoadRulesRequest>) {
+          QTF_ASSIGN_OR_RETURN(LoadRulesResponse response,
+                               DoLoadRules(typed));
+          return ServiceResponse(std::move(response));
+        } else if constexpr (std::is_same_v<T, ListRulesRequest>) {
+          QTF_ASSIGN_OR_RETURN(ListRulesResponse response,
+                               DoListRules(typed));
           return ServiceResponse(std::move(response));
         } else {
           QTF_ASSIGN_OR_RETURN(MetricsResponse response, DoMetrics(typed));
@@ -517,6 +602,18 @@ Result<CorrectnessResponse> RuleTestService::RunCorrectness(
 Result<SqlResponse> RuleTestService::Sql(const SqlRequest& request) {
   QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
   return std::get<SqlResponse>(std::move(response));
+}
+
+Result<LoadRulesResponse> RuleTestService::LoadRules(
+    const LoadRulesRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<LoadRulesResponse>(std::move(response));
+}
+
+Result<ListRulesResponse> RuleTestService::ListRules(
+    const ListRulesRequest& request) {
+  QTF_ASSIGN_OR_RETURN(ServiceResponse response, Execute(request));
+  return std::get<ListRulesResponse>(std::move(response));
 }
 
 Result<MetricsResponse> RuleTestService::Metrics(

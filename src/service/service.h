@@ -2,6 +2,7 @@
 #define QTF_SERVICE_SERVICE_H_
 
 #include <memory>
+#include <shared_mutex>
 
 #include "service/admission.h"
 #include "service/api.h"
@@ -51,6 +52,15 @@ class RuleTestService {
   /// SQL text in, bound-tree facts (and optionally optimization /
   /// correctness results) out — the SQL frontend behind the service API.
   Result<SqlResponse> Sql(const SqlRequest& request);
+  /// Compile .qtr rule specs (src/ruledsl/) and register them into the
+  /// resident registry — the discovered-rule ingestion path (ROADMAP
+  /// item 4). Registration invalidates the plan cache (cached results were
+  /// computed under the smaller rule set) and extends the per-rule metric
+  /// families. All-or-nothing: any compile error or name collision
+  /// registers nothing.
+  Result<LoadRulesResponse> LoadRules(const LoadRulesRequest& request);
+  /// Introspect the resident registry (id, name, type, pattern, origin).
+  Result<ListRulesResponse> ListRules(const ListRulesRequest& request);
   /// Metrics bypass admission entirely: the registry must stay observable
   /// exactly when the service is saturated and shedding.
   Result<MetricsResponse> Metrics(const MetricsRequest& request);
@@ -98,6 +108,8 @@ class RuleTestService {
   Result<CorrectnessResponse> DoRunCorrectness(
       const CorrectnessRequest& request);
   Result<SqlResponse> DoSql(const SqlRequest& request);
+  Result<LoadRulesResponse> DoLoadRules(const LoadRulesRequest& request);
+  Result<ListRulesResponse> DoListRules(const ListRulesRequest& request);
   Result<MetricsResponse> DoMetrics(const MetricsRequest& request);
 
   std::unique_ptr<RuleTestFramework> framework_;
@@ -105,8 +117,15 @@ class RuleTestService {
   /// one resident frontend serves every SqlRequest.
   std::unique_ptr<sql::SqlFrontend> frontend_;
   AdmissionGate gate_;
+  /// Readers-writer lock over the resident rule registry: every request
+  /// holds it shared for its whole execution (registry iteration inside
+  /// the optimizer must not race a vector push_back), LoadRules holds it
+  /// exclusive while registering. Uncontended in the common case — rule
+  /// loading is rare control-plane traffic.
+  std::shared_mutex rules_mutex_;
   obs::Counter* requests_ = nullptr;        // qtf.service.requests
   obs::Counter* request_errors_ = nullptr;  // qtf.service.request_errors
+  obs::Counter* dsl_loaded_ = nullptr;      // qtf.dsl.loaded
   obs::Histogram* request_seconds_ = nullptr;
 };
 

@@ -54,6 +54,15 @@ class RuleTestFramework {
     /// owned by the framework into the optimizer, edge-cost provider paths,
     /// and correctness execution, reporting into qtf.robustness.* metrics.
     FaultInjector::Config fault_injector;
+    /// Declarative rules (docs/RULES.md): each entry is the text of one or
+    /// more .qtr rule specs, compiled by src/ruledsl/ and registered after
+    /// the builtin registry at Create time (tagged RuleOrigin::kDsl, ids
+    /// following the builtins in entry order). Compile failures surface as
+    /// kInvalidArgument with the spec's line:col diagnostics.
+    std::vector<std::string> dsl_rules;
+    /// Same, but each entry is a path to a .qtr file read at Create time;
+    /// unreadable paths are kInvalidArgument naming the file.
+    std::vector<std::string> dsl_rule_files;
   };
 
   /// Builds the framework as configured, after validating the options:
@@ -72,6 +81,11 @@ class RuleTestFramework {
   const Database& db() const { return *db_; }
   const Catalog& catalog() const { return db_->catalog(); }
   const RuleRegistry& rules() const { return *registry_; }
+  /// Mutable registry access for runtime rule loading (the service's
+  /// LoadRules path). Callers must serialize registration against
+  /// concurrent Optimize() calls and call optimizer()->SyncRuleMetrics()
+  /// after growing the registry.
+  RuleRegistry* mutable_rules() { return registry_.get(); }
   Optimizer* optimizer() { return optimizer_.get(); }
   /// Process-wide plan cache shared by suite generation, compression and
   /// correctness runs (attached to the optimizer at Create time). Use

@@ -254,6 +254,113 @@ TEST(WireTest, SqlResponseRoundTrip) {
   EXPECT_EQ(EncodeSqlResponse(*decoded), payload);
 }
 
+TEST(WireTest, LoadRulesRequestRoundTrip) {
+  service::LoadRulesRequest request;
+  request.text = "rule R { match s: select(select($X)) rewrite $X }";
+  request.dry_run = true;
+  request.options.deadline_seconds = 2.5;
+  const std::string payload = EncodeLoadRulesRequest(request);
+  auto decoded = DecodeLoadRulesRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->text, request.text);
+  EXPECT_EQ(decoded->dry_run, request.dry_run);
+  EXPECT_EQ(decoded->options.deadline_seconds,
+            request.options.deadline_seconds);
+  EXPECT_EQ(EncodeLoadRulesRequest(*decoded), payload);
+}
+
+TEST(WireTest, LoadRulesResponseRoundTrip) {
+  service::LoadRulesResponse response;
+  response.ids = {39, 40};
+  response.names = {"RuleA", "RuleB"};
+  response.compiled = 2;
+  const std::string payload = EncodeLoadRulesResponse(response);
+  auto decoded = DecodeLoadRulesResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->ids, response.ids);
+  EXPECT_EQ(decoded->names, response.names);
+  EXPECT_EQ(decoded->compiled, response.compiled);
+  EXPECT_EQ(EncodeLoadRulesResponse(*decoded), payload);
+}
+
+TEST(WireTest, ListRulesRoundTrip) {
+  // The request has no fields; its payload is empty by construction.
+  EXPECT_TRUE(EncodeListRulesRequest(service::ListRulesRequest{}).empty());
+  ASSERT_TRUE(DecodeListRulesRequest("").ok());
+
+  service::ListRulesResponse response;
+  service::RuleInfo builtin;
+  builtin.id = 0;
+  builtin.name = "JoinCommutativity";
+  builtin.type = 0;
+  builtin.pattern = "Join[Inner](Any, Any)";
+  builtin.origin = 0;
+  service::RuleInfo dsl;
+  dsl.id = 39;
+  dsl.name = "DslProbe";
+  dsl.type = 0;
+  dsl.pattern = "Select(Select(Any))";
+  dsl.origin = 1;
+  response.rules = {builtin, dsl};
+  const std::string payload = EncodeListRulesResponse(response);
+  auto decoded = DecodeListRulesResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->rules.size(), 2u);
+  EXPECT_EQ(decoded->rules[0].name, "JoinCommutativity");
+  EXPECT_EQ(decoded->rules[0].origin, 0);
+  EXPECT_EQ(decoded->rules[1].id, 39);
+  EXPECT_EQ(decoded->rules[1].name, "DslProbe");
+  EXPECT_EQ(decoded->rules[1].pattern, "Select(Select(Any))");
+  EXPECT_EQ(decoded->rules[1].origin, 1);
+  EXPECT_EQ(EncodeListRulesResponse(*decoded), payload);
+}
+
+TEST(WireTest, LoadAndListRulesRejectMalformedPayloads) {
+  service::LoadRulesResponse load;
+  load.ids = {1};
+  load.names = {"R"};
+  load.compiled = 1;
+  const std::string load_payload = EncodeLoadRulesResponse(load);
+  for (size_t n = 0; n < load_payload.size(); ++n) {
+    auto decoded = DecodeLoadRulesResponse(
+        std::string_view(load_payload).substr(0, n));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto trailing = DecodeLoadRulesResponse(load_payload + "x");
+    ASSERT_FALSE(trailing.ok());
+    EXPECT_EQ(trailing.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A garbage name count must be caught by the count-vs-remaining guard,
+    // not drive a giant reserve. Layout: empty ids vector, then 0xffffffff
+    // as the name count with no bytes behind it.
+    std::string huge_count(4, '\0');
+    huge_count += std::string(4, '\xff');
+    auto decoded = DecodeLoadRulesResponse(huge_count);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  service::RuleInfo info;
+  info.id = 7;
+  info.name = "R";
+  info.pattern = "Any";
+  service::ListRulesResponse list;
+  list.rules = {info};
+  const std::string list_payload = EncodeListRulesResponse(list);
+  for (size_t n = 0; n < list_payload.size(); ++n) {
+    auto decoded = DecodeListRulesResponse(
+        std::string_view(list_payload).substr(0, n));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  auto request_trailing = DecodeListRulesRequest("x");
+  ASSERT_FALSE(request_trailing.ok());
+  EXPECT_EQ(request_trailing.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(WireTest, ErrorRoundTripUsesFrozenWireCodes) {
   const Status error =
       Status::ResourceExhausted("admission queue full; retry with backoff");
@@ -267,7 +374,10 @@ TEST(WireTest, VariantDispatchRoundTripsEveryRequestType) {
   const std::vector<service::ServiceRequest> requests = {
       SampleGenerateRequest(), service::OptimizeRequest{},
       service::CompressSuiteRequest{}, service::CorrectnessRequest{},
-      SampleSqlRequest(), service::MetricsRequest{true}};
+      SampleSqlRequest(),
+      service::LoadRulesRequest{"rule R { match s: select($X) rewrite $X }",
+                                true, {}},
+      service::ListRulesRequest{}, service::MetricsRequest{true}};
   for (const service::ServiceRequest& request : requests) {
     const MessageType type = RequestType(request);
     EXPECT_TRUE(IsRequestType(type));
@@ -303,6 +413,8 @@ TEST(WireTest, FuzzedPayloadsNeverCrashDecoders) {
       MessageType::kCorrectnessRequest, MessageType::kCorrectnessResponse,
       MessageType::kMetricsRequest,     MessageType::kMetricsResponse,
       MessageType::kSqlRequest,         MessageType::kSqlResponse,
+      MessageType::kLoadRulesRequest,   MessageType::kLoadRulesResponse,
+      MessageType::kListRulesRequest,   MessageType::kListRulesResponse,
   };
   for (int iteration = 0; iteration < 2000; ++iteration) {
     std::string junk(static_cast<size_t>(length(rng)), '\0');
